@@ -1,0 +1,215 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel micro-benchmarks, one group per reproduced artifact:
+   the analysis kernels behind Table 1 (machine model), Figure 11
+   (monitoring configurations), Figure 12 (epoch-size sensitivity) and
+   Figure 13 (precision), plus the core data structures everything rides
+   on.  Part 2 — full regeneration of every table and figure, printed to
+   stdout (the same output `butterfly_cli table1|figure11|figure12|figure13`
+   produces). *)
+
+open Bechamel
+
+(* ------------------------------------------------------------------ *)
+(* Workload/analysis fixtures shared by the benches (built once).      *)
+
+let fixture_program name ~threads ~scale ~h =
+  let profile = Option.get (Workloads.Registry.find name) in
+  Workloads.Workload.generate_program profile ~threads ~scale ~seed:7
+  |> Machine.Heartbeat.insert ~every:h
+
+let ocean_small = fixture_program "ocean" ~threads:4 ~scale:1500 ~h:128
+let ocean_small_epochs = Butterfly.Epochs.of_program ocean_small
+let fft_small = fixture_program "fft" ~threads:4 ~scale:1500 ~h:128
+
+let exploit_program = (Workloads.Exploit.cross_thread_chain ()).program
+let exploit_epochs = Butterfly.Epochs.of_program exploit_program
+
+let frag_a =
+  Butterfly.Interval_set.of_intervals
+    (List.init 200 (fun k -> (k * 128, (k * 128) + 64)))
+
+let frag_b =
+  Butterfly.Interval_set.of_intervals
+    (List.init 200 (fun k -> ((k * 128) + 32, (k * 128) + 96)))
+
+let site k = Butterfly.Instr_id.make ~epoch:k ~tid:(k mod 4) ~index:k
+
+let defs =
+  Butterfly.Def_set.of_list
+    (List.init 64 (fun k ->
+         Butterfly.Definition.make ~loc:(k mod 16) ~site:(site k)))
+
+let kills =
+  List.init 16 Butterfly.Def_set.all_of_loc
+  |> List.fold_left Butterfly.Def_set.union Butterfly.Def_set.empty
+
+let exprs =
+  Butterfly.Expr_set.of_list
+    (List.init 64 (fun k -> Butterfly.Expr.binop (k mod 12) ((k + 5) mod 12)))
+
+let expr_kills =
+  List.init 12 Butterfly.Expr_set.killing
+  |> List.fold_left Butterfly.Expr_set.union Butterfly.Expr_set.empty
+
+let vo_fixture =
+  Memmodel.Valid_ordering.of_blocks
+    [|
+      [ [| Tracing.Instr.Assign_const 0 |]; [| Tracing.Instr.Read 0 |] ];
+      [ [| Tracing.Instr.Assign_const 1 |]; [| Tracing.Instr.Read 1 |] ];
+    |]
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks.                                                    *)
+
+let core_tests =
+  Test.make_grouped ~name:"substrates"
+    [
+      Test.make ~name:"interval_set.union"
+        (Staged.stage (fun () -> Butterfly.Interval_set.union frag_a frag_b));
+      Test.make ~name:"interval_set.diff"
+        (Staged.stage (fun () -> Butterfly.Interval_set.diff frag_a frag_b));
+      Test.make ~name:"def_set.kill-consensus"
+        (Staged.stage (fun () ->
+             Butterfly.Def_set.union
+               (Butterfly.Def_set.inter kills kills)
+               (Butterfly.Def_set.diff kills defs)));
+      Test.make ~name:"expr_set.diff-wildcards"
+        (Staged.stage (fun () -> Butterfly.Expr_set.diff exprs expr_kills));
+      Test.make ~name:"valid_ordering.enumerate"
+        (Staged.stage (fun () ->
+             Memmodel.Valid_ordering.count ~cap:5_000 vo_fixture));
+      Test.make ~name:"scheduler.streaming-run"
+        (Staged.stage
+           (let module S = Butterfly.Scheduler.Make
+                (Butterfly.Reaching_definitions.Problem) in
+            fun () ->
+              let s = S.create ~threads:3 ~on_instr:(fun _ -> ()) in
+              for tid = 0 to 2 do
+                S.feed_trace s tid (Tracing.Program.trace exploit_program tid)
+              done;
+              S.finish s));
+      Test.make ~name:"idempotent_filter.walk-1k"
+        (Staged.stage (fun () ->
+             let f = Machine.Idempotent_filter.create () in
+             for k = 0 to 999 do
+               ignore
+                 (Machine.Idempotent_filter.admit f
+                    (Tracing.Instr.Read (64 * (k mod 600))))
+             done));
+    ]
+
+(* Table 1: the machine model — cache-simulated application timing. *)
+let table1_tests =
+  Test.make_grouped ~name:"table1.machine-model"
+    [
+      Test.make ~name:"app-timing.per-thread-epochs"
+        (Staged.stage (fun () ->
+             Machine.App_timing.per_thread_epochs Machine.Machine_config.default
+               fft_small));
+      Test.make ~name:"app-timing.sequential"
+        (Staged.stage (fun () ->
+             Machine.App_timing.sequential_cycles Machine.Machine_config.default
+               fft_small));
+    ]
+
+(* Figure 11: the three monitoring configurations. *)
+let figure11_tests =
+  let app =
+    Machine.App_timing.per_thread_epochs Machine.Machine_config.default
+      ocean_small
+  in
+  Test.make_grouped ~name:"figure11.monitoring"
+    [
+      Test.make ~name:"butterfly.addrcheck-run"
+        (Staged.stage (fun () -> Lifeguards.Addrcheck.run ocean_small_epochs));
+      Test.make ~name:"butterfly.cost-model"
+        (Staged.stage (fun () ->
+             Harness.Cost_model.butterfly_input Machine.Machine_config.default
+               ocean_small ~app ~flagged:(fun _ _ -> 0)));
+      Test.make ~name:"timesliced.lifeguard"
+        (Staged.stage (fun () ->
+             Harness.Cost_model.timesliced_lifeguard_cycles
+               Machine.Machine_config.default ocean_small));
+      Test.make ~name:"monitor-sim.timeline"
+        (Staged.stage
+           (let input =
+              Harness.Cost_model.butterfly_input Machine.Machine_config.default
+                ocean_small ~app ~flagged:(fun _ _ -> 0)
+            in
+            fun () -> Machine.Monitor_sim.parallel input));
+    ]
+
+(* Figure 12: epoch-size sensitivity of the analysis itself. *)
+let figure12_tests =
+  let with_h h =
+    Butterfly.Epochs.of_program
+      (fixture_program "ocean" ~threads:4 ~scale:1500 ~h)
+  in
+  let small = with_h 64 and large = with_h 512 in
+  Test.make_grouped ~name:"figure12.epoch-size"
+    [
+      Test.make ~name:"addrcheck.h=64"
+        (Staged.stage (fun () -> Lifeguards.Addrcheck.run small));
+      Test.make ~name:"addrcheck.h=512"
+        (Staged.stage (fun () -> Lifeguards.Addrcheck.run large));
+    ]
+
+(* Figure 13: precision machinery — the checks that classify events. *)
+let figure13_tests =
+  Test.make_grouped ~name:"figure13.precision"
+    [
+      Test.make ~name:"taintcheck.window-checks"
+        (Staged.stage (fun () ->
+             Lifeguards.Taintcheck.run ~sequential:true exploit_epochs));
+      Test.make ~name:"reaching-definitions.epochs"
+        (Staged.stage (fun () ->
+             Butterfly.Reaching_definitions.run exploit_epochs));
+      Test.make ~name:"reaching-expressions.epochs"
+        (Staged.stage (fun () ->
+             Butterfly.Reaching_expressions.run exploit_epochs));
+    ]
+
+let run_benchmarks () =
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.2) () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun tests ->
+      let raw = Benchmark.all cfg [ instance ] tests in
+      let results = Analyze.all ols instance raw in
+      let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+      List.iter
+        (fun name ->
+          let r = Hashtbl.find results name in
+          let est =
+            match Analyze.OLS.estimates r with
+            | Some (e :: _) -> e
+            | Some [] | None -> nan
+          in
+          let pretty =
+            if est > 1e6 then Printf.sprintf "%8.3f ms" (est /. 1e6)
+            else if est > 1e3 then Printf.sprintf "%8.3f us" (est /. 1e3)
+            else Printf.sprintf "%8.1f ns" est
+          in
+          Printf.printf "  %-45s %s/run\n%!" name pretty)
+        (List.sort compare names))
+    [ core_tests; table1_tests; figure11_tests; figure12_tests; figure13_tests ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  print_endline "=== Bechamel micro-benchmarks (one group per artifact) ===";
+  run_benchmarks ();
+  print_endline "";
+  print_endline "=== Regenerated paper artifacts ===";
+  print_endline "";
+  print_string (Harness.Table1.render ());
+  print_endline "";
+  print_string (Harness.Figure11.render (Harness.Figure11.run ()));
+  print_endline "";
+  print_string (Harness.Figure12.render (Harness.Figure12.run ()));
+  print_endline "";
+  print_string (Harness.Figure13.render (Harness.Figure13.run ()))

@@ -1,0 +1,185 @@
+(* Command-line interface: regenerate the paper's tables and figures, and
+   analyze external traces with the butterfly lifeguards. *)
+
+open Cmdliner
+
+let scale_arg =
+  let doc = "Total application instructions (split across threads)." in
+  Arg.(value & opt int Harness.Experiment.default_config.total_scale
+       & info [ "scale" ] ~doc)
+
+let seed_arg =
+  let doc = "Workload generation seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let config_of scale seed =
+  { Harness.Experiment.default_config with total_scale = scale; seed }
+
+let table1_cmd =
+  let run () = print_string (Harness.Table1.render ()) in
+  Cmd.v (Cmd.info "table1" ~doc:"Print Table 1 (simulator and benchmark parameters)")
+    Term.(const run $ const ())
+
+let csv_arg =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV instead of a table.")
+
+let figure11_cmd =
+  let run scale seed h csv =
+    let config = config_of scale seed in
+    let results = Harness.Figure11.run ~config ~epoch_size:h () in
+    print_string
+      (if csv then Harness.Figure11.to_csv results
+       else Harness.Figure11.render results)
+  in
+  let h_arg =
+    Arg.(value & opt int 512 & info [ "e"; "epoch-size" ]
+         ~doc:"Epoch size in instructions per thread.")
+  in
+  Cmd.v (Cmd.info "figure11" ~doc:"Regenerate Figure 11 (relative performance)")
+    Term.(const run $ scale_arg $ seed_arg $ h_arg $ csv_arg)
+
+let figure12_cmd =
+  let run scale seed csv =
+    let config = config_of scale seed in
+    let results = Harness.Figure12.run ~config () in
+    print_string
+      (if csv then Harness.Figure12.to_csv results
+       else Harness.Figure12.render results)
+  in
+  Cmd.v (Cmd.info "figure12" ~doc:"Regenerate Figure 12 (performance vs epoch size)")
+    Term.(const run $ scale_arg $ seed_arg $ csv_arg)
+
+let figure13_cmd =
+  let run scale seed csv =
+    let config = config_of scale seed in
+    let results = Harness.Figure13.run ~config () in
+    print_string
+      (if csv then Harness.Figure13.to_csv results
+       else Harness.Figure13.render results)
+  in
+  Cmd.v (Cmd.info "figure13" ~doc:"Regenerate Figure 13 (false positives vs epoch size)")
+    Term.(const run $ scale_arg $ seed_arg $ csv_arg)
+
+let sensitivity_cmd =
+  let run () = print_string (Harness.Sensitivity.render ()) in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Knob sweeps and ablations (churn/sharing/imbalance, isolation split)")
+    Term.(const run $ const ())
+
+let trace_arg =
+  let doc = "Trace file (Trace_codec format)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+
+let h_arg =
+  Arg.(value & opt int 64 & info [ "e"; "epoch-size" ]
+       ~doc:"Re-heartbeat the trace with this epoch size (0 keeps existing \
+             heartbeats).")
+
+let load_program path h =
+  let raw = In_channel.with_open_bin path In_channel.input_all in
+  let decoded =
+    if String.length raw >= 5 && String.sub raw 0 5 = "BFLY1" then
+      Tracing.Trace_codec.decode_binary raw
+    else Tracing.Trace_codec.decode raw
+  in
+  match decoded with
+  | Error m ->
+    prerr_endline ("error: " ^ m);
+    exit 1
+  | Ok p -> if h > 0 then Machine.Heartbeat.insert ~every:h p else p
+
+let addrcheck_cmd =
+  let run path h =
+    let p = load_program path h in
+    let r = Lifeguards.Addrcheck.run (Butterfly.Epochs.of_program p) in
+    Format.printf "checked %d memory events; flagged %d@." r.total_accesses
+      r.flagged_accesses;
+    List.iter
+      (fun e -> Format.printf "  %a@." Lifeguards.Addrcheck.pp_error e)
+      r.errors;
+    if r.errors = [] then Format.printf "  no errors@."
+  in
+  Cmd.v (Cmd.info "addrcheck" ~doc:"Run butterfly AddrCheck on a trace file")
+    Term.(const run $ trace_arg $ h_arg)
+
+let initcheck_cmd =
+  let run path h =
+    let p = load_program path h in
+    let r = Lifeguards.Initcheck.run (Butterfly.Epochs.of_program p) in
+    Format.printf "checked %d reads; flagged %d@." r.total_reads r.flagged_reads;
+    List.iter
+      (fun e -> Format.printf "  %a@." Lifeguards.Initcheck.pp_error e)
+      r.errors;
+    if r.errors = [] then Format.printf "  no uninitialized reads@."
+  in
+  Cmd.v
+    (Cmd.info "initcheck"
+       ~doc:"Run butterfly InitCheck (uninitialized reads) on a trace file")
+    Term.(const run $ trace_arg $ h_arg)
+
+let taintcheck_cmd =
+  let run path h relaxed =
+    let p = load_program path h in
+    let r =
+      Lifeguards.Taintcheck.run ~sequential:(not relaxed)
+        (Butterfly.Epochs.of_program p)
+    in
+    List.iter
+      (fun e -> Format.printf "  %a@." Lifeguards.Taintcheck.pp_error e)
+      r.errors;
+    if r.errors = [] then Format.printf "  no tainted sinks@."
+  in
+  let relaxed_arg =
+    Arg.(value & flag & info [ "relaxed" ]
+         ~doc:"Use the relaxed-consistency termination condition.")
+  in
+  Cmd.v (Cmd.info "taintcheck" ~doc:"Run butterfly TaintCheck on a trace file")
+    Term.(const run $ trace_arg $ h_arg $ relaxed_arg)
+
+let generate_cmd =
+  let run name threads scale seed binary =
+    match Workloads.Registry.find name with
+    | None ->
+      prerr_endline
+        ("unknown workload (try: "
+        ^ String.concat ", " Workloads.Registry.names
+        ^ ")");
+      exit 1
+    | Some profile ->
+      let p =
+        Workloads.Workload.generate_program profile ~threads ~scale ~seed
+      in
+      print_string
+        (if binary then Tracing.Trace_codec.encode_binary p
+         else Tracing.Trace_codec.encode p)
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
+         ~doc:"Benchmark name (e.g. ocean).")
+  in
+  let threads_arg =
+    Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Application threads.")
+  in
+  let scale2_arg =
+    Arg.(value & opt int 4000 & info [ "scale" ]
+         ~doc:"Instructions per thread.")
+  in
+  let binary_arg =
+    Arg.(value & flag & info [ "binary" ] ~doc:"Emit the compact binary format.")
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Emit a synthetic benchmark trace to stdout")
+    Term.(const run $ name_arg $ threads_arg $ scale2_arg $ seed_arg $ binary_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "butterfly_cli" ~version:"1.0"
+             ~doc:"Butterfly analysis: experiments and trace checking")
+          [
+            table1_cmd; figure11_cmd; figure12_cmd; figure13_cmd;
+            sensitivity_cmd; addrcheck_cmd; taintcheck_cmd; initcheck_cmd;
+            generate_cmd;
+          ]))

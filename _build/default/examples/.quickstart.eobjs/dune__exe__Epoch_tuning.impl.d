@@ -1,0 +1,1 @@
+examples/epoch_tuning.ml: Format Harness List Option Printf Workloads

@@ -1,0 +1,1 @@
+examples/memory_debugging.ml: Butterfly Format Lifeguards List Machine Tracing Workloads

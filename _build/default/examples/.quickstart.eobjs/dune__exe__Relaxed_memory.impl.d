@@ -1,0 +1,1 @@
+examples/relaxed_memory.ml: Format Lifeguards List Memmodel Tracing Workloads

@@ -1,0 +1,1 @@
+examples/taint_tracking.ml: Butterfly Format Lifeguards List Tracing Workloads

@@ -1,0 +1,38 @@
+(* The epoch-size knob (Section 8): sweep h for the OCEAN workload and
+   watch the performance/accuracy trade-off the paper's Figures 12 and 13
+   describe — larger epochs amortize per-epoch costs but make more events
+   potentially concurrent, and OCEAN's allocation churn turns that into
+   false positives that are themselves expensive to process. *)
+
+let () =
+  let config =
+    { Harness.Experiment.default_config with total_scale = 32_000 }
+  in
+  let profile = Option.get (Workloads.Registry.find "ocean") in
+  let threads = 4 in
+  Format.printf
+    "OCEAN, %d threads, %d total instructions: sweeping epoch size@.@."
+    threads config.total_scale;
+  let rows =
+    List.map
+      (fun h ->
+        let r = Harness.Experiment.run ~config profile ~threads ~epoch_size:h in
+        [
+          string_of_int h;
+          Printf.sprintf "%.2f" r.butterfly;
+          Harness.Report_format.pct r.fp_rate_percent;
+          string_of_int r.flagged_events;
+          string_of_int r.app_stall_cycles;
+        ])
+      [ 32; 64; 128; 256; 512; 1024 ]
+  in
+  print_string
+    (Harness.Report_format.table
+       ~header:
+         [ "epoch size"; "butterfly (norm.)"; "FP rate"; "FP events";
+           "log-buffer stalls" ]
+       rows);
+  Format.printf
+    "@.Small epochs pay per-epoch costs; large epochs pay false-positive \
+     processing.@.The sweet spot balances the two — exactly the knob the \
+     paper ends on.@."

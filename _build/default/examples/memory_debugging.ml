@@ -1,0 +1,49 @@
+(* Memory debugging with butterfly AddrCheck.
+
+   A parallel workload is seeded with real memory bugs (use-after-free,
+   double free, a wild read).  Butterfly AddrCheck — which never sees any
+   inter-thread ordering information — must flag every one of them
+   (Theorem 6.1), and we count how many additional reports are false
+   positives from potential concurrency. *)
+
+module IS = Butterfly.Interval_set
+
+let () =
+  let threads = 4 and scale = 2_000 and seed = 42 in
+  let program, bugs = Workloads.Faults.all_kinds ~threads ~scale ~seed in
+  Format.printf "injected bugs:@.";
+  List.iter
+    (fun b -> Format.printf "  %a@." Workloads.Faults.pp_bug b)
+    bugs;
+
+  let program = Machine.Heartbeat.insert ~every:128 program in
+  let report = Lifeguards.Addrcheck.run (Butterfly.Epochs.of_program program) in
+  Format.printf "@.butterfly AddrCheck: %d of %d memory events flagged@."
+    report.flagged_accesses report.total_accesses;
+
+  let flagged = Lifeguards.Addrcheck.flagged_addresses report in
+  List.iter
+    (fun (b : Workloads.Faults.injected) ->
+      Format.printf "  bug at %a: %s@." Tracing.Addr.pp b.addr
+        (if IS.mem b.addr flagged then "CAUGHT" else "MISSED (bug in tool!)"))
+    bugs;
+
+  (* Every injected address must be flagged; anything else is imprecision,
+     not unsoundness. *)
+  assert (
+    List.for_all
+      (fun (b : Workloads.Faults.injected) -> IS.mem b.addr flagged)
+      bugs);
+
+  (* Show a few of the raw error reports. *)
+  Format.printf "@.first error reports:@.";
+  List.iteri
+    (fun k e ->
+      if k < 5 then Format.printf "  %a@." Lifeguards.Addrcheck.pp_error e)
+    report.errors;
+
+  (* The same check through the timesliced baseline, for comparison: it
+     sees one real interleaving, so it reports the true errors only. *)
+  let seq = Lifeguards.Timesliced.addrcheck program in
+  Format.printf "@.timesliced (sequential) lifeguard: %d error reports@."
+    (List.length seq.errors)

@@ -1,0 +1,1 @@
+lib/core/block.ml: Array Format Instr_id Tracing

@@ -1,0 +1,1 @@
+lib/core/dataflow.ml: Array Block Epochs Format Instr_id List Tracing

@@ -1,0 +1,1 @@
+lib/core/dataflow.mli: Block Epochs Format Instr_id Tracing

@@ -1,0 +1,1 @@
+lib/core/def_set.ml: Definition Format Instr_id Int List Map Option Tracing

@@ -1,0 +1,1 @@
+lib/core/def_set.mli: Definition Format Instr_id Tracing

@@ -1,0 +1,1 @@
+lib/core/definition.ml: Format Instr_id Set Tracing

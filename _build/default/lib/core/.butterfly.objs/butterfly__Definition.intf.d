@@ -1,0 +1,1 @@
+lib/core/definition.mli: Format Instr_id Set Tracing

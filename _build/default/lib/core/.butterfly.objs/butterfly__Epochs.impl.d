@@ -1,0 +1,1 @@
+lib/core/epochs.ml: Array Block Format List Tracing

@@ -1,0 +1,1 @@
+lib/core/epochs.mli: Block Format Tracing

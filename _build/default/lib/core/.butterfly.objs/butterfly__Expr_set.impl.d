@@ -1,0 +1,1 @@
+lib/core/expr_set.ml: Expr Format Int List Map Tracing

@@ -1,0 +1,1 @@
+lib/core/expr_set.mli: Expr Format Tracing

@@ -1,0 +1,1 @@
+lib/core/instr_id.ml: Format Hashtbl Int Tracing

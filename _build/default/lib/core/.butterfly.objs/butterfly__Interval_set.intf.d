@@ -1,0 +1,1 @@
+lib/core/interval_set.mli: Format

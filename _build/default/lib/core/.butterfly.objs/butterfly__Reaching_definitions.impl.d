@@ -1,0 +1,1 @@
+lib/core/reaching_definitions.ml: Dataflow Def_set Definition Tracing

@@ -1,0 +1,1 @@
+lib/core/reaching_definitions.mli: Dataflow Def_set Epochs Tracing

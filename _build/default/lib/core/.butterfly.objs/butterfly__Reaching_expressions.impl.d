@@ -1,0 +1,1 @@
+lib/core/reaching_expressions.ml: Dataflow Expr Expr_set Tracing

@@ -1,0 +1,1 @@
+lib/core/reaching_expressions.mli: Dataflow Epochs Expr Expr_set Tracing

@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Array Block Dataflow Hashtbl List Tracing

@@ -1,0 +1,18 @@
+type t = { epoch : int; tid : Tracing.Tid.t; instrs : Tracing.Instr.t array }
+
+let make ~epoch ~tid instrs = { epoch; tid; instrs }
+let empty ~epoch ~tid = { epoch; tid; instrs = [||] }
+let length b = Array.length b.instrs
+let is_empty b = length b = 0
+let id b i = Instr_id.make ~epoch:b.epoch ~tid:b.tid ~index:i
+
+let iteri f b = Array.iteri (fun i ins -> f (id b i) ins) b.instrs
+
+let fold_left f acc b =
+  let acc = ref acc in
+  Array.iteri (fun i ins -> acc := f !acc (id b i) ins) b.instrs;
+  !acc
+
+let pp ppf b =
+  Format.fprintf ppf "block (%d,%a): %d instrs" b.epoch Tracing.Tid.pp b.tid
+    (length b)

@@ -1,0 +1,20 @@
+(** Butterfly blocks.
+
+    A block is the dynamic instruction sequence one thread executes during
+    one uncertainty epoch, demarcated by heartbeat reception (Figure 5).
+    Unlike a basic block it has no static structure — it is just a slice of
+    the thread's trace. *)
+
+type t = { epoch : int; tid : Tracing.Tid.t; instrs : Tracing.Instr.t array }
+
+val make : epoch:int -> tid:Tracing.Tid.t -> Tracing.Instr.t array -> t
+val empty : epoch:int -> tid:Tracing.Tid.t -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val id : t -> int -> Instr_id.t
+(** [id b i] is the identifier [(l, t, i)] of the [i]-th instruction. *)
+
+val iteri : (Instr_id.t -> Tracing.Instr.t -> unit) -> t -> unit
+val fold_left : ('a -> Instr_id.t -> Tracing.Instr.t -> 'a) -> 'a -> t -> 'a
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+type t = { loc : Tracing.Addr.t; site : Instr_id.t }
+
+let make ~loc ~site = { loc; site }
+let equal a b = a = b
+
+let compare a b =
+  match Tracing.Addr.compare a.loc b.loc with
+  | 0 -> Instr_id.compare a.site b.site
+  | c -> c
+
+let pp ppf { loc; site } =
+  Format.fprintf ppf "%a@%a" Tracing.Addr.pp loc Instr_id.pp site
+
+let of_instr id instr =
+  match Tracing.Instr.writes instr with
+  | Some loc -> Some { loc; site = id }
+  | None -> None
+
+module Site_set = Set.Make (Instr_id)

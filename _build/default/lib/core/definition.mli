@@ -1,0 +1,17 @@
+(** Dynamic definitions.
+
+    In dynamic parallel reaching definitions every executed write is a
+    distinct definition, identified by the location it defines and the
+    instruction [(l, t, i)] that performed it. *)
+
+type t = { loc : Tracing.Addr.t; site : Instr_id.t }
+
+val make : loc:Tracing.Addr.t -> site:Instr_id.t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val of_instr : Instr_id.t -> Tracing.Instr.t -> t option
+(** The definition an instruction generates, if it writes a location. *)
+
+module Site_set : Set.S with type elt = Instr_id.t

@@ -1,0 +1,28 @@
+type t = Unop of Tracing.Addr.t | Binop of Tracing.Addr.t * Tracing.Addr.t
+
+let unop a = Unop a
+let binop a b = if a = b then Unop a else if a < b then Binop (a, b) else Binop (b, a)
+
+let of_instr = function
+  | Tracing.Instr.Assign_unop (x, a) -> if x = a then None else Some (unop a)
+  | Tracing.Instr.Assign_binop (x, a, b) ->
+    if x = a || x = b then None else Some (binop a b)
+  | Tracing.Instr.Assign_const _ | Read _ | Malloc _ | Free _ | Taint_source _
+  | Untaint _ | Jump_via _ | Syscall_arg _ | Nop ->
+    None
+
+let operands = function Unop a -> [ a ] | Binop (a, b) -> [ a; b ]
+let mentions x = function Unop a -> a = x | Binop (a, b) -> a = x || b = x
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let pp ppf = function
+  | Unop a -> Format.fprintf ppf "op(%a)" Tracing.Addr.pp a
+  | Binop (a, b) ->
+    Format.fprintf ppf "(%a op %a)" Tracing.Addr.pp a Tracing.Addr.pp b
+
+module Set = Stdlib.Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,26 @@
+(** Dynamic expressions for reaching expressions.
+
+    An expression is identified by its operand locations (the operator is
+    irrelevant to availability: what matters is whether the operands have
+    been overwritten since the expression was computed).  Binary operands
+    are kept in canonical order so structural equality is semantic. *)
+
+type t = private Unop of Tracing.Addr.t | Binop of Tracing.Addr.t * Tracing.Addr.t
+
+val unop : Tracing.Addr.t -> t
+val binop : Tracing.Addr.t -> Tracing.Addr.t -> t
+(** Canonicalizes operand order; [binop a a] collapses to [unop a]. *)
+
+val of_instr : Tracing.Instr.t -> t option
+(** The expression an instruction computes: [Assign_unop]/[Assign_binop]
+    yield one unless an operand is also the destination (the write would
+    immediately kill it). *)
+
+val operands : t -> Tracing.Addr.t list
+val mentions : Tracing.Addr.t -> t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t

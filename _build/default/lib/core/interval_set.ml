@@ -1,0 +1,105 @@
+(* Canonical form: sorted, disjoint, non-adjacent, non-empty [lo, hi). *)
+type t = (int * int) list
+
+let empty = []
+let is_empty t = t = []
+let range lo hi = if hi <= lo then [] else [ (lo, hi) ]
+let singleton x = range x (x + 1)
+
+(* Merge a sorted-by-lo list of possibly overlapping/adjacent intervals. *)
+let normalize l =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (lo, hi) :: rest when hi <= lo -> go acc rest
+    | (lo, hi) :: rest -> (
+      match acc with
+      | (plo, phi) :: acc' when lo <= phi ->
+        go ((plo, max phi hi) :: acc') rest
+      | _ -> go ((lo, hi) :: acc) rest)
+  in
+  go [] (List.sort compare l)
+
+let of_intervals l = normalize l
+
+let union a b =
+  (* Linear merge of two canonical lists; [acc] holds the result reversed,
+     with the invariant that its head has the greatest [lo] seen so far. *)
+  let rec push acc = function
+    | [] -> List.rev acc
+    | (lo, hi) :: rest -> (
+      match acc with
+      | (plo, phi) :: acc' when lo <= phi -> push ((plo, max phi hi) :: acc') rest
+      | _ -> push ((lo, hi) :: acc) rest)
+  in
+  let rec go acc a b =
+    match (a, b) with
+    | [], rest | rest, [] -> push acc rest
+    | (alo, _) :: _, (blo, _) :: _ ->
+      let ((lo, hi), a, b) =
+        if alo <= blo then (List.hd a, List.tl a, b)
+        else (List.hd b, a, List.tl b)
+      in
+      (match acc with
+      | (plo, phi) :: acc' when lo <= phi ->
+        go ((plo, max phi hi) :: acc') a b
+      | _ -> go ((lo, hi) :: acc) a b)
+  in
+  go [] a b
+
+let rec inter a b =
+  match (a, b) with
+  | [], _ | _, [] -> []
+  | (alo, ahi) :: a', (blo, bhi) :: b' ->
+    let lo = max alo blo and hi = min ahi bhi in
+    let rest = if ahi < bhi then inter a' b else inter a b' in
+    if lo < hi then (lo, hi) :: rest else rest
+
+let rec diff a b =
+  match (a, b) with
+  | [], _ -> []
+  | _, [] -> a
+  | (alo, ahi) :: a', (blo, bhi) :: b' ->
+    if bhi <= alo then diff a b'
+    else if ahi <= blo then (alo, ahi) :: diff a' b
+    else
+      (* Overlap. *)
+      let left = if alo < blo then [ (alo, blo) ] else [] in
+      if ahi <= bhi then left @ diff a' b
+      else left @ diff ((bhi, ahi) :: a') b'
+
+let add_range lo hi t = union (range lo hi) t
+let remove_range lo hi t = diff t (range lo hi)
+
+let rec mem x = function
+  | [] -> false
+  | (lo, hi) :: rest -> if x < lo then false else x < hi || mem x rest
+
+let equal a b = a = b
+let subset a b = diff a b = []
+let disjoint a b = inter a b = []
+let cardinal t = List.fold_left (fun n (lo, hi) -> n + (hi - lo)) 0 t
+let interval_count = List.length
+let intervals t = t
+let choose = function [] -> None | (lo, _) :: _ -> Some lo
+let fold_intervals f t acc = List.fold_left (fun acc (lo, hi) -> f lo hi acc) acc t
+
+let iter f t =
+  List.iter
+    (fun (lo, hi) ->
+      for x = lo to hi - 1 do
+        f x
+      done)
+    t
+
+let elements t =
+  List.concat_map (fun (lo, hi) -> List.init (hi - lo) (fun k -> lo + k)) t
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  List.iteri
+    (fun k (lo, hi) ->
+      if k > 0 then Format.fprintf ppf ", ";
+      if hi = lo + 1 then Format.fprintf ppf "%d" lo
+      else Format.fprintf ppf "%d..%d" lo (hi - 1))
+    t;
+  Format.fprintf ppf "}"

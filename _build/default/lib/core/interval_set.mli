@@ -1,0 +1,48 @@
+(** Sets of integers represented as disjoint half-open intervals.
+
+    AddrCheck's shadow state conceptually stores one allocation bit per byte
+    of the application address space; allocations arrive as ranges
+    ([malloc base size]), so the canonical compressed representation is a
+    sorted list of disjoint, non-adjacent intervals [\[lo, hi)].  All
+    operations preserve canonicity, making {!equal} structural. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val range : int -> int -> t
+(** [range lo hi] is [{lo, ..., hi-1}]; empty if [hi <= lo]. *)
+
+val singleton : int -> t
+val add_range : int -> int -> t -> t
+val remove_range : int -> int -> t -> t
+val mem : int -> t -> bool
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val disjoint : t -> t -> bool
+
+val cardinal : t -> int
+(** Number of integers (not intervals). *)
+
+val interval_count : t -> int
+val intervals : t -> (int * int) list
+(** Sorted [(lo, hi)] pairs. *)
+
+val of_intervals : (int * int) list -> t
+(** Intervals may overlap and arrive in any order. *)
+
+val choose : t -> int option
+(** The smallest element, if any. *)
+
+val fold_intervals : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (int -> unit) -> t -> unit
+(** Per-element iteration; beware of large ranges. *)
+
+val elements : t -> int list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,100 @@
+module Make (P : Dataflow.PROBLEM) = struct
+  module D = Dataflow.Make (P)
+
+  let last_domains = ref 1
+
+  let checks_in_parallel () = !last_domains
+
+  let run ?(map : (D.instr_view -> 'a option) option) epochs =
+    let threads = Epochs.threads epochs in
+    let num_l = Epochs.num_epochs epochs in
+    last_domains := threads;
+    (* Pass 1: one domain per application thread summarizes its column. *)
+    let columns =
+      Array.init threads (fun tid ->
+          Domain.spawn (fun () ->
+              Array.init num_l (fun l ->
+                  D.summarize (Epochs.block epochs ~epoch:l ~tid))))
+      |> Array.map Domain.join
+    in
+    let block_summaries =
+      Array.init num_l (fun l -> Array.init threads (fun tid -> columns.(tid).(l)))
+    in
+    (* Master: epoch summaries and the strongly ordered state. *)
+    let epoch_summaries =
+      Array.init num_l (fun l ->
+          D.epoch_summary
+            ~prev:(if l = 0 then None else Some block_summaries.(l - 1))
+            ~cur:block_summaries.(l))
+    in
+    let sos = Array.make (num_l + 2) D.Set.empty in
+    for l = 2 to num_l + 1 do
+      sos.(l) <-
+        D.sos_next ~sos_prev:sos.(l - 1) ~two_back:epoch_summaries.(l - 2)
+    done;
+    let row l =
+      if l < 0 || l >= num_l then
+        Array.init threads (fun tid -> D.summarize (Block.empty ~epoch:l ~tid))
+      else block_summaries.(l)
+    in
+    (* Pass 2: per-thread domains over read-only summaries and SOS. *)
+    let collected =
+      match map with
+      | None -> []
+      | Some f ->
+        let per_thread =
+          Array.init threads (fun tid ->
+              Domain.spawn (fun () ->
+                  let acc = ref [] in
+                  for l = 0 to num_l - 1 do
+                    let body = Epochs.block epochs ~epoch:l ~tid in
+                    let wings =
+                      Epochs.wings epochs ~epoch:l ~tid
+                      |> List.map (fun (b : Block.t) -> (row b.epoch).(b.tid))
+                    in
+                    let side_in = D.side_in ~wings in
+                    let head = (row (l - 1)).(tid) in
+                    let lsos0 =
+                      D.lsos ~sos:sos.(l) ~head ~two_back_row:(row (l - 2)) ~tid
+                    in
+                    let cur = ref lsos0 in
+                    Block.iteri
+                      (fun id instr ->
+                        let lsos_at = !cur in
+                        let in_before =
+                          match P.flavour with
+                          | `May -> D.Set.union side_in lsos_at
+                          | `Must -> D.Set.diff lsos_at side_in
+                        in
+                        (match
+                           f
+                             {
+                               D.id;
+                               instr;
+                               lsos_before = lsos_at;
+                               in_before;
+                               side_in;
+                               sos = sos.(l);
+                             }
+                         with
+                        | Some x -> acc := (l, x) :: !acc
+                        | None -> ());
+                        let g = P.gen id instr and k = P.kill id instr in
+                        cur := D.Set.union g (D.Set.diff lsos_at k))
+                      body
+                  done;
+                  List.rev !acc))
+          |> Array.map Domain.join
+        in
+        (* Deterministic merge: epoch-major, thread-minor (each per-thread
+           list is already in epoch-then-instruction order). *)
+        let out = ref [] in
+        for l = 0 to num_l - 1 do
+          Array.iter
+            (List.iter (fun (l', x) -> if l' = l then out := x :: !out))
+            per_thread
+        done;
+        List.rev !out
+    in
+    ({ D.epochs; sos; block_summaries; epoch_summaries }, collected)
+end

@@ -1,0 +1,31 @@
+(** Parallel execution of a butterfly analysis on OCaml 5 domains.
+
+    The deployment model of the paper runs one lifeguard thread per
+    application thread, synchronizing at pass boundaries.  This module
+    realizes that shape in-process: pass 1 (block summarization) runs with
+    one domain per application thread, the master computes epoch summaries
+    and the SOS (it is the designated single writer of Section 5), and
+    pass 2 runs per-thread domains again — each consuming only read-only
+    summaries, so no locking is needed, exactly the paper's "objects are
+    not modified after being released for reading" discipline.
+
+    Results are deterministic and identical to {!Dataflow.Make}'s batch
+    driver (property-tested). *)
+
+module Make (P : Dataflow.PROBLEM) : sig
+  module D : module type of Dataflow.Make (P)
+
+  val run :
+    ?map:(D.instr_view -> 'a option) ->
+    Epochs.t ->
+    D.result * 'a list
+  (** [run ~map epochs] executes both passes with per-thread parallelism.
+      [map] is applied to every second-pass instruction view {e inside} the
+      worker domains; the [Some] results are returned in deterministic
+      (epoch-major, thread-minor, instruction-order) order.  Omitting [map]
+      collects nothing. *)
+
+  val checks_in_parallel : unit -> int
+  (** Number of worker domains the last [run] used (for tests: > 1 on a
+      multicore runtime). *)
+end

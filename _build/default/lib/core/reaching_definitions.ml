@@ -1,0 +1,24 @@
+module Problem = struct
+  let name = "reaching-definitions"
+
+  module Set = Def_set
+
+  let flavour = `May
+
+  let gen id instr =
+    match Definition.of_instr id instr with
+    | Some d -> Def_set.singleton d
+    | None -> Def_set.empty
+
+  let kill id instr =
+    match Tracing.Instr.writes instr with
+    | Some x -> Def_set.all_of_loc_except x id
+    | None -> Def_set.empty
+end
+
+module Analysis = Dataflow.Make (Problem)
+
+let run = Analysis.run
+
+let definitely_reaches_loc result ~epoch ~tid loc =
+  Def_set.defines_loc loc (Analysis.block_in result ~epoch ~tid)

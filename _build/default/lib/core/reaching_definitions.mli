@@ -1,0 +1,25 @@
+(** Dynamic parallel reaching definitions (Section 5.1).
+
+    A definition [d] (a particular dynamic write) {e reaches} epoch [l] if
+    some valid ordering of the first [l] epochs ends with [d] live.
+    Generation is global (a definition in a wing is visible to the body);
+    killing is local, so KILL-SIDE-OUT is conservatively useless and only
+    GEN-SIDE-IN/OUT carry wing information.
+
+    [Analysis] exposes the full two-pass machinery ({!Dataflow.Make}) over
+    {!Def_set}; the IN/OUT sets it computes are what a lifeguard layered on
+    reaching definitions would check against. *)
+
+module Problem :
+  Dataflow.PROBLEM with type Set.t = Def_set.t
+
+module Analysis : module type of Dataflow.Make (Problem)
+
+val run :
+  ?on_instr:(Analysis.instr_view -> unit) -> Epochs.t -> Analysis.result
+(** Convenience alias for [Analysis.run]. *)
+
+val definitely_reaches_loc :
+  Analysis.result -> epoch:int -> tid:Tracing.Tid.t -> Tracing.Addr.t -> bool
+(** Does some definition of the location possibly reach the block entry?
+    (The "may" query checks are built from.) *)

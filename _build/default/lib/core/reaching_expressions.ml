@@ -1,0 +1,24 @@
+module Problem = struct
+  let name = "reaching-expressions"
+
+  module Set = Expr_set
+
+  let flavour = `Must
+
+  let gen _id instr =
+    match Expr.of_instr instr with
+    | Some e -> Expr_set.singleton e
+    | None -> Expr_set.empty
+
+  let kill _id instr =
+    match Tracing.Instr.writes instr with
+    | Some x -> Expr_set.killing x
+    | None -> Expr_set.empty
+end
+
+module Analysis = Dataflow.Make (Problem)
+
+let run = Analysis.run
+
+let available result ~epoch ~tid e =
+  Expr_set.mem e (Analysis.block_in result ~epoch ~tid)

@@ -1,0 +1,20 @@
+(** Dynamic parallel reaching expressions (Section 5.2).
+
+    An expression reaches a point only if {e no} valid ordering kills it on
+    the way — GEN and KILL trade roles relative to reaching definitions:
+    killing is global (KILL-SIDE-IN/OUT summarize the wings, met by union,
+    as in Figure 8), generating is local.  AddrCheck is this analysis with
+    allocations as GEN and deallocations as KILL. *)
+
+module Problem :
+  Dataflow.PROBLEM with type Set.t = Expr_set.t
+
+module Analysis : module type of Dataflow.Make (Problem)
+
+val run :
+  ?on_instr:(Analysis.instr_view -> unit) -> Epochs.t -> Analysis.result
+
+val available :
+  Analysis.result -> epoch:int -> tid:Tracing.Tid.t -> Expr.t -> bool
+(** Is the expression available (no recomputation needed) at block entry
+    under every valid ordering? *)

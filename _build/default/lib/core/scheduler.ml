@@ -1,0 +1,187 @@
+module Make (P : Dataflow.PROBLEM) = struct
+  module D = Dataflow.Make (P)
+
+  type t = {
+    threads : int;
+    on_instr : D.instr_view -> unit;
+    buffers : Tracing.Instr.t list array; (* open block per thread, reversed *)
+    completed : int array; (* closed blocks per thread *)
+    summaries : (int, D.block_summary array) Hashtbl.t; (* epoch -> row *)
+    blocks : (int, Block.t array) Hashtbl.t;
+    epoch_sums : (int, D.epoch_summary) Hashtbl.t;
+    sos_tbl : (int, D.Set.t) Hashtbl.t;
+    mutable sos_filled : int; (* SOS_l known for l <= sos_filled *)
+    mutable processed : int; (* epochs whose pass 2 has run *)
+    mutable hwm : int;
+    mutable finished : bool;
+  }
+
+  let create ~threads ~on_instr =
+    if threads <= 0 then invalid_arg "Scheduler.create: threads must be > 0";
+    let t =
+      {
+        threads;
+        on_instr;
+        buffers = Array.make threads [];
+        completed = Array.make threads 0;
+        summaries = Hashtbl.create 16;
+        blocks = Hashtbl.create 16;
+        epoch_sums = Hashtbl.create 16;
+        sos_tbl = Hashtbl.create 16;
+        sos_filled = 1;
+        processed = 0;
+        hwm = 0;
+        finished = false;
+      }
+    in
+    Hashtbl.replace t.sos_tbl 0 D.Set.empty;
+    Hashtbl.replace t.sos_tbl 1 D.Set.empty;
+    t
+
+  let empty_summary_row t epoch =
+    Array.init t.threads (fun tid -> D.summarize (Block.empty ~epoch ~tid))
+
+  let summary_row t epoch =
+    if epoch < 0 then empty_summary_row t epoch
+    else
+      match Hashtbl.find_opt t.summaries epoch with
+      | Some row -> row
+      | None -> empty_summary_row t epoch
+
+  (* GEN_l/KILL_l for epoch [e], cached; requires summary rows e-1 and e
+     (empty rows are fine at the boundaries). *)
+  let epoch_sum t e =
+    match Hashtbl.find_opt t.epoch_sums e with
+    | Some s -> s
+    | None ->
+      let s =
+        D.epoch_summary
+          ~prev:(if e = 0 then None else Some (summary_row t (e - 1)))
+          ~cur:(summary_row t e)
+      in
+      Hashtbl.replace t.epoch_sums e s;
+      s
+
+  let sos_at t l =
+    while t.sos_filled < l do
+      let s = t.sos_filled + 1 in
+      let prev = Hashtbl.find t.sos_tbl (s - 1) in
+      Hashtbl.replace t.sos_tbl s
+        (D.sos_next ~sos_prev:prev ~two_back:(epoch_sum t (s - 2)));
+      t.sos_filled <- s
+    done;
+    Hashtbl.find t.sos_tbl l
+
+  (* Second pass over epoch [p]: every thread's epoch-(p+1) summaries are
+     available (or the run has finished and missing rows are empty). *)
+  let process_epoch t p =
+    let sos = sos_at t p in
+    let body_row =
+      match Hashtbl.find_opt t.blocks p with
+      | Some row -> row
+      | None -> Array.init t.threads (fun tid -> Block.empty ~epoch:p ~tid)
+    in
+    for tid = 0 to t.threads - 1 do
+      let wings = ref [] in
+      for l' = p + 1 downto p - 1 do
+        let row = summary_row t l' in
+        for t' = t.threads - 1 downto 0 do
+          if t' <> tid then wings := row.(t') :: !wings
+        done
+      done;
+      let side_in = D.side_in ~wings:!wings in
+      let head = (summary_row t (p - 1)).(tid) in
+      let lsos0 =
+        D.lsos ~sos ~head ~two_back_row:(summary_row t (p - 2)) ~tid
+      in
+      let cur = ref lsos0 in
+      Block.iteri
+        (fun id instr ->
+          let lsos_at = !cur in
+          let in_before =
+            match P.flavour with
+            | `May -> D.Set.union side_in lsos_at
+            | `Must -> D.Set.diff lsos_at side_in
+          in
+          t.on_instr
+            { D.id; instr; lsos_before = lsos_at; in_before; side_in; sos };
+          let g = P.gen id instr and k = P.kill id instr in
+          cur := D.Set.union g (D.Set.diff lsos_at k))
+        body_row.(tid)
+    done;
+    (* Shrink the window: the body blocks are done; summary row p-2 has
+       served its last purpose (epoch_sum p-1 is cached by sos_at). *)
+    ignore (epoch_sum t (max 0 (p - 1)));
+    Hashtbl.remove t.blocks p;
+    Hashtbl.remove t.summaries (p - 2);
+    t.processed <- p + 1
+
+  let ready t = Array.fold_left min max_int t.completed
+
+  let advance t =
+    while ready t >= t.processed + 2 do
+      process_epoch t t.processed
+    done
+
+  let close_block t tid =
+    let epoch = t.completed.(tid) in
+    let instrs = Array.of_list (List.rev t.buffers.(tid)) in
+    t.buffers.(tid) <- [];
+    let block = Block.make ~epoch ~tid instrs in
+    let srow =
+      match Hashtbl.find_opt t.summaries epoch with
+      | Some row -> row
+      | None ->
+        let row = empty_summary_row t epoch in
+        Hashtbl.replace t.summaries epoch row;
+        row
+    in
+    srow.(tid) <- D.summarize block;
+    let brow =
+      match Hashtbl.find_opt t.blocks epoch with
+      | Some row -> row
+      | None ->
+        let row = Array.init t.threads (fun tid -> Block.empty ~epoch ~tid) in
+        Hashtbl.replace t.blocks epoch row;
+        row
+    in
+    brow.(tid) <- block;
+    t.completed.(tid) <- epoch + 1;
+    t.hwm <- max t.hwm (Hashtbl.length t.summaries)
+
+  let feed t tid ev =
+    if t.finished then invalid_arg "Scheduler.feed: already finished";
+    if tid < 0 || tid >= t.threads then invalid_arg "Scheduler.feed: bad tid";
+    match ev with
+    | Tracing.Event.Instr i -> t.buffers.(tid) <- i :: t.buffers.(tid)
+    | Tracing.Event.Heartbeat ->
+      close_block t tid;
+      advance t
+
+  let feed_trace t tid trace =
+    Array.iter (fun ev -> feed t tid ev) (Tracing.Trace.events trace)
+
+  let finish t =
+    if not t.finished then (
+      t.finished <- true;
+      (* Close trailing partial blocks and pad every thread to a common
+         epoch count, mirroring Epochs.of_program's padding. *)
+      for tid = 0 to t.threads - 1 do
+        close_block t tid
+      done;
+      let target = Array.fold_left max 0 t.completed in
+      for tid = 0 to t.threads - 1 do
+        while t.completed.(tid) < target do
+          close_block t tid
+        done
+      done;
+      advance t;
+      (* Drain: remaining epochs' tails are empty. *)
+      while t.processed < target do
+        process_epoch t t.processed
+      done)
+
+  let sos t = sos_at t (t.processed + 1)
+  let epochs_completed t = t.processed
+  let max_resident_epochs t = t.hwm
+end

@@ -1,0 +1,44 @@
+(** Online sliding-window driver (the processing discipline of Section 4.3).
+
+    {!Dataflow.Make}'s [run] is a batch driver over a complete execution.
+    A deployed lifeguard instead consumes each thread's event stream as the
+    application produces it.  This module drives the same analysis
+    incrementally: pass 1 runs the moment a heartbeat closes a block;
+    pass 2 for epoch [l] runs as soon as every thread has delivered its
+    epoch-[l+1] block (the butterfly needs the tail's summaries); and
+    SOS{_l+2} is committed right after.  Only a constant number of epochs
+    of state is ever resident — the point of the sliding window — and
+    {!max_resident_epochs} exposes the high-water mark so tests can verify
+    boundedness.
+
+    The per-instruction views delivered to [on_instr] are identical to the
+    batch driver's (the equivalence is property-tested). *)
+
+module Make (P : Dataflow.PROBLEM) : sig
+  module D : module type of Dataflow.Make (P)
+
+  type t
+
+  val create : threads:int -> on_instr:(D.instr_view -> unit) -> t
+
+  val feed : t -> Tracing.Tid.t -> Tracing.Event.t -> unit
+  (** Deliver the next event of one thread's stream.  Heartbeats close the
+      thread's current block; any pass-2 work whose window is now complete
+      runs before [feed] returns.  Raises [Invalid_argument] after
+      {!finish} or for an out-of-range thread. *)
+
+  val feed_trace : t -> Tracing.Tid.t -> Tracing.Trace.t -> unit
+
+  val finish : t -> unit
+  (** End of all streams: closes trailing partial blocks (padding threads
+      to a common epoch count) and drains the remaining window.  Idempotent. *)
+
+  val sos : t -> D.Set.t
+  (** The most recently committed strongly ordered state. *)
+
+  val epochs_completed : t -> int
+  (** Epochs whose second pass has run. *)
+
+  val max_resident_epochs : t -> int
+  (** High-water mark of epochs simultaneously buffered. *)
+end

@@ -1,0 +1,1 @@
+lib/harness/cost_model.ml: Array Lifeguards List Machine Tracing

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array Butterfly Cost_model Format Lifeguards Machine Report_format Workloads

@@ -1,0 +1,1 @@
+lib/harness/figure11.ml: Experiment Float List Printf Report_format String Workloads

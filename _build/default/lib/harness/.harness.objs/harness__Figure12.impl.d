@@ -1,0 +1,1 @@
+lib/harness/figure12.ml: Experiment Figure11 List Printf Report_format String Workloads

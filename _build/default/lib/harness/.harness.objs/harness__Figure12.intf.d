@@ -1,0 +1,1 @@
+lib/harness/figure12.mli: Experiment

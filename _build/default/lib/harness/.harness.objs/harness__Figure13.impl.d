@@ -1,0 +1,1 @@
+lib/harness/figure13.ml: Experiment Figure12 List Printf Report_format String

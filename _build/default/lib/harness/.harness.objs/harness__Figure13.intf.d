@@ -1,0 +1,1 @@
+lib/harness/figure13.mli: Experiment

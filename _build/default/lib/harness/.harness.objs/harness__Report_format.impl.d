@@ -1,0 +1,1 @@
+lib/harness/report_format.ml: Float List Option Printf String

@@ -1,0 +1,1 @@
+lib/harness/report_format.mli:

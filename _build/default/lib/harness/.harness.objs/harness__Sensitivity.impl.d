@@ -1,0 +1,1 @@
+lib/harness/sensitivity.ml: Buffer Butterfly Experiment Lifeguards List Machine Printf Report_format Workloads

@@ -1,0 +1,1 @@
+lib/harness/sensitivity.mli: Experiment

@@ -1,0 +1,127 @@
+type constants = {
+  dispatch : int;
+  check : int;
+  record : int;
+  pass2_check : int;
+  fp_cost : int;
+  epoch_fixed : int;
+  barrier : int;
+  meet_per_entry : int;
+}
+
+let default =
+  {
+    dispatch = 3;
+    check = 25;
+    record = 8;
+    pass2_check = 6;
+    fp_cost = 300;
+    epoch_fixed = 400;
+    barrier = 150;
+    meet_per_entry = 1;
+  }
+
+(* Cycles to process one admitted event, shared by both monitoring styles:
+   the check itself plus the shadow-metadata access through the lifeguard
+   core's caches.  Malloc/free update the whole range's metadata. *)
+let event_cycles c hier (i : Tracing.Instr.t) =
+  match Tracing.Instr.alloc_effect i with
+  | `Alloc _ | `Free _ -> Machine.Mem_hierarchy.instr_cycles hier i
+  | `None ->
+    List.fold_left
+      (fun acc a -> acc + Machine.Mem_hierarchy.access hier a)
+      c.check (Tracing.Instr.accesses i)
+
+type block_work = {
+  pass1 : int;
+  pass2 : int;
+  admitted : int; (* events admitted past the filter: the summary size *)
+}
+
+let butterfly_input ?(c = default) config p ~app ~flagged =
+  let threads = Tracing.Program.threads p in
+  let lifeguard_l2 = Machine.Mem_hierarchy.shared_l2 config in
+  let epochs = Array.length app.(0) in
+  (* First pass: per-block base work and summary sizes. *)
+  let blocks_work =
+    Array.init threads (fun tid ->
+        let hier = Machine.Mem_hierarchy.create config ~l2:lifeguard_l2 in
+        let filter = Machine.Idempotent_filter.create () in
+        let blocks = Tracing.Trace.blocks (Tracing.Program.trace p tid) in
+        let per_epoch = Array.make epochs { pass1 = 0; pass2 = 0; admitted = 0 } in
+        List.iteri
+          (fun l block ->
+            Machine.Idempotent_filter.flush filter;
+            let pass1 = ref c.epoch_fixed
+            and pass2 = ref (c.epoch_fixed + (c.fp_cost * flagged tid l))
+            and admitted = ref 0 in
+            Array.iter
+              (fun i ->
+                pass1 := !pass1 + c.dispatch;
+                (* Recording for the second pass happens for every
+                   monitored load/store, before filtering (Section 7.2's
+                   7-10 instructions per event). *)
+                if Tracing.Instr.is_memory_event i then
+                  pass1 := !pass1 + c.record;
+                if Machine.Idempotent_filter.admit filter i then (
+                  incr admitted;
+                  pass1 := !pass1 + event_cycles c hier i;
+                  (* Pass 2 replays the recorded event; metadata is warm. *)
+                  pass2 :=
+                    !pass2 + c.pass2_check
+                    + List.fold_left
+                        (fun acc a -> acc + Machine.Mem_hierarchy.access hier a)
+                        0 (Tracing.Instr.accesses i)))
+              block;
+            if l < epochs then
+              per_epoch.(l) <-
+                { pass1 = !pass1; pass2 = !pass2; admitted = !admitted })
+          blocks;
+        per_epoch)
+  in
+  (* Second pass: fold in the meet — collecting and combining the wings'
+     summaries costs time proportional to their total size, and the number
+     of wings grows with the thread count. *)
+  let admitted l t =
+    if l < 0 || l >= epochs then 0 else blocks_work.(t).(l).admitted
+  in
+  let meet_cost l tid =
+    let total = ref 0 in
+    for l' = l - 1 to l + 1 do
+      for t' = 0 to threads - 1 do
+        if t' <> tid then total := !total + admitted l' t'
+      done
+    done;
+    c.meet_per_entry * !total
+  in
+  let work =
+    Array.init threads (fun tid ->
+        Array.init epochs (fun l ->
+            let bw = blocks_work.(tid).(l) in
+            {
+              Machine.Monitor_sim.instrs = app.(tid).(l).Machine.App_timing.instrs;
+              app_cycles = app.(tid).(l).Machine.App_timing.cycles;
+              pass1_cycles = bw.pass1;
+              pass2_cycles = bw.pass2 + meet_cost l tid;
+            }))
+  in
+  {
+    Machine.Monitor_sim.work;
+    buffer_entries = Machine.Machine_config.log_buffer_entries config;
+    barrier_cycles = c.barrier;
+    epoch_fixed_cycles = 0 (* folded into pass costs above *);
+  }
+
+let timesliced_lifeguard_cycles ?(c = default) ?quantum config p =
+  let hier =
+    Machine.Mem_hierarchy.create config ~l2:(Machine.Mem_hierarchy.shared_l2 config)
+  in
+  let filter = Machine.Idempotent_filter.create () in
+  List.fold_left
+    (fun acc i ->
+      let acc = acc + c.dispatch in
+      if Machine.Idempotent_filter.admit filter i then
+        acc + event_cycles c hier i
+      else acc)
+    0
+    (Lifeguards.Timesliced.serialize ?quantum p)

@@ -1,0 +1,51 @@
+(** Lifeguard cycle-cost model.
+
+    Converts the work a lifeguard actually performs — events dispatched,
+    checks after idempotent filtering, shadow-metadata cache behaviour,
+    allocation-state updates, false-positive handling, per-epoch
+    summarization — into the cycle quantities {!Machine.Monitor_sim}
+    consumes.  The constants reflect Section 7's prototype: ~7–10
+    instructions per monitored load/store in pass 1 just to record it, the
+    same first-pass checks as sequential AddrCheck, and expensive
+    false-positive processing.
+
+    Shadow metadata lives at the same addresses as the data it shadows and
+    is accessed through the lifeguard core's own L1/L2 — so a timesliced
+    lifeguard (one core, all threads' footprints) thrashes where per-thread
+    butterfly lifeguards stay warm. *)
+
+type constants = {
+  dispatch : int;  (** cycles per delivered log event *)
+  check : int;  (** per admitted access, on top of the metadata access *)
+  record : int;  (** butterfly pass-1 recording per admitted access *)
+  pass2_check : int;  (** butterfly pass-2 per admitted access *)
+  fp_cost : int;  (** per flagged (false-positive) event *)
+  epoch_fixed : int;  (** per epoch per thread: summaries, SOS update *)
+  barrier : int;  (** per pass synchronization *)
+  meet_per_entry : int;
+      (** per wing-summary entry combined during the meet: this is the
+          component of butterfly overhead that grows with the thread count
+          (3(T-1) wing blocks per butterfly) *)
+}
+
+val default : constants
+
+val butterfly_input :
+  ?c:constants ->
+  Machine.Machine_config.t ->
+  Tracing.Program.t ->
+  app:Machine.App_timing.epoch_cost array array ->
+  flagged:(Tracing.Tid.t -> int -> int) ->
+  Machine.Monitor_sim.parallel_input
+(** [butterfly_input cfg p ~app ~flagged] walks each thread's
+    heartbeat-delimited trace with a per-thread idempotent filter (flushed
+    every epoch) and a per-thread metadata hierarchy, producing the
+    parallel-monitoring work matrix.  [flagged tid epoch] supplies the
+    number of flagged events (from the actual {!Lifeguards.Addrcheck}
+    run). *)
+
+val timesliced_lifeguard_cycles :
+  ?c:constants -> ?quantum:int -> Machine.Machine_config.t ->
+  Tracing.Program.t -> int
+(** Cycles for the sequential lifeguard to process the merged, timesliced
+    stream with a single long-lived filter and one metadata hierarchy. *)

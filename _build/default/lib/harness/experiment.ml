@@ -1,0 +1,96 @@
+type config = {
+  machine : Machine.Machine_config.t;
+  total_scale : int;
+  seed : int;
+  quantum : int;
+}
+
+let default_config =
+  {
+    machine = Machine.Machine_config.default;
+    total_scale = 48_000;
+    seed = 1;
+    quantum = 1000;
+  }
+
+type result = {
+  benchmark : string;
+  threads : int;
+  epoch_size : int;
+  seq_unmonitored_cycles : int;
+  timesliced : float;
+  butterfly : float;
+  parallel_unmonitored : float;
+  flagged_events : int;
+  total_accesses : int;
+  fp_rate_percent : float;
+  app_stall_cycles : int;
+}
+
+let run ?(config = default_config) (profile : Workloads.Workload.profile)
+    ~threads ~epoch_size =
+  let scale = max 1 (config.total_scale / threads) in
+  let bundle = profile.generate ~threads ~scale ~seed:config.seed in
+  let p = Workloads.Workload.Bundle.program bundle in
+  let p_hb = Machine.Heartbeat.insert ~every:epoch_size p in
+  (* Accuracy: run the actual butterfly AddrCheck. *)
+  let epochs = Butterfly.Epochs.of_program p_hb in
+  let ac = Lifeguards.Addrcheck.run epochs in
+  (* Application-side timing. *)
+  let app = Machine.App_timing.per_thread_epochs config.machine p_hb in
+  let seq = Machine.App_timing.sequential_cycles config.machine p in
+  let parallel_app =
+    Array.fold_left
+      (fun m row ->
+        max m
+          (Array.fold_left
+             (fun acc (e : Machine.App_timing.epoch_cost) -> acc + e.cycles)
+             0 row))
+      0 app
+  in
+  (* Butterfly monitoring timeline. *)
+  let flagged tid l =
+    let stats = ac.block_stats in
+    if tid < Array.length stats && l < Array.length stats.(tid) then
+      stats.(tid).(l).Lifeguards.Addrcheck.flagged_events
+    else 0
+  in
+  let input = Cost_model.butterfly_input config.machine p_hb ~app ~flagged in
+  let bf = Machine.Monitor_sim.parallel input in
+  (* Timesliced monitoring. *)
+  let ts_app =
+    Machine.App_timing.timesliced_cycles ~quantum:config.quantum config.machine p
+  in
+  let ts_lifeguard =
+    Cost_model.timesliced_lifeguard_cycles ~quantum:config.quantum
+      config.machine p
+  in
+  let ts =
+    Machine.Monitor_sim.timesliced
+      { app_total_cycles = ts_app; lifeguard_total_cycles = ts_lifeguard }
+  in
+  let norm x = float_of_int x /. float_of_int seq in
+  {
+    benchmark = profile.name;
+    threads;
+    epoch_size;
+    seq_unmonitored_cycles = seq;
+    timesliced = norm ts;
+    butterfly = norm bf.makespan;
+    parallel_unmonitored = norm parallel_app;
+    flagged_events = ac.flagged_accesses;
+    total_accesses = ac.total_accesses;
+    fp_rate_percent =
+      (if ac.total_accesses = 0 then 0.0
+       else
+         100.0 *. float_of_int ac.flagged_accesses
+         /. float_of_int ac.total_accesses);
+    app_stall_cycles = Array.fold_left ( + ) 0 bf.stall_cycles;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%s t=%d h=%d: ts=%.2f bf=%.2f app=%.2f fp=%s (%d/%d)" r.benchmark
+    r.threads r.epoch_size r.timesliced r.butterfly r.parallel_unmonitored
+    (Report_format.pct r.fp_rate_percent)
+    r.flagged_events r.total_accesses

@@ -1,0 +1,36 @@
+(** One evaluation point: a benchmark run under the three monitoring
+    configurations of Figure 11, plus accuracy accounting for Figure 13.
+
+    The problem size ([total_scale] instructions) is fixed as the thread
+    count varies, matching the paper's normalization: every time is
+    reported relative to the same program running sequentially without
+    monitoring. *)
+
+type config = {
+  machine : Machine.Machine_config.t;
+  total_scale : int;  (** total application instructions, split over threads *)
+  seed : int;
+  quantum : int;  (** timeslicing quantum, instructions *)
+}
+
+val default_config : config
+
+type result = {
+  benchmark : string;
+  threads : int;
+  epoch_size : int;  (** h: instructions per epoch per thread *)
+  seq_unmonitored_cycles : int;  (** the normalization baseline *)
+  timesliced : float;  (** normalized execution time *)
+  butterfly : float;
+  parallel_unmonitored : float;
+  flagged_events : int;  (** all false positives: the workloads are clean *)
+  total_accesses : int;
+  fp_rate_percent : float;
+  app_stall_cycles : int;  (** log-buffer stalls in the butterfly run *)
+}
+
+val run :
+  ?config:config -> Workloads.Workload.profile -> threads:int ->
+  epoch_size:int -> result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,48 @@
+let thread_counts = [ 2; 4; 8 ]
+
+let run ?config ?(epoch_size = 512) () =
+  List.concat_map
+    (fun profile ->
+      List.map
+        (fun threads -> Experiment.run ?config profile ~threads ~epoch_size)
+        thread_counts)
+    Workloads.Registry.all
+
+let render results =
+  let fmt = Printf.sprintf "%.2f" in
+  let rows =
+    List.map
+      (fun (r : Experiment.result) ->
+        [
+          r.benchmark;
+          string_of_int r.threads;
+          fmt r.timesliced;
+          fmt r.butterfly;
+          fmt r.parallel_unmonitored;
+          Report_format.bar ~width:24 r.butterfly
+            ~max:(List.fold_left
+                    (fun m (x : Experiment.result) -> Float.max m x.timesliced)
+                    1.0 results);
+        ])
+      results
+  in
+  "Figure 11. Relative performance, normalized to sequential unmonitored \
+   execution time (lower is better)\n\n"
+  ^ Report_format.table
+      ~header:
+        [ "benchmark"; "threads"; "timesliced"; "butterfly";
+          "parallel-unmon"; "butterfly bar" ]
+      rows
+
+let to_csv results =
+  let rows =
+    List.map
+      (fun (r : Experiment.result) ->
+        Printf.sprintf "%s,%d,%d,%.4f,%.4f,%.4f" r.benchmark r.threads
+          r.epoch_size r.timesliced r.butterfly r.parallel_unmonitored)
+      results
+  in
+  String.concat "\n"
+    ("benchmark,threads,epoch_size,timesliced,butterfly,parallel_unmonitored"
+     :: rows)
+  ^ "\n"

@@ -1,0 +1,15 @@
+(** Figure 11: execution time normalized to sequential unmonitored
+    execution, for 2/4/8 application threads, comparing timesliced
+    monitoring, butterfly ("Parallel, Monitoring") and unmonitored parallel
+    execution. *)
+
+val thread_counts : int list
+
+val run :
+  ?config:Experiment.config -> ?epoch_size:int -> unit ->
+  Experiment.result list
+
+val render : Experiment.result list -> string
+
+val to_csv : Experiment.result list -> string
+(** Machine-readable form, one row per (benchmark, thread count). *)

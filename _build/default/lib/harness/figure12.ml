@@ -1,0 +1,54 @@
+let epoch_sizes = (64, 512)
+
+let run ?config () =
+  let h_small, h_large = epoch_sizes in
+  List.concat_map
+    (fun profile ->
+      List.map
+        (fun threads ->
+          ( Experiment.run ?config profile ~threads ~epoch_size:h_small,
+            Experiment.run ?config profile ~threads ~epoch_size:h_large ))
+        Figure11.thread_counts)
+    Workloads.Registry.all
+
+let render results =
+  let fmt = Printf.sprintf "%.2f" in
+  let h_small, h_large = epoch_sizes in
+  let rows =
+    List.map
+      (fun ((s : Experiment.result), (l : Experiment.result)) ->
+        [
+          s.benchmark;
+          string_of_int s.threads;
+          fmt s.butterfly;
+          fmt l.butterfly;
+          (if l.butterfly <= s.butterfly then "larger h faster"
+           else "smaller h faster");
+        ])
+      results
+  in
+  Printf.sprintf
+    "Figure 12. Performance sensitivity to epoch size (butterfly, \
+     normalized; h=%d vs h=%d)\n\n"
+    h_small h_large
+  ^ Report_format.table
+      ~header:
+        [
+          "benchmark"; "threads";
+          Printf.sprintf "h=%d" h_small;
+          Printf.sprintf "h=%d" h_large;
+          "winner";
+        ]
+      rows
+
+let to_csv results =
+  let rows =
+    List.map
+      (fun ((s : Experiment.result), (l : Experiment.result)) ->
+        Printf.sprintf "%s,%d,%d,%.4f,%d,%.4f" s.benchmark s.threads
+          s.epoch_size s.butterfly l.epoch_size l.butterfly)
+      results
+  in
+  String.concat "\n"
+    ("benchmark,threads,h_small,butterfly_small,h_large,butterfly_large" :: rows)
+  ^ "\n"

@@ -1,0 +1,12 @@
+(** Figure 12: performance sensitivity to epoch size (h), butterfly
+    monitoring at two epoch sizes across thread counts. *)
+
+val epoch_sizes : int * int
+(** (small, large) — the scaled analogues of the paper's 8K and 64K. *)
+
+val run : ?config:Experiment.config -> unit -> (Experiment.result * Experiment.result) list
+(** Pairs of (small-h, large-h) results per benchmark and thread count. *)
+
+val render : (Experiment.result * Experiment.result) list -> string
+
+val to_csv : (Experiment.result * Experiment.result) list -> string

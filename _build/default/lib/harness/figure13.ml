@@ -1,0 +1,45 @@
+let run ?config () = Figure12.run ?config ()
+
+let render results =
+  let h_small, h_large = Figure12.epoch_sizes in
+  let rows =
+    List.map
+      (fun ((s : Experiment.result), (l : Experiment.result)) ->
+        [
+          s.benchmark;
+          string_of_int s.threads;
+          Report_format.pct s.fp_rate_percent;
+          Report_format.pct l.fp_rate_percent;
+          Printf.sprintf "%d/%d" s.flagged_events s.total_accesses;
+          Printf.sprintf "%d/%d" l.flagged_events l.total_accesses;
+        ])
+      results
+  in
+  Printf.sprintf
+    "Figure 13. Precision sensitivity to epoch size: false positives as %% \
+     of memory accesses (h=%d vs h=%d)\n\n"
+    h_small h_large
+  ^ Report_format.table
+      ~header:
+        [
+          "benchmark"; "threads";
+          Printf.sprintf "FP%% h=%d" h_small;
+          Printf.sprintf "FP%% h=%d" h_large;
+          Printf.sprintf "events h=%d" h_small;
+          Printf.sprintf "events h=%d" h_large;
+        ]
+      rows
+
+let to_csv results =
+  let rows =
+    List.map
+      (fun ((s : Experiment.result), (l : Experiment.result)) ->
+        Printf.sprintf "%s,%d,%d,%.6f,%d,%d,%.6f,%d" s.benchmark s.threads
+          s.epoch_size s.fp_rate_percent s.flagged_events l.epoch_size
+          l.fp_rate_percent l.flagged_events)
+      results
+  in
+  String.concat "\n"
+    ("benchmark,threads,h_small,fp_pct_small,fp_events_small,h_large,fp_pct_large,fp_events_large"
+     :: rows)
+  ^ "\n"

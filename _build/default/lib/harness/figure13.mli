@@ -1,0 +1,10 @@
+(** Figure 13: precision sensitivity to epoch size — false positives as a
+    percentage of memory accesses (the paper plots this on a log scale).
+    The workloads are race-free by construction, so every flagged event is
+    a false positive. *)
+
+val run : ?config:Experiment.config -> unit -> (Experiment.result * Experiment.result) list
+
+val render : (Experiment.result * Experiment.result) list -> string
+
+val to_csv : (Experiment.result * Experiment.result) list -> string

@@ -1,0 +1,39 @@
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m r ->
+        match List.nth_opt r c with
+        | Some s -> max m (String.length s)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init cols width in
+  let rec rstrip s =
+    let n = String.length s in
+    if n > 0 && s.[n - 1] = ' ' then rstrip (String.sub s 0 (n - 1)) else s
+  in
+  let render row =
+    rstrip
+      (String.concat "  "
+         (List.mapi
+            (fun c w ->
+              let s = Option.value (List.nth_opt row c) ~default:"" in
+              s ^ String.make (max 0 (w - String.length s)) ' ')
+            widths))
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (render header :: sep :: List.map render rows) ^ "\n"
+
+let bar ~width v ~max:m =
+  let n =
+    if m <= 0.0 then 0
+    else min width (int_of_float (Float.round (v /. m *. float_of_int width)))
+  in
+  String.make n '#' ^ String.make (width - n) ' '
+
+let pct v =
+  if v = 0.0 then "0"
+  else if v >= 0.01 then Printf.sprintf "%.3f%%" v
+  else Printf.sprintf "%.5f%%" v

@@ -1,0 +1,10 @@
+(** Plain-text table rendering for experiment output. *)
+
+val table : header:string list -> string list list -> string
+(** Column-aligned table with a separator under the header. *)
+
+val bar : width:int -> float -> max:float -> string
+(** A proportional text bar, for quick visual comparison of series. *)
+
+val pct : float -> string
+(** Percentage with enough significant digits for sub-0.001%% rates. *)

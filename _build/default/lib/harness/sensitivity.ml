@@ -1,0 +1,93 @@
+type point = { value : float; result : Experiment.result }
+
+let default_threads = 4
+let default_epoch = 256
+
+let sweep ?config ?(threads = default_threads) ?(epoch_size = default_epoch)
+    values profile_of =
+  List.map
+    (fun value ->
+      let profile = profile_of value in
+      { value; result = Experiment.run ?config profile ~threads ~epoch_size })
+    values
+
+let churn_sweep ?config ?threads ?epoch_size () =
+  sweep ?config ?threads ?epoch_size [ 0.0; 0.2; 0.5; 1.0; 2.0 ] (fun churn ->
+      Workloads.Synthetic.profile_of "synthetic-churn"
+        { Workloads.Synthetic.default with churn; sharing = 0.2 })
+
+let sharing_sweep ?config ?threads ?epoch_size () =
+  sweep ?config ?threads ?epoch_size [ 0.0; 0.1; 0.2; 0.4 ] (fun sharing ->
+      Workloads.Synthetic.profile_of "synthetic-sharing"
+        { Workloads.Synthetic.default with sharing; churn = 0.5 })
+
+let imbalance_sweep ?config ?threads ?epoch_size () =
+  sweep ?config ?threads ?epoch_size [ 0.0; 0.3; 0.6; 0.9 ] (fun imbalance ->
+      Workloads.Synthetic.profile_of "synthetic-imbalance"
+        { Workloads.Synthetic.default with imbalance })
+
+type isolation_split = {
+  benchmark : string;
+  with_isolation : int;
+  without_isolation : int;
+}
+
+let isolation_splits ?(config = Experiment.default_config)
+    ?(threads = default_threads) ?(epoch_size = default_epoch) () =
+  List.map
+    (fun (profile : Workloads.Workload.profile) ->
+      let scale = max 1 (config.total_scale / threads) in
+      let p =
+        Workloads.Workload.generate_program profile ~threads ~scale
+          ~seed:config.seed
+        |> Machine.Heartbeat.insert ~every:epoch_size
+      in
+      let epochs = Butterfly.Epochs.of_program p in
+      let full = Lifeguards.Addrcheck.run ~isolation:true epochs in
+      let local = Lifeguards.Addrcheck.run ~isolation:false epochs in
+      {
+        benchmark = profile.name;
+        with_isolation = full.flagged_accesses;
+        without_isolation = local.flagged_accesses;
+      })
+    Workloads.Registry.all
+
+let render () =
+  let buf = Buffer.create 2048 in
+  let fp_table title points =
+    Buffer.add_string buf (title ^ "\n\n");
+    Buffer.add_string buf
+      (Report_format.table
+         ~header:[ "knob"; "butterfly (norm.)"; "FP rate"; "FP events" ]
+         (List.map
+            (fun { value; result } ->
+              [
+                Printf.sprintf "%.2f" value;
+                Printf.sprintf "%.2f" result.Experiment.butterfly;
+                Report_format.pct result.Experiment.fp_rate_percent;
+                string_of_int result.Experiment.flagged_events;
+              ])
+            points));
+    Buffer.add_char buf '\n'
+  in
+  fp_table "Sensitivity: allocation churn (per 100 instrs) -> false positives"
+    (churn_sweep ());
+  fp_table "Sensitivity: inter-thread sharing -> false positives"
+    (sharing_sweep ());
+  fp_table "Sensitivity: load imbalance -> butterfly slowdown"
+    (imbalance_sweep ());
+  Buffer.add_string buf
+    "Ablation: flagged events with/without the isolation check (the\n\
+     without column is UNSOUND and shown only for attribution)\n\n";
+  Buffer.add_string buf
+    (Report_format.table
+       ~header:[ "benchmark"; "full checker"; "local checks only" ]
+       (List.map
+          (fun s ->
+            [
+              s.benchmark;
+              string_of_int s.with_isolation;
+              string_of_int s.without_isolation;
+            ])
+          (isolation_splits ())));
+  Buffer.contents buf

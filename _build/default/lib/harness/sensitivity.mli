@@ -1,0 +1,43 @@
+(** Sensitivity and ablation studies beyond the paper's figures.
+
+    The synthetic workload's knobs isolate the mechanisms behind the
+    evaluation: inter-thread sharing and allocation churn drive false
+    positives (the OCEAN effect of Figure 13), and load imbalance erodes
+    butterfly's parallel speedup through its per-epoch barriers.  The
+    isolation split attributes AddrCheck's reports to the local LSOS checks
+    versus the wing-summary isolation check of Section 6.1. *)
+
+type point = { value : float; result : Experiment.result }
+
+val churn_sweep :
+  ?config:Experiment.config -> ?threads:int -> ?epoch_size:int -> unit ->
+  point list
+(** Allocation churn (recycled buffers per 100 instructions) versus false
+    positives. *)
+
+val sharing_sweep :
+  ?config:Experiment.config -> ?threads:int -> ?epoch_size:int -> unit ->
+  point list
+(** Fraction of accesses to other threads' buffers versus false
+    positives (with churn fixed). *)
+
+val imbalance_sweep :
+  ?config:Experiment.config -> ?threads:int -> ?epoch_size:int -> unit ->
+  point list
+(** Thread imbalance versus butterfly's normalized time. *)
+
+type isolation_split = {
+  benchmark : string;
+  with_isolation : int;  (** flagged events, full checker *)
+  without_isolation : int;  (** flagged events, local checks only *)
+}
+
+val isolation_splits :
+  ?config:Experiment.config -> ?threads:int -> ?epoch_size:int -> unit ->
+  isolation_split list
+(** Per benchmark: how many flagged events the isolation check is
+    responsible for.  (Disabling it is unsound — this quantifies what the
+    soundness costs in precision.) *)
+
+val render : unit -> string
+(** All sweeps at default configuration, as printable tables. *)

@@ -1,0 +1,15 @@
+let render ?(config = Machine.Machine_config.default) () =
+  let sim =
+    Report_format.table ~header:[ "Simulation Parameters"; "" ]
+      (List.map
+         (fun (k, v) -> [ k; v ])
+         (Machine.Machine_config.table1_rows config))
+  in
+  let bench =
+    Report_format.table
+      ~header:[ "Application"; "Suite"; "Input Data Set" ]
+      (List.map
+         (fun (a, s, d) -> [ a; s; d ])
+         Workloads.Registry.table1_rows)
+  in
+  "Table 1. Simulator and Benchmark Parameters\n\n" ^ sim ^ "\n" ^ bench

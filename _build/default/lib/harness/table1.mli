@@ -1,0 +1,3 @@
+(** Table 1: simulator and benchmark parameters. *)
+
+val render : ?config:Machine.Machine_config.t -> unit -> string

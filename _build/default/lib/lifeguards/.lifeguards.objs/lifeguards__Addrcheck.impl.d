@@ -1,0 +1,1 @@
+lib/lifeguards/addrcheck.ml: Array Butterfly Fmt Format List Tracing

@@ -1,0 +1,1 @@
+lib/lifeguards/addrcheck.mli: Butterfly Format Tracing

@@ -1,0 +1,1 @@
+lib/lifeguards/addrcheck_seq.ml: Butterfly Format List Tracing

@@ -1,0 +1,1 @@
+lib/lifeguards/addrcheck_seq.mli: Butterfly Format Tracing

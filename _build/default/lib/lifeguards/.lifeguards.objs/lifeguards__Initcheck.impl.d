@@ -1,0 +1,1 @@
+lib/lifeguards/initcheck.ml: Butterfly Format List Tracing

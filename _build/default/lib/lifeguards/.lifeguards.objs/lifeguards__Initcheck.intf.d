@@ -1,0 +1,1 @@
+lib/lifeguards/initcheck.mli: Butterfly Format

@@ -1,0 +1,1 @@
+lib/lifeguards/initcheck_seq.mli: Butterfly Tracing

@@ -1,0 +1,1 @@
+lib/lifeguards/oracle.ml: Addrcheck Addrcheck_seq Array Butterfly Format Initcheck Initcheck_seq List Memmodel Random Taintcheck Taintcheck_seq Tracing

@@ -1,0 +1,1 @@
+lib/lifeguards/oracle.mli: Memmodel Tracing

@@ -1,0 +1,1 @@
+lib/lifeguards/taintcheck.ml: Array Butterfly Format Fun Hashtbl Int List Map Option Set Tracing

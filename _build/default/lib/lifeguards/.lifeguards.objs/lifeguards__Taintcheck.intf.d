@@ -1,0 +1,1 @@
+lib/lifeguards/taintcheck.mli: Butterfly Format Tracing

@@ -1,0 +1,1 @@
+lib/lifeguards/taintcheck_seq.mli: Tracing

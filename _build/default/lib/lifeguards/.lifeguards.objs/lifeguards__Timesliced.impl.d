@@ -1,0 +1,1 @@
+lib/lifeguards/timesliced.ml: Addrcheck_seq Array List Taintcheck_seq Tracing

@@ -1,0 +1,1 @@
+lib/lifeguards/timesliced.mli: Addrcheck_seq Taintcheck_seq Tracing

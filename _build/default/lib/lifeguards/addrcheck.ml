@@ -1,0 +1,183 @@
+module IS = Butterfly.Interval_set
+
+module Problem = struct
+  let name = "addrcheck"
+
+  module Set = Butterfly.Interval_set
+
+  let flavour = `Must
+
+  let gen _id i =
+    match Tracing.Instr.alloc_effect i with
+    | `Alloc (base, size) -> IS.range base (base + size)
+    | `Free _ | `None -> IS.empty
+
+  let kill _id i =
+    match Tracing.Instr.alloc_effect i with
+    | `Free (base, size) -> IS.range base (base + size)
+    | `Alloc _ | `None -> IS.empty
+end
+
+module A = Butterfly.Dataflow.Make (Problem)
+
+type error_kind =
+  | Unallocated_access
+  | Unallocated_free
+  | Double_alloc
+  | Metadata_race
+
+type error = {
+  kind : error_kind;
+  addrs : IS.t;
+  where : [ `Instr of Butterfly.Instr_id.t | `Block of int * Tracing.Tid.t ];
+}
+
+type block_stats = { instrs : int; mem_events : int; flagged_events : int }
+
+type report = {
+  errors : error list;
+  flagged_accesses : int;
+  total_accesses : int;
+  block_stats : block_stats array array;
+  sos : IS.t array;
+}
+
+let footprint i =
+  match Tracing.Instr.alloc_effect i with
+  | `Alloc (base, size) | `Free (base, size) -> IS.range base (base + size)
+  | `None ->
+    List.fold_left
+      (fun acc a -> IS.union acc (IS.singleton a))
+      IS.empty (Tracing.Instr.accesses i)
+
+let access_set block =
+  Butterfly.Block.fold_left
+    (fun acc _id i ->
+      match Tracing.Instr.alloc_effect i with
+      | `Alloc _ | `Free _ -> acc
+      | `None -> IS.union acc (footprint i))
+    IS.empty block
+
+let run ?(isolation = true) epochs =
+  let num_l = Butterfly.Epochs.num_epochs epochs in
+  let threads = Butterfly.Epochs.threads epochs in
+  (* Pass-1-style summaries (also recomputed inside A.run; cheap). *)
+  let summaries =
+    Array.init num_l (fun l ->
+        Array.init threads (fun tid ->
+            A.summarize (Butterfly.Epochs.block epochs ~epoch:l ~tid)))
+  in
+  let accesses =
+    Array.init num_l (fun l ->
+        Array.init threads (fun tid ->
+            access_set (Butterfly.Epochs.block epochs ~epoch:l ~tid)))
+  in
+  let state_change l tid =
+    if l < 0 || l >= num_l then IS.empty
+    else
+      let s = summaries.(l).(tid) in
+      IS.union s.A.gen_union s.A.kill_union
+  in
+  let access_of l tid = if l < 0 || l >= num_l then IS.empty else accesses.(l).(tid) in
+  (* Isolation-violation set per block (Section 6.1's emptiness check). *)
+  let violation l tid =
+    let s_change = state_change l tid in
+    let s_access = access_of l tid in
+    let wing_change = ref IS.empty and wing_access = ref IS.empty in
+    for l' = l - 1 to l + 1 do
+      for t' = 0 to threads - 1 do
+        if t' <> tid then (
+          wing_change := IS.union !wing_change (state_change l' t');
+          wing_access := IS.union !wing_access (access_of l' t'))
+      done
+    done;
+    IS.union
+      (IS.inter s_change !wing_change)
+      (IS.union (IS.inter s_access !wing_change) (IS.inter !wing_access s_change))
+  in
+  let violations =
+    Array.init num_l (fun l ->
+        Array.init threads (fun tid ->
+            if isolation then violation l tid else IS.empty))
+  in
+  let errors = ref [] in
+  let flagged = ref 0 in
+  let total = ref 0 in
+  let stats =
+    Array.init threads (fun _ ->
+        Array.init num_l (fun _ -> { instrs = 0; mem_events = 0; flagged_events = 0 }))
+  in
+  let bump tid l f =
+    stats.(tid).(l) <- f stats.(tid).(l)
+  in
+  let on_instr (v : A.instr_view) =
+    let { Butterfly.Instr_id.epoch = l; tid; _ } = v.id in
+    bump tid l (fun s -> { s with instrs = s.instrs + 1 });
+    if Tracing.Instr.is_memory_event v.instr then (
+      incr total;
+      bump tid l (fun s -> { s with mem_events = s.mem_events + 1 }));
+    let local_errs =
+      match Tracing.Instr.alloc_effect v.instr with
+      | `Alloc (base, size) ->
+        let bad = IS.inter (IS.range base (base + size)) v.lsos_before in
+        if IS.is_empty bad then []
+        else [ { kind = Double_alloc; addrs = bad; where = `Instr v.id } ]
+      | `Free (base, size) ->
+        let bad = IS.diff (IS.range base (base + size)) v.lsos_before in
+        if IS.is_empty bad then []
+        else [ { kind = Unallocated_free; addrs = bad; where = `Instr v.id } ]
+      | `None ->
+        List.filter_map
+          (fun a ->
+            if IS.mem a v.lsos_before then None
+            else
+              Some
+                {
+                  kind = Unallocated_access;
+                  addrs = IS.singleton a;
+                  where = `Instr v.id;
+                })
+          (Tracing.Instr.accesses v.instr)
+    in
+    errors := List.rev_append local_errs !errors;
+    let races = not (IS.disjoint (footprint v.instr) violations.(l).(tid)) in
+    if (local_errs <> [] || races) && Tracing.Instr.is_memory_event v.instr
+    then (
+      incr flagged;
+      bump tid l (fun s -> { s with flagged_events = s.flagged_events + 1 }))
+  in
+  let result = A.run ~on_instr epochs in
+  (* Report isolation violations at block granularity too. *)
+  for l = 0 to num_l - 1 do
+    for tid = 0 to threads - 1 do
+      let v = violations.(l).(tid) in
+      if not (IS.is_empty v) then
+        errors := { kind = Metadata_race; addrs = v; where = `Block (l, tid) } :: !errors
+    done
+  done;
+  {
+    errors = List.rev !errors;
+    flagged_accesses = !flagged;
+    total_accesses = !total;
+    block_stats = stats;
+    sos = result.A.sos;
+  }
+
+let flagged_addresses r =
+  List.fold_left (fun acc e -> IS.union acc e.addrs) IS.empty r.errors
+
+let pp_error ppf e =
+  let kind =
+    match e.kind with
+    | Unallocated_access -> "unallocated access"
+    | Unallocated_free -> "unallocated free"
+    | Double_alloc -> "double alloc"
+    | Metadata_race -> "metadata race"
+  in
+  match e.where with
+  | `Instr id ->
+    Format.fprintf ppf "%a at %a: %a" Fmt.string kind Butterfly.Instr_id.pp id
+      IS.pp e.addrs
+  | `Block (l, t) ->
+    Format.fprintf ppf "%a in block (%d,%d): %a" Fmt.string kind l t IS.pp
+      e.addrs

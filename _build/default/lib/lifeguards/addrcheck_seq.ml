@@ -1,0 +1,49 @@
+module IS = Butterfly.Interval_set
+
+type error_kind = Unallocated_access | Unallocated_free | Double_alloc
+
+type error = { index : int; kind : error_kind; addrs : IS.t }
+type report = { errors : error list; checked_accesses : int }
+
+let check instrs =
+  let allocated = ref IS.empty in
+  let errors = ref [] in
+  let checked = ref 0 in
+  let flag index kind addrs =
+    if not (IS.is_empty addrs) then errors := { index; kind; addrs } :: !errors
+  in
+  List.iteri
+    (fun index i ->
+      match Tracing.Instr.alloc_effect i with
+      | `Alloc (base, size) ->
+        incr checked;
+        let r = IS.range base (base + size) in
+        flag index Double_alloc (IS.inter r !allocated);
+        allocated := IS.union !allocated r
+      | `Free (base, size) ->
+        incr checked;
+        let r = IS.range base (base + size) in
+        flag index Unallocated_free (IS.diff r !allocated);
+        allocated := IS.diff !allocated r
+      | `None ->
+        let accesses = Tracing.Instr.accesses i in
+        if accesses <> [] then incr checked;
+        List.iter
+          (fun a ->
+            if not (IS.mem a !allocated) then
+              flag index Unallocated_access (IS.singleton a))
+          accesses)
+    instrs;
+  { errors = List.rev !errors; checked_accesses = !checked }
+
+let flagged_addresses r =
+  List.fold_left (fun acc e -> IS.union acc e.addrs) IS.empty r.errors
+
+let pp_error ppf e =
+  let kind =
+    match e.kind with
+    | Unallocated_access -> "unallocated access"
+    | Unallocated_free -> "unallocated free"
+    | Double_alloc -> "double alloc"
+  in
+  Format.fprintf ppf "[%d] %s: %a" e.index kind IS.pp e.addrs

@@ -1,0 +1,30 @@
+(** Sequential ADDRCHECK (Section 2).
+
+    The original single-stream memory-checking lifeguard: maintains the
+    allocation state of every byte and checks that every access touches
+    allocated memory, every free frees allocated memory, and every malloc
+    targets unallocated memory.  Used directly by timesliced monitoring and
+    as the per-ordering ground truth for the butterfly version. *)
+
+type error_kind =
+  | Unallocated_access  (** read or write outside any live allocation *)
+  | Unallocated_free  (** free of (partly) unallocated memory, incl. double free *)
+  | Double_alloc  (** malloc overlapping a live allocation *)
+
+type error = {
+  index : int;  (** position in the checked instruction stream *)
+  kind : error_kind;
+  addrs : Butterfly.Interval_set.t;  (** offending bytes *)
+}
+
+type report = {
+  errors : error list;
+  checked_accesses : int;  (** memory events examined *)
+}
+
+val check : Tracing.Instr.t list -> report
+
+val flagged_addresses : report -> Butterfly.Interval_set.t
+(** Union of all offending bytes, for set-level comparisons. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,64 @@
+module IS = Butterfly.Interval_set
+
+module Problem = struct
+  let name = "initcheck"
+
+  module Set = Butterfly.Interval_set
+
+  let flavour = `Must
+
+  let gen _id i =
+    match Tracing.Instr.writes i with
+    | Some x -> IS.range x (x + 1)
+    | None -> IS.empty
+
+  let kill _id i =
+    match Tracing.Instr.alloc_effect i with
+    | `Alloc (base, size) | `Free (base, size) -> IS.range base (base + size)
+    | `None -> IS.empty
+end
+
+module A = Butterfly.Dataflow.Make (Problem)
+
+type error = { id : Butterfly.Instr_id.t; addrs : IS.t }
+
+type report = {
+  errors : error list;
+  flagged_reads : int;
+  total_reads : int;
+  sos : IS.t array;
+}
+
+let run epochs =
+  let errors = ref [] in
+  let flagged = ref 0 in
+  let total = ref 0 in
+  let on_instr (v : A.instr_view) =
+    match Tracing.Instr.reads v.instr with
+    | [] -> ()
+    | rs ->
+      incr total;
+      let bad =
+        List.fold_left
+          (fun acc a ->
+            if IS.mem a v.in_before then acc else IS.union acc (IS.singleton a))
+          IS.empty rs
+      in
+      if not (IS.is_empty bad) then (
+        incr flagged;
+        errors := { id = v.id; addrs = bad } :: !errors)
+  in
+  let result = A.run ~on_instr epochs in
+  {
+    errors = List.rev !errors;
+    flagged_reads = !flagged;
+    total_reads = !total;
+    sos = result.A.sos;
+  }
+
+let flagged_addresses r =
+  List.fold_left (fun acc e -> IS.union acc e.addrs) IS.empty r.errors
+
+let pp_error ppf e =
+  Format.fprintf ppf "possibly-uninitialized read at %a: %a"
+    Butterfly.Instr_id.pp e.id IS.pp e.addrs

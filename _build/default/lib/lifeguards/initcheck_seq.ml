@@ -1,0 +1,32 @@
+module IS = Butterfly.Interval_set
+
+type error = { index : int; addr : Tracing.Addr.t }
+type report = { errors : error list; checked_reads : int }
+
+let check instrs =
+  let defined = ref IS.empty in
+  let errors = ref [] in
+  let reads = ref 0 in
+  List.iteri
+    (fun index i ->
+      (match Tracing.Instr.reads i with
+      | [] -> ()
+      | rs ->
+        incr reads;
+        List.iter
+          (fun a -> if not (IS.mem a !defined) then errors := { index; addr = a } :: !errors)
+          rs);
+      (match Tracing.Instr.alloc_effect i with
+      | `Alloc (base, size) | `Free (base, size) ->
+        (* Fresh allocations hold garbage; freed memory no longer holds a
+           defined value. *)
+        defined := IS.remove_range base (base + size) !defined
+      | `None -> ());
+      match Tracing.Instr.writes i with
+      | Some x -> defined := IS.add_range x (x + 1) !defined
+      | None -> ())
+    instrs;
+  { errors = List.rev !errors; checked_reads = !reads }
+
+let flagged_addresses r =
+  List.fold_left (fun acc e -> IS.union acc (IS.singleton e.addr)) IS.empty r.errors

@@ -1,0 +1,19 @@
+(** Sequential INITCHECK: uninitialized-read detection.
+
+    A MemCheck-style lifeguard tracking which bytes hold defined values:
+    writes define their destination, [malloc] yields allocated-but-
+    undefined memory, [free] undefines.  Reading an undefined location is
+    an error.  Not one of the paper's two case studies — it is the "other
+    lifeguards fit the same generate/propagate structure" claim of
+    Section 5, made concrete. *)
+
+type error = {
+  index : int;
+  addr : Tracing.Addr.t;  (** undefined byte that was read *)
+}
+
+type report = { errors : error list; checked_reads : int }
+
+val check : Tracing.Instr.t list -> report
+
+val flagged_addresses : report -> Butterfly.Interval_set.t

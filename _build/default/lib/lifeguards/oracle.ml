@@ -1,0 +1,104 @@
+module VO = Memmodel.Valid_ordering
+module IS = Butterfly.Interval_set
+
+type verdict = {
+  sound : bool;
+  orderings_checked : int;
+  exhaustive : bool;
+  missed : string list;
+}
+
+let grid_of_program p =
+  Array.init (Tracing.Program.threads p) (fun t ->
+      Tracing.Trace.blocks (Tracing.Program.trace p t))
+
+(* Enumerate valid orderings if feasible, otherwise sample. *)
+let orderings_of ?(model = Memmodel.Consistency.Sequential) ?(cap = 20_000)
+    ?(samples = 200) ?(seed = 7) grid =
+  let vo = VO.of_blocks ~model grid in
+  let os, exhaustive = VO.enumerate ~cap vo in
+  if exhaustive then (vo, os, true)
+  else
+    let rng = Random.State.make [| seed; 0x0c31e |] in
+    (vo, List.init samples (fun _ -> VO.sample rng vo), false)
+
+let instrs_of_ordering vo o =
+  Memmodel.Ordering.apply (VO.threads vo) o
+
+let addrcheck_zero_false_negatives ?model ?cap ?samples ?seed p =
+  let grid = grid_of_program p in
+  let vo, os, exhaustive = orderings_of ?model ?cap ?samples ?seed grid in
+  let report = Addrcheck.run (Butterfly.Epochs.of_blocks grid) in
+  let butterfly_flags = Addrcheck.flagged_addresses report in
+  let missed = ref [] in
+  List.iteri
+    (fun k o ->
+      let seq = Addrcheck_seq.check (instrs_of_ordering vo o) in
+      let seq_flags = Addrcheck_seq.flagged_addresses seq in
+      let uncovered = IS.diff seq_flags butterfly_flags in
+      if not (IS.is_empty uncovered) then
+        missed :=
+          Format.asprintf "ordering #%d: sequential flags %a, butterfly misses them"
+            k IS.pp uncovered
+          :: !missed)
+    os;
+  {
+    sound = !missed = [];
+    orderings_checked = List.length os;
+    exhaustive;
+    missed = List.rev !missed;
+  }
+
+let initcheck_zero_false_negatives ?model ?cap ?samples ?seed p =
+  let grid = grid_of_program p in
+  let vo, os, exhaustive = orderings_of ?model ?cap ?samples ?seed grid in
+  let report = Initcheck.run (Butterfly.Epochs.of_blocks grid) in
+  let butterfly_flags = Initcheck.flagged_addresses report in
+  let missed = ref [] in
+  List.iteri
+    (fun k o ->
+      let seq = Initcheck_seq.check (instrs_of_ordering vo o) in
+      let seq_flags = Initcheck_seq.flagged_addresses seq in
+      let uncovered = IS.diff seq_flags butterfly_flags in
+      if not (IS.is_empty uncovered) then
+        missed :=
+          Format.asprintf
+            "ordering #%d: sequential flags %a, butterfly misses them" k IS.pp
+            uncovered
+          :: !missed)
+    os;
+  {
+    sound = !missed = [];
+    orderings_checked = List.length os;
+    exhaustive;
+    missed = List.rev !missed;
+  }
+
+let taintcheck_zero_false_negatives ?model ?cap ?samples ?seed
+    ?(sequential = true) ?(two_phase = true) p =
+  let grid = grid_of_program p in
+  let vo, os, exhaustive = orderings_of ?model ?cap ?samples ?seed grid in
+  let report =
+    Taintcheck.run ~sequential ~two_phase (Butterfly.Epochs.of_blocks grid)
+  in
+  let butterfly_sinks = Taintcheck.flagged_sinks report in
+  let missed = ref [] in
+  List.iteri
+    (fun k o ->
+      let seq = Taintcheck_seq.check (instrs_of_ordering vo o) in
+      List.iter
+        (fun sink ->
+          if not (List.mem sink butterfly_sinks) then
+            missed :=
+              Format.asprintf
+                "ordering #%d: sequential taints sink %a, butterfly does not"
+                k Tracing.Addr.pp sink
+              :: !missed)
+        (Taintcheck_seq.flagged_sinks seq))
+    os;
+  {
+    sound = !missed = [];
+    orderings_checked = List.length os;
+    exhaustive;
+    missed = List.rev !missed;
+  }

@@ -1,0 +1,274 @@
+module AS = Set.Make (Int)
+module Id = Butterfly.Instr_id
+
+type rhs = Bot | Top | Inherit of int list
+type tf = { tf_id : Id.t; dst : int; rhs : rhs }
+
+type error = { id : Id.t; sink : Tracing.Addr.t }
+type block_stats = { instrs : int; mem_events : int; checks_resolved : int }
+
+type report = {
+  errors : error list;
+  sos_tainted : Tracing.Addr.t list array;
+  block_stats : block_stats array array;
+}
+
+let tf_of_instr id (i : Tracing.Instr.t) =
+  match i with
+  | Taint_source x -> Some { tf_id = id; dst = x; rhs = Bot }
+  | Untaint x | Assign_const x -> Some { tf_id = id; dst = x; rhs = Top }
+  | Assign_unop (x, a) -> Some { tf_id = id; dst = x; rhs = Inherit [ a ] }
+  | Assign_binop (x, a, b) ->
+    Some { tf_id = id; dst = x; rhs = Inherit (if a = b then [ a ] else [ a; b ]) }
+  | Read _ | Malloc _ | Free _ | Jump_via _ | Syscall_arg _ | Nop -> None
+
+(* Per-block pass-1 summary: transfer functions indexed by destination. *)
+type block_tfs = { by_dst : (int, tf list) Hashtbl.t }
+
+let summarize_block block =
+  let by_dst = Hashtbl.create 16 in
+  Butterfly.Block.iteri
+    (fun id i ->
+      match tf_of_instr id i with
+      | None -> ()
+      | Some tf ->
+        let prev = Option.value (Hashtbl.find_opt by_dst tf.dst) ~default:[] in
+        Hashtbl.replace by_dst tf.dst (tf :: prev))
+    block;
+  { by_dst }
+
+(* SC-termination state: per-thread upper bound on the position of the next
+   transfer function the chase may follow from that thread. *)
+module Pos_map = Map.Make (Int)
+
+let pos_of (id : Id.t) = (id.epoch, id.index)
+
+let sc_admissible sc_pos (tf : tf) =
+  match Pos_map.find_opt tf.tf_id.tid sc_pos with
+  | None -> true
+  | Some (l, i) ->
+    let l', i' = pos_of tf.tf_id in
+    l' < l || (l' = l && i' < i)
+
+let sc_advance sc_pos (tf : tf) = Pos_map.add tf.tf_id.tid (pos_of tf.tf_id) sc_pos
+
+module Tf_set = Set.Make (struct
+  type t = Id.t
+
+  let compare = Id.compare
+end)
+
+let run ?(sequential = true) ?(two_phase = true) epochs =
+  let num_l = Butterfly.Epochs.num_epochs epochs in
+  let threads = Butterfly.Epochs.threads epochs in
+  let tfs =
+    Array.init num_l (fun l ->
+        Array.init threads (fun tid ->
+            summarize_block (Butterfly.Epochs.block epochs ~epoch:l ~tid)))
+  in
+  let tfs_for ~scope ~exclude_tid a =
+    List.concat_map
+      (fun l ->
+        if l < 0 || l >= num_l then []
+        else
+          List.concat
+            (List.init threads (fun t' ->
+                 if Some t' = exclude_tid then []
+                 else
+                   Option.value (Hashtbl.find_opt tfs.(l).(t').by_dst a)
+                     ~default:[])))
+      scope
+  in
+  (* LASTCHECK results: lastcheck.(l).(t) maps assigned locations to their
+     final resolved taint in block (l,t). *)
+  let lastcheck =
+    Array.init num_l (fun _ -> Array.init threads (fun _ -> Hashtbl.create 16))
+  in
+  let gen_block l t =
+    if l < 0 || l >= num_l then AS.empty
+    else
+      Hashtbl.fold
+        (fun x tainted acc -> if tainted then AS.add x acc else acc)
+        lastcheck.(l).(t) AS.empty
+  in
+  let kill_block l t =
+    if l < 0 || l >= num_l then AS.empty
+    else
+      Hashtbl.fold
+        (fun x tainted acc -> if not tainted then AS.add x acc else acc)
+        lastcheck.(l).(t) AS.empty
+  in
+  (* LASTCHECK(x, (l-1,l), t): the last check spanning the two epochs. *)
+  let lastcheck_span x l t =
+    let look l =
+      if l < 0 || l >= num_l then None else Hashtbl.find_opt lastcheck.(l).(t) x
+    in
+    match look l with Some r -> Some r | None -> look (l - 1)
+  in
+  (* SOS over tainted addresses, with the reaching-definitions update. *)
+  let sos = Array.make (num_l + 2) AS.empty in
+  let epoch_gen l =
+    let acc = ref AS.empty in
+    for t = 0 to threads - 1 do
+      acc := AS.union !acc (gen_block l t)
+    done;
+    !acc
+  in
+  let epoch_kill l =
+    let acc = ref AS.empty in
+    for t = 0 to threads - 1 do
+      AS.iter
+        (fun x ->
+          let others_ok =
+            List.for_all
+              (fun t' ->
+                t' = t
+                ||
+                match lastcheck_span x l t' with
+                | None -> true (* ∅: never assigned nearby *)
+                | Some tainted -> not tainted)
+              (List.init threads Fun.id)
+          in
+          if others_ok then acc := AS.add x !acc)
+        (kill_block l t)
+    done;
+    !acc
+  in
+  let errors = ref [] in
+  let stats =
+    Array.init threads (fun _ ->
+        Array.init num_l (fun _ -> { instrs = 0; mem_events = 0; checks_resolved = 0 }))
+  in
+  let checks = ref 0 in
+  for l = 0 to num_l - 1 do
+    (* SOS_l is now computable from epochs <= l-2. *)
+    if l >= 2 then
+      sos.(l) <- AS.union (epoch_gen (l - 2)) (AS.diff sos.(l - 1) (epoch_kill (l - 2)));
+    for tid = 0 to threads - 1 do
+      let block = Butterfly.Epochs.block epochs ~epoch:l ~tid in
+      (* LSOS via the May rule, with the resurrection clause. *)
+      let head_gen = gen_block (l - 1) tid and head_kill = kill_block (l - 1) tid in
+      let others_gen_l2 =
+        let acc = ref AS.empty in
+        for t' = 0 to threads - 1 do
+          if t' <> tid then acc := AS.union !acc (gen_block (l - 2) t')
+        done;
+        !acc
+      in
+      let lsos =
+        AS.union head_gen
+          (AS.union
+             (AS.diff sos.(l) head_kill)
+             (AS.inter (AS.inter sos.(l) head_kill) others_gen_l2))
+      in
+      let local : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+      (* A chain's base taint sources: something our block already resolved
+         as tainted (the wing read may interleave after our write), or the
+         strongly-ordered past.  A local untaint does NOT mask the LSOS for
+         wing chains: the wing may read the location before our untaint. *)
+      let base_tainted a =
+        Hashtbl.find_opt local a = Some true || AS.mem a lsos
+      in
+      (* Under sequential consistency a wing chain only uses other threads'
+         transfer functions (the own thread's effects flow through LSOS and
+         [local]); under relaxed models the own thread's independent writes
+         may become visible out of program order (Figure 2), so its
+         transfer functions join the chase and only the per-location
+         termination rules bound it. *)
+      let exclude_tid = if sequential then Some tid else None in
+      (* Two-phase resolution (Lemma 6.3): phase 1 chases transfer
+         functions of epochs l-1 and l; phase 2 of epochs l and l+1, where
+         a parent already proven tainted by phase 1 stays tainted. *)
+      let phase1_memo : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+      let rec resolve ~scope ~parent_extra a visited sc_pos =
+        List.exists
+          (fun tf ->
+            incr checks;
+            (not (Tf_set.mem tf.tf_id visited))
+            && ((not sequential) || sc_admissible sc_pos tf)
+            &&
+            let visited = Tf_set.add tf.tf_id visited in
+            let sc_pos = if sequential then sc_advance sc_pos tf else sc_pos in
+            match tf.rhs with
+            | Bot -> true
+            | Top -> false
+            | Inherit ps ->
+              List.exists
+                (fun p ->
+                  base_tainted p || parent_extra p
+                  || resolve ~scope ~parent_extra p visited sc_pos)
+                ps)
+          (tfs_for ~scope ~exclude_tid a)
+      in
+      let phase1 a =
+        match Hashtbl.find_opt phase1_memo a with
+        | Some r -> r
+        | None ->
+          let r =
+            resolve ~scope:[ l - 1; l ]
+              ~parent_extra:(fun _ -> false)
+              a Tf_set.empty Pos_map.empty
+          in
+          Hashtbl.replace phase1_memo a r;
+          r
+      in
+      let wing_may a =
+        if two_phase then
+          phase1 a
+          || resolve ~scope:[ l; l + 1 ] ~parent_extra:phase1 a Tf_set.empty
+               Pos_map.empty
+        else
+          (* Ablation: one phase over the whole window.  Still sound, but
+             admits impossible chains such as an epoch l+1 taint feeding an
+             epoch l-1 read (the example of Section 6.2). *)
+          resolve ~scope:[ l - 1; l; l + 1 ]
+            ~parent_extra:(fun _ -> false)
+            a Tf_set.empty Pos_map.empty
+      in
+      let may_tainted a =
+        match Hashtbl.find_opt local a with
+        | Some true -> true
+        | Some false -> wing_may a
+        | None -> AS.mem a lsos || wing_may a
+      in
+      let n_instrs = ref 0 and n_mem = ref 0 in
+      Butterfly.Block.iteri
+        (fun id instr ->
+          incr n_instrs;
+          if Tracing.Instr.is_memory_event instr then incr n_mem;
+          (match Tracing.Instr.taint_sink instr with
+          | Some x -> if may_tainted x then errors := { id; sink = x } :: !errors
+          | None -> ());
+          match tf_of_instr id instr with
+          | None -> ()
+          | Some tf ->
+            let result =
+              match tf.rhs with
+              | Bot -> true
+              | Top -> false
+              | Inherit ps -> List.exists may_tainted ps
+            in
+            Hashtbl.replace local tf.dst result)
+        block;
+      Hashtbl.iter (fun x r -> Hashtbl.replace lastcheck.(l).(tid) x r) local;
+      stats.(tid).(l) <-
+        { instrs = !n_instrs; mem_events = !n_mem; checks_resolved = !checks };
+      checks := 0
+    done
+  done;
+  (* Final SOS entries past the last window. *)
+  for l = num_l to num_l + 1 do
+    if l >= 2 then
+      sos.(l) <- AS.union (epoch_gen (l - 2)) (AS.diff sos.(l - 1) (epoch_kill (l - 2)))
+  done;
+  {
+    errors = List.rev !errors;
+    sos_tainted = Array.map AS.elements sos;
+    block_stats = stats;
+  }
+
+let flagged_sinks r =
+  List.map (fun e -> e.sink) r.errors |> List.sort_uniq Int.compare
+
+let pp_error ppf e =
+  Format.fprintf ppf "tainted sink %a at %a" Tracing.Addr.pp e.sink Id.pp e.id

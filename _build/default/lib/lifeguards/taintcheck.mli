@@ -1,0 +1,50 @@
+(** Butterfly TAINTCHECK (Section 6.2).
+
+    Taint tracking over the butterfly framework.  Each write produces an
+    SSA-like {e transfer function} [x_(l,t,i) <- s] with
+    [s ∈ {⊥ (tainted), ⊤ (untainted), {a}, {a,b} (inheritance)}].  A
+    location may be tainted at a point if {e some} valid ordering taints it
+    (reaching-definitions flavour): the [Check] resolution chases
+    inheritance chains through the window's transfer functions until it
+    reaches ⊥, ⊤ or the strongly ordered taint state.
+
+    Resolution is two-phase (Lemma 6.3): chains are first resolved using
+    transfer functions from epochs [l-1, l], then from [l, l+1], with
+    phase-1 taint conclusions persisting — this rejects impossible
+    orderings such as epoch [l+1] writes feeding epoch [l-1] reads.
+
+    Termination: under [~sequential:true] the chase keeps a per-thread
+    position and only follows a thread's transfer functions in descending
+    program order (the SC condition); otherwise it merely never revisits a
+    transfer function (the relaxed condition) — more conservative, hence
+    potentially more false positives, but still no false negatives
+    (Theorem 6.2). *)
+
+type error = {
+  id : Butterfly.Instr_id.t;  (** the sink instruction *)
+  sink : Tracing.Addr.t;
+}
+
+type block_stats = {
+  instrs : int;
+  mem_events : int;
+  checks_resolved : int;  (** transfer-function resolutions performed *)
+}
+
+type report = {
+  errors : error list;
+  sos_tainted : Tracing.Addr.t list array;
+      (** tainted locations in SOS{_l}, per epoch (sorted) *)
+  block_stats : block_stats array array;  (** [.(tid).(epoch)] *)
+}
+
+val run : ?sequential:bool -> ?two_phase:bool -> Butterfly.Epochs.t -> report
+(** [sequential] defaults to [true] (the machine-model assumption of
+    Sections 3–4.3); pass [false] for the relaxed-consistency variant.
+    [two_phase] (default [true]) enables the false-positive reduction of
+    Lemma 6.3; disabling it is the ablation of that design choice — still
+    sound, strictly less precise. *)
+
+val flagged_sinks : report -> Tracing.Addr.t list
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,26 @@
+module AS = Set.Make (Int)
+
+type error = { index : int; sink : Tracing.Addr.t }
+type report = { errors : error list; final_tainted : Tracing.Addr.t list }
+
+let check instrs =
+  let tainted = ref AS.empty in
+  let errors = ref [] in
+  let taint x = tainted := AS.add x !tainted in
+  let untaint x = tainted := AS.remove x !tainted in
+  List.iteri
+    (fun index (i : Tracing.Instr.t) ->
+      match i with
+      | Taint_source x -> taint x
+      | Untaint x | Assign_const x -> untaint x
+      | Assign_unop (x, a) -> if AS.mem a !tainted then taint x else untaint x
+      | Assign_binop (x, a, b) ->
+        if AS.mem a !tainted || AS.mem b !tainted then taint x else untaint x
+      | Jump_via x | Syscall_arg x ->
+        if AS.mem x !tainted then errors := { index; sink = x } :: !errors
+      | Read _ | Malloc _ | Free _ | Nop -> ())
+    instrs;
+  { errors = List.rev !errors; final_tainted = AS.elements !tainted }
+
+let flagged_sinks r =
+  List.map (fun e -> e.sink) r.errors |> List.sort_uniq Int.compare

@@ -1,0 +1,21 @@
+(** Sequential TAINTCHECK (Section 2).
+
+    Tracks the propagation of untrusted ("tainted") data through a single
+    serialized instruction stream: system-call inputs taint their
+    destinations, assignments OR their sources' taint into the destination,
+    and using tainted data as a jump target or critical system-call
+    argument is an error. *)
+
+type error = {
+  index : int;  (** position in the checked stream *)
+  sink : Tracing.Addr.t;
+}
+
+type report = {
+  errors : error list;
+  final_tainted : Tracing.Addr.t list;  (** sorted *)
+}
+
+val check : Tracing.Instr.t list -> report
+val flagged_sinks : report -> Tracing.Addr.t list
+(** Sorted, deduplicated sink locations that were flagged. *)

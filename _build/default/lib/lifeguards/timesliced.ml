@@ -1,0 +1,36 @@
+let serialize ?(quantum = 1000) p =
+  let threads = Tracing.Program.threads p in
+  let streams =
+    Array.init threads (fun t ->
+        ref (Tracing.Trace.instrs (Tracing.Program.trace p t)))
+  in
+  let out = ref [] in
+  let live = ref true in
+  while !live do
+    live := false;
+    Array.iter
+      (fun stream ->
+        if !stream <> [] then (
+          live := true;
+          let rec take n =
+            match !stream with
+            | i :: rest when n > 0 ->
+              out := i :: !out;
+              stream := rest;
+              take (n - 1)
+            | _ -> ()
+          in
+          take quantum))
+      streams
+  done;
+  List.rev !out
+
+let addrcheck ?quantum p = Addrcheck_seq.check (serialize ?quantum p)
+let taintcheck ?quantum p = Taintcheck_seq.check (serialize ?quantum p)
+
+let lifeguard_events p =
+  let n = ref 0 in
+  for t = 0 to Tracing.Program.threads p - 1 do
+    n := !n + Tracing.Trace.instr_count (Tracing.Program.trace p t)
+  done;
+  !n

@@ -1,0 +1,17 @@
+(** Timesliced monitoring: the state-of-the-art baseline of Figure 11.
+
+    All application threads are interleaved on a single core (round-robin
+    quanta) and the resulting {e single} serialized event stream is checked
+    by an unmodified sequential lifeguard on another core.  Sound because
+    the interleaving is real — but the application loses its parallelism
+    and the lifeguard cannot scale with threads. *)
+
+val serialize : ?quantum:int -> Tracing.Program.t -> Tracing.Instr.t list
+(** The merged instruction stream produced by round-robin timeslicing
+    (default quantum 1000 instructions). *)
+
+val addrcheck : ?quantum:int -> Tracing.Program.t -> Addrcheck_seq.report
+val taintcheck : ?quantum:int -> Tracing.Program.t -> Taintcheck_seq.report
+
+val lifeguard_events : Tracing.Program.t -> int
+(** Number of events the sequential lifeguard must process. *)

@@ -1,0 +1,1 @@
+lib/machine/app_timing.ml: Array List Mem_hierarchy Tracing

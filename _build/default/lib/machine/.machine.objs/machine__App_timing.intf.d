@@ -1,0 +1,1 @@
+lib/machine/app_timing.mli: Machine_config Tracing

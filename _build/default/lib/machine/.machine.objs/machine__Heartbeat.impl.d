@@ -1,0 +1,1 @@
+lib/machine/heartbeat.ml: List Random Tracing

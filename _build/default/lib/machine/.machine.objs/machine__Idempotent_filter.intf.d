@@ -1,0 +1,1 @@
+lib/machine/idempotent_filter.mli: Tracing

@@ -1,0 +1,1 @@
+lib/machine/log_buffer.mli:

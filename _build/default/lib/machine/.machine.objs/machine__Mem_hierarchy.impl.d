@@ -1,0 +1,1 @@
+lib/machine/mem_hierarchy.ml: Cache List Machine_config Tracing

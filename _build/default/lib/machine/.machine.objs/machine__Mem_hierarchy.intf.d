@@ -1,0 +1,1 @@
+lib/machine/mem_hierarchy.mli: Cache Machine_config Tracing

@@ -1,0 +1,1 @@
+lib/machine/monitor_sim.mli:

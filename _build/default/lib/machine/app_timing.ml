@@ -1,0 +1,73 @@
+type epoch_cost = { instrs : int; mem_events : int; cycles : int }
+
+let zero_cost = { instrs = 0; mem_events = 0; cycles = 0 }
+
+let block_cost hier block =
+  Array.fold_left
+    (fun c i ->
+      {
+        instrs = c.instrs + 1;
+        mem_events =
+          (c.mem_events + if Tracing.Instr.is_memory_event i then 1 else 0);
+        cycles = c.cycles + Mem_hierarchy.instr_cycles hier i;
+      })
+    zero_cost block
+
+let per_thread_epochs config p =
+  let l2 = Mem_hierarchy.shared_l2 config in
+  let threads = Tracing.Program.threads p in
+  let rows =
+    Array.init threads (fun t ->
+        let hier = Mem_hierarchy.create config ~l2 in
+        Tracing.Trace.blocks (Tracing.Program.trace p t)
+        |> List.map (block_cost hier)
+        |> Array.of_list)
+  in
+  let epochs = Array.fold_left (fun m r -> max m (Array.length r)) 0 rows in
+  Array.map
+    (fun r ->
+      Array.init epochs (fun l -> if l < Array.length r then r.(l) else zero_cost))
+    rows
+
+let sequential_cycles config p =
+  let l2 = Mem_hierarchy.shared_l2 config in
+  let hier = Mem_hierarchy.create config ~l2 in
+  let total = ref 0 in
+  for t = 0 to Tracing.Program.threads p - 1 do
+    List.iter
+      (fun i -> total := !total + Mem_hierarchy.instr_cycles hier i)
+      (Tracing.Trace.instrs (Tracing.Program.trace p t))
+  done;
+  !total
+
+let timesliced_cycles ?(quantum = 1000) ?(switch_cost = 100) config p =
+  let l2 = Mem_hierarchy.shared_l2 config in
+  let hier = Mem_hierarchy.create config ~l2 in
+  let threads = Tracing.Program.threads p in
+  let streams =
+    Array.init threads (fun t ->
+        ref (Tracing.Trace.instrs (Tracing.Program.trace p t)))
+  in
+  let total = ref 0 in
+  let live = ref threads in
+  while !live > 0 do
+    live := 0;
+    Array.iter
+      (fun stream ->
+        if !stream <> [] then (
+          incr live;
+          total := !total + switch_cost;
+          let budget = ref quantum in
+          let rec go () =
+            match !stream with
+            | i :: rest when !budget > 0 ->
+              total := !total + Mem_hierarchy.instr_cycles hier i;
+              decr budget;
+              stream := rest;
+              go ()
+            | _ -> ()
+          in
+          go ()))
+      streams
+  done;
+  !total

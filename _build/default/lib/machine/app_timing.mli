@@ -1,0 +1,24 @@
+(** Application-side execution timing through the cache hierarchy.
+
+    Computes, per thread and per epoch (heartbeat-delimited block), the
+    instruction count, logged memory-event count and execution cycles of the
+    monitored application itself, using per-core L1-D caches over a shared
+    L2.  Also provides the two baselines Figure 11 needs: the program run
+    sequentially on one core (the normalization denominator) and the
+    timesliced execution of all threads on one core. *)
+
+type epoch_cost = { instrs : int; mem_events : int; cycles : int }
+
+val per_thread_epochs : Machine_config.t -> Tracing.Program.t -> epoch_cost array array
+(** [.(tid).(epoch)]; epochs are the heartbeat-delimited blocks of each
+    trace, padded to a common epoch count with zero-cost entries. *)
+
+val sequential_cycles : Machine_config.t -> Tracing.Program.t -> int
+(** All threads' work executed back-to-back on a single core (one L1): the
+    unmonitored sequential baseline. *)
+
+val timesliced_cycles :
+  ?quantum:int -> ?switch_cost:int -> Machine_config.t -> Tracing.Program.t -> int
+(** All threads interleaved on one core with round-robin quanta (default
+    1000 instructions, 100-cycle switch): the application side of the
+    timesliced-monitoring baseline. *)

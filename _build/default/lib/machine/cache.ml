@@ -1,0 +1,76 @@
+type t = {
+  geometry : Machine_config.cache_geometry;
+  sets : int;
+  tags : int array array; (* tags.(set).(way); -1 = invalid *)
+  last_use : int array array;
+  mutable clock : int;
+  mutable n_accesses : int;
+  mutable n_misses : int;
+}
+
+type stats = { accesses : int; misses : int }
+
+let create (geometry : Machine_config.cache_geometry) =
+  if geometry.size_bytes mod (geometry.ways * geometry.line_bytes) <> 0 then
+    invalid_arg "Cache.create: size not divisible by ways * line";
+  let sets = geometry.size_bytes / (geometry.ways * geometry.line_bytes) in
+  {
+    geometry;
+    sets;
+    tags = Array.init sets (fun _ -> Array.make geometry.ways (-1));
+    last_use = Array.init sets (fun _ -> Array.make geometry.ways 0);
+    clock = 0;
+    n_accesses = 0;
+    n_misses = 0;
+  }
+
+let sets t = t.sets
+
+let locate t addr =
+  let line = addr / t.geometry.line_bytes in
+  (line mod t.sets, line / t.sets)
+
+let find_way t set tag =
+  let ways = t.tags.(set) in
+  let rec go w =
+    if w >= Array.length ways then None
+    else if ways.(w) = tag then Some w
+    else go (w + 1)
+  in
+  go 0
+
+let probe t addr =
+  let set, tag = locate t addr in
+  find_way t set tag <> None
+
+let lru_way t set =
+  let best = ref 0 in
+  for w = 1 to t.geometry.ways - 1 do
+    if t.last_use.(set).(w) < t.last_use.(set).(!best) then best := w
+  done;
+  !best
+
+let access t addr =
+  let set, tag = locate t addr in
+  t.clock <- t.clock + 1;
+  t.n_accesses <- t.n_accesses + 1;
+  match find_way t set tag with
+  | Some w ->
+    t.last_use.(set).(w) <- t.clock;
+    `Hit
+  | None ->
+    t.n_misses <- t.n_misses + 1;
+    let w = lru_way t set in
+    t.tags.(set).(w) <- tag;
+    t.last_use.(set).(w) <- t.clock;
+    `Miss
+
+let stats t = { accesses = t.n_accesses; misses = t.n_misses }
+
+let reset_stats t =
+  t.n_accesses <- 0;
+  t.n_misses <- 0
+
+let miss_rate t =
+  if t.n_accesses = 0 then 0.0
+  else float_of_int t.n_misses /. float_of_int t.n_accesses

@@ -1,0 +1,22 @@
+(** Set-associative cache with LRU replacement.
+
+    Tracks hits and misses for timing; data values are never modelled (the
+    lifeguards consume addresses, not values). *)
+
+type t
+
+type stats = { accesses : int; misses : int }
+
+val create : Machine_config.cache_geometry -> t
+val sets : t -> int
+
+val access : t -> Tracing.Addr.t -> [ `Hit | `Miss ]
+(** Looks up the line containing the address, filling it on a miss
+    (evicting the LRU way of the set). *)
+
+val probe : t -> Tracing.Addr.t -> bool
+(** Non-mutating lookup: is the line currently present? *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val miss_rate : t -> float

@@ -1,0 +1,34 @@
+let insert ~every p = Tracing.Program.with_heartbeats ~every p
+
+let insert_staggered ~every ~max_skew ~seed p =
+  if max_skew < 0 || 2 * max_skew >= every then
+    invalid_arg "Heartbeat.insert_staggered: max_skew must be < every/2";
+  let rng = Random.State.make [| seed; 0x9e3779b9 |] in
+  Tracing.Program.map_traces
+    (fun _tid trace ->
+      let instrs = Tracing.Trace.instrs trace in
+      let n = List.length instrs in
+      (* Boundary k sits at k*every + skew_k. *)
+      let boundaries = ref [] in
+      let k = ref 1 in
+      while (!k * every) - max_skew < n do
+        let skew = Random.State.int rng (2 * max_skew + 1) - max_skew in
+        boundaries := ((!k * every) + skew) :: !boundaries;
+        incr k
+      done;
+      let boundaries = List.rev !boundaries in
+      let events = ref [] in
+      let remaining = ref boundaries in
+      List.iteri
+        (fun i instr ->
+          (match !remaining with
+          | b :: rest when i = b ->
+            events := Tracing.Event.Heartbeat :: !events;
+            remaining := rest
+          | _ -> ());
+          events := Tracing.Event.Instr instr :: !events)
+        instrs;
+      (* Any boundaries past the end become a trailing heartbeat. *)
+      List.iter (fun _ -> events := Tracing.Event.Heartbeat :: !events) !remaining;
+      Tracing.Trace.of_events (List.rev !events))
+    p

@@ -1,0 +1,18 @@
+(** Heartbeat insertion (Section 4.1).
+
+    The LBA logging mechanism inserts heartbeat markers into each thread's
+    log every [h] instructions.  Delivery is not simultaneous: butterfly
+    analysis only requires that every thread receives each heartbeat within
+    a bounded skew, so we also provide a staggered variant that perturbs
+    each epoch boundary by a per-thread random skew — epoch boundaries in
+    the model are explicitly {e not} aligned (Figure 6). *)
+
+val insert : every:int -> Tracing.Program.t -> Tracing.Program.t
+(** Uniform insertion: heartbeat after every [every] instructions of each
+    thread. *)
+
+val insert_staggered :
+  every:int -> max_skew:int -> seed:int -> Tracing.Program.t -> Tracing.Program.t
+(** Each boundary lands within [±max_skew] instructions of its nominal
+    position, independently per thread.  [max_skew] must be less than
+    [every / 2] so epochs never invert. *)

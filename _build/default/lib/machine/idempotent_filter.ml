@@ -1,0 +1,63 @@
+type t = {
+  line_bytes : int;
+  capacity : int;
+  checked : (int, unit) Hashtbl.t; (* lines checked since last change *)
+  order : int Queue.t; (* FIFO of insertions; may contain stale lines *)
+  mutable admitted : int;
+  mutable filtered : int;
+}
+
+let create ?(line_bytes = 64) ?(capacity = 512) () =
+  {
+    line_bytes;
+    capacity;
+    checked = Hashtbl.create 1024;
+    order = Queue.create ();
+    admitted = 0;
+    filtered = 0;
+  }
+
+let flush t =
+  Hashtbl.reset t.checked;
+  Queue.clear t.order
+
+let evict_to_capacity t =
+  while Hashtbl.length t.checked > t.capacity do
+    match Queue.take_opt t.order with
+    | None -> Hashtbl.reset t.checked (* should not happen *)
+    | Some line -> Hashtbl.remove t.checked line
+  done
+
+let insert t line =
+  if not (Hashtbl.mem t.checked line) then (
+    Hashtbl.replace t.checked line ();
+    Queue.add line t.order;
+    evict_to_capacity t)
+
+let invalidate_range t base size =
+  let first = base / t.line_bytes in
+  let last = (base + size - 1) / t.line_bytes in
+  for line = first to last do
+    Hashtbl.remove t.checked line
+  done
+
+let admit t (i : Tracing.Instr.t) =
+  match Tracing.Instr.alloc_effect i with
+  | `Alloc (base, size) | `Free (base, size) ->
+    invalidate_range t base size;
+    t.admitted <- t.admitted + 1;
+    true
+  | `None ->
+    let accesses = Tracing.Instr.accesses i in
+    if accesses = [] then false
+    else
+      let fresh =
+        List.exists
+          (fun a -> not (Hashtbl.mem t.checked (a / t.line_bytes)))
+          accesses
+      in
+      List.iter (fun a -> insert t (a / t.line_bytes)) accesses;
+      if fresh then t.admitted <- t.admitted + 1 else t.filtered <- t.filtered + 1;
+      fresh
+
+let stats t = (t.admitted, t.filtered)

@@ -1,0 +1,35 @@
+(** Idempotent-event filtering (the LBA accelerator of Section 7.1).
+
+    A lifeguard check on a location whose metadata has not changed since the
+    last check of the same location is idempotent and can be filtered out
+    before dispatch.  Metadata changes (malloc/free for AddrCheck)
+    invalidate the filter for the affected range.
+
+    The filter works at cache-line granularity (like the metadata-TLB it
+    is paired with).  Timesliced monitoring keeps one long-lived filter over
+    the merged stream; butterfly analysis must flush its per-thread filters
+    at every epoch boundary so that events are only filtered {e within}
+    epochs (footnote 5 of the paper) — a key source of its extra lifeguard
+    load. *)
+
+type t
+
+val create : ?line_bytes:int -> ?capacity:int -> unit -> t
+(** [capacity] (default 512 line entries) models the finite hardware
+    filter: once full, the oldest entries are evicted, so a lifeguard whose
+    working set exceeds the filter re-checks events a larger structure
+    would have filtered.  A single timesliced filter covers every thread's
+    footprint; per-thread butterfly filters only their own. *)
+
+val flush : t -> unit
+
+val admit : t -> Tracing.Instr.t -> bool
+(** [admit t i] returns [true] when the event must be delivered to the
+    lifeguard (not filtered), updating filter state:
+    - plain accesses: admitted on first touch of each line since the last
+      flush/invalidation, filtered afterwards;
+    - [Malloc]/[Free]: always admitted, and invalidate their range;
+    - non-memory instructions: filtered (never reach the checker). *)
+
+val stats : t -> int * int
+(** (admitted, filtered) memory events so far. *)

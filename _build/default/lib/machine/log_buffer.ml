@@ -1,0 +1,50 @@
+type t = {
+  capacity : int;
+  produced : (int, int) Hashtbl.t; (* seq -> produce completion time *)
+  consumed : (int, int) Hashtbl.t; (* seq -> consume completion time *)
+  mutable next_produce : int;
+  mutable next_consume : int;
+  mutable stalls : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Log_buffer.create: capacity must be > 0";
+  {
+    capacity;
+    produced = Hashtbl.create 64;
+    consumed = Hashtbl.create 64;
+    next_produce = 0;
+    next_consume = 0;
+    stalls = 0;
+  }
+
+let occupancy t = t.next_produce - t.next_consume
+
+let produce t ~now =
+  let seq = t.next_produce in
+  let available =
+    if seq < t.capacity then now
+    else
+      (* Space frees when entry [seq - capacity] has been consumed. *)
+      let freed = Hashtbl.find t.consumed (seq - t.capacity) in
+      max now freed
+  in
+  t.stalls <- t.stalls + (available - now);
+  Hashtbl.replace t.produced seq available;
+  t.next_produce <- seq + 1;
+  (* Old bookkeeping can be dropped once consumed. *)
+  available
+
+let consume t ~now ~service =
+  if t.next_consume >= t.next_produce then
+    invalid_arg "Log_buffer.consume: empty";
+  let seq = t.next_consume in
+  let ready = Hashtbl.find t.produced seq in
+  let finish = max now ready + service in
+  Hashtbl.replace t.consumed seq finish;
+  Hashtbl.remove t.produced seq;
+  if seq - t.capacity >= 0 then Hashtbl.remove t.consumed (seq - t.capacity - 1);
+  t.next_consume <- seq + 1;
+  finish
+
+let stall_cycles t = t.stalls

@@ -1,0 +1,26 @@
+(** Timing model of the per-thread hardware log buffer.
+
+    The application core appends one entry per logged event; the lifeguard
+    core consumes them.  When the buffer is full the application stalls
+    (Section 7.1: "the monitored application stalls whenever the log buffer
+    is full").  This module computes the coupled timeline: each [produce]
+    reports when the append actually completes given the consumer's
+    progress, and accumulates the stall cycles. *)
+
+type t
+
+val create : capacity:int -> t
+
+val produce : t -> now:int -> int
+(** [produce t ~now] returns the completion time of the append: [now],
+    or later if the buffer is full (the producer waits for the oldest
+    outstanding entry to be consumed). *)
+
+val consume : t -> now:int -> service:int -> int
+(** [consume t ~now ~service] removes the oldest entry, finishing at
+    [max now produce_time + service]; returns the completion time.
+    Raises [Invalid_argument] when empty. *)
+
+val occupancy : t -> int
+val stall_cycles : t -> int
+(** Total producer cycles lost waiting for space. *)

@@ -1,0 +1,65 @@
+type cache_geometry = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+  latency : int;
+}
+
+type t = {
+  cores : int;
+  l1i : cache_geometry;
+  l1d : cache_geometry;
+  l2 : cache_geometry;
+  l2_banks : int;
+  memory_latency : int;
+  memory_bytes : int;
+  log_buffer_bytes : int;
+  log_entry_bytes : int;
+}
+
+let kb n = n * 1024
+let mb n = n * 1024 * 1024
+
+let default =
+  {
+    cores = 16;
+    l1i = { size_bytes = kb 64; ways = 4; line_bytes = 64; latency = 1 };
+    l1d = { size_bytes = kb 64; ways = 4; line_bytes = 64; latency = 2 };
+    l2 = { size_bytes = mb 4; ways = 8; line_bytes = 64; latency = 6 };
+    l2_banks = 4;
+    memory_latency = 90;
+    memory_bytes = mb 512;
+    log_buffer_bytes = kb 8;
+    log_entry_bytes = 8;
+  }
+
+let with_cores cores t = { t with cores }
+let log_buffer_entries t = t.log_buffer_bytes / t.log_entry_bytes
+
+let pp_geometry ppf g =
+  Format.fprintf ppf "%dKB, %d-way, %dB lines, %d-cycle" (g.size_bytes / 1024)
+    g.ways g.line_bytes g.latency
+
+let table1_rows t =
+  [
+    ("Cores", string_of_int t.cores);
+    ("Pipeline", "1 GHz, in-order scalar");
+    ("Line size", Printf.sprintf "%dB" t.l1d.line_bytes);
+    ( "L1-I",
+      Printf.sprintf "%dKB, %d-way set-assoc, %d cycle latency"
+        (t.l1i.size_bytes / 1024) t.l1i.ways t.l1i.latency );
+    ( "L1-D",
+      Printf.sprintf "%dKB, %d-way set-assoc, %d cycle latency"
+        (t.l1d.size_bytes / 1024) t.l1d.ways t.l1d.latency );
+    ( "L2",
+      Printf.sprintf "%dMB, %d-way set-assoc, %d banks, %d cycle latency"
+        (t.l2.size_bytes / 1024 / 1024) t.l2.ways t.l2_banks t.l2.latency );
+    ( "Memory",
+      Printf.sprintf "%dMB, %d cycle latency" (t.memory_bytes / 1024 / 1024)
+        t.memory_latency );
+    ("Log buffer", Printf.sprintf "%dKB" (t.log_buffer_bytes / 1024));
+  ]
+
+let pp ppf t =
+  List.iter (fun (k, v) -> Format.fprintf ppf "%-10s %s@." k v) (table1_rows t);
+  Format.fprintf ppf "L1-D geometry: %a@." pp_geometry t.l1d

@@ -1,0 +1,40 @@
+(** Machine model parameters (Table 1 of the paper).
+
+    The paper simulates a CMP with in-order scalar 1 GHz cores, private
+    64 KB L1 caches, a shared banked L2 and a hardware log buffer per
+    monitored thread (the Log-Based Architectures transport).  We reproduce
+    those parameters and let experiments scale them down. *)
+
+type cache_geometry = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+  latency : int;  (** access latency in cycles *)
+}
+
+type t = {
+  cores : int;  (** total cores; LBA uses 2k cores for k app threads *)
+  l1i : cache_geometry;
+  l1d : cache_geometry;
+  l2 : cache_geometry;
+  l2_banks : int;
+  memory_latency : int;
+  memory_bytes : int;
+  log_buffer_bytes : int;
+  log_entry_bytes : int;  (** bytes per logged event *)
+}
+
+val default : t
+(** Table 1: 4/8/16 cores, 64 KB 4-way L1 (1-cycle I, 2-cycle D), 2–8 MB
+    8-way L2 at 6 cycles, 90-cycle 512 MB memory, 8 KB log buffer.  [cores]
+    defaults to 16 and [l2] to 4 MB. *)
+
+val with_cores : int -> t -> t
+
+val log_buffer_entries : t -> int
+(** How many events the log buffer holds. *)
+
+val pp : Format.formatter -> t -> unit
+
+val table1_rows : t -> (string * string) list
+(** The simulator half of Table 1 as printable label/value rows. *)

@@ -1,0 +1,49 @@
+type t = {
+  config : Machine_config.t;
+  l1 : Cache.t;
+  l2 : Cache.t;
+}
+
+let create config ~l2 = { config; l1 = Cache.create config.Machine_config.l1d; l2 }
+let shared_l2 (config : Machine_config.t) = Cache.create config.l2
+
+let access t addr =
+  match Cache.access t.l1 addr with
+  | `Hit -> t.config.l1d.latency
+  | `Miss -> (
+    match Cache.access t.l2 addr with
+    | `Hit -> t.config.l1d.latency + t.config.l2.latency
+    | `Miss ->
+      t.config.l1d.latency + t.config.l2.latency + t.config.memory_latency)
+
+(* Allocator calls walk their metadata and touch the first line of the
+   range; model a fixed software cost plus one access per 4 lines. *)
+let allocator_base = 40
+
+let range_cycles t base size =
+  let line = t.config.l1d.line_bytes in
+  let lines = max 1 ((size + line - 1) / line) in
+  let cost = ref allocator_base in
+  let step = 4 * line in
+  let k = ref 0 in
+  while !k < lines * line do
+    cost := !cost + access t (base + !k);
+    k := !k + step
+  done;
+  !cost
+
+let instr_cycles t (i : Tracing.Instr.t) =
+  match i with
+  | Nop -> 1
+  | Malloc { base; size } | Free { base; size } -> 1 + range_cycles t base size
+  | _ ->
+    let accesses = Tracing.Instr.accesses i in
+    List.fold_left
+      (fun cycles a ->
+        (* The 1-cycle pipeline overlap hides part of an L1 hit. *)
+        cycles + max 0 (access t a - 1))
+      1 accesses
+
+type stats = { l1 : Cache.stats; l2 : Cache.stats }
+
+let stats (t : t) = { l1 = Cache.stats t.l1; l2 = Cache.stats t.l2 }

@@ -1,0 +1,23 @@
+(** A core's view of the memory hierarchy: private L1-D, shared L2, memory.
+
+    [access] returns the latency in cycles of one data access, updating the
+    caches.  The shared L2 is passed in so several cores' hierarchies can
+    share one (as on the simulated CMP). *)
+
+type t
+
+val create : Machine_config.t -> l2:Cache.t -> t
+val shared_l2 : Machine_config.t -> Cache.t
+
+val access : t -> Tracing.Addr.t -> int
+(** L1 hit: L1 latency; L1 miss/L2 hit: L1 + L2; both miss: + memory. *)
+
+val instr_cycles : t -> Tracing.Instr.t -> int
+(** Cycles to execute one instruction on the in-order scalar pipeline: one
+    base cycle plus data-access latencies beyond the 1-cycle L1 the
+    pipeline hides.  [Malloc]/[Free] charge an allocator cost plus a
+    traversal of the affected range's lines. *)
+
+type stats = { l1 : Cache.stats; l2 : Cache.stats }
+
+val stats : t -> stats

@@ -1,0 +1,109 @@
+type epoch_work = {
+  instrs : int;
+  app_cycles : int;
+  pass1_cycles : int;
+  pass2_cycles : int;
+}
+
+type parallel_input = {
+  work : epoch_work array array;
+  buffer_entries : int;
+  barrier_cycles : int;
+  epoch_fixed_cycles : int;
+}
+
+type parallel_result = {
+  makespan : int;
+  app_finish : int array;
+  lifeguard_finish : int array;
+  stall_cycles : int array;
+}
+
+(* Per-core lifeguard schedule: p1(0), p1(1), p2(0), p1(2), p2(1), ...
+   pass 2 of epoch e requires pass 1 of epoch e+1 on every thread (the
+   sliding window covers epochs e-1..e+1).  The application is coupled to
+   pass 1 through the finite log buffer. *)
+let parallel input =
+  let threads = Array.length input.work in
+  if threads = 0 then invalid_arg "Monitor_sim.parallel: no threads";
+  let epochs = Array.length input.work.(0) in
+  let w t e = input.work.(t).(e) in
+  let p1_finish = Array.make_matrix threads (epochs + 1) 0 in
+  let p2_finish = Array.make_matrix threads (epochs + 1) 0 in
+  let produce_done = Array.make threads 0 in
+  let stalls = Array.make threads 0 in
+  let service1 t e =
+    let k = w t e in
+    if k.instrs = 0 then 0 else (k.pass1_cycles + k.instrs - 1) / k.instrs
+  in
+  for e = 0 to epochs - 1 do
+    (* Pass 1 of epoch e on every lifeguard core. *)
+    for t = 0 to threads - 1 do
+      let k = w t e in
+      let prev_item =
+        if e = 0 then 0
+        else if e = 1 then p1_finish.(t).(0)
+        else p2_finish.(t).(e - 2)
+      in
+      let p1_start = prev_item in
+      (* Backpressure: the producer cannot finish the epoch before the
+         consumer has drained all but a buffer's worth of its events. *)
+      let natural = produce_done.(t) + k.app_cycles in
+      let drained =
+        p1_start + (service1 t e * max 0 (k.instrs - input.buffer_entries))
+      in
+      let actual = max natural drained in
+      stalls.(t) <- stalls.(t) + (actual - natural);
+      produce_done.(t) <- actual;
+      (* Pass 1 finishes after its own work, and no earlier than the last
+         event arrives plus draining the buffered tail. *)
+      let tail = service1 t e * min input.buffer_entries k.instrs in
+      p1_finish.(t).(e) <-
+        max (p1_start + k.pass1_cycles + input.epoch_fixed_cycles)
+          (actual + tail)
+    done;
+    (* Pass 2 of epoch e-1: needs pass 1 of epoch e on all threads. *)
+    if e >= 1 then (
+      let barrier =
+        Array.fold_left (fun m row -> max m row.(e)) 0
+          (Array.map (fun r -> r) p1_finish)
+        + input.barrier_cycles
+      in
+      for t = 0 to threads - 1 do
+        let k = w t (e - 1) in
+        p2_finish.(t).(e - 1) <-
+          max barrier p1_finish.(t).(e)
+          + k.pass2_cycles + input.epoch_fixed_cycles
+      done)
+  done;
+  (* Final epoch's pass 2: the window's tail is empty, so it only needs the
+     last epoch's own pass-1 summaries. *)
+  if epochs > 0 then (
+    let barrier =
+      Array.fold_left (fun m row -> max m row.(epochs - 1)) 0 p1_finish
+      + input.barrier_cycles
+    in
+    for t = 0 to threads - 1 do
+      let k = w t (epochs - 1) in
+      let prev = if epochs >= 2 then p2_finish.(t).(epochs - 2) else 0 in
+      p2_finish.(t).(epochs - 1) <-
+        max (max barrier prev) (p1_finish.(t).(epochs - 1))
+        + k.pass2_cycles + input.epoch_fixed_cycles
+    done);
+  let lifeguard_finish =
+    Array.init threads (fun t -> if epochs = 0 then 0 else p2_finish.(t).(epochs - 1))
+  in
+  {
+    makespan = Array.fold_left max 0 lifeguard_finish;
+    app_finish = Array.copy produce_done;
+    lifeguard_finish;
+    stall_cycles = stalls;
+  }
+
+type timesliced_input = {
+  app_total_cycles : int;
+  lifeguard_total_cycles : int;
+}
+
+let timesliced input =
+  max input.app_total_cycles input.lifeguard_total_cycles

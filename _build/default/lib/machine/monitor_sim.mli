@@ -1,0 +1,50 @@
+(** Timeline simulation of parallel and timesliced monitoring.
+
+    Reproduces the performance behaviour Section 7 measures:
+
+    - {b Parallel (butterfly)}: each application thread is paired with a
+      lifeguard thread on its own core.  Per epoch, the lifeguard runs
+      pass 1 streaming from the log (the application stalls when it gets a
+      full log buffer ahead), then all lifeguard threads exchange summaries
+      at a barrier, then pass 2 runs one epoch behind (the window needs the
+      next epoch's pass-1 summaries).  Makespan is the last pass-2
+      completion.
+    - {b Timesliced}: the state of the art — application threads interleave
+      on one core, a single sequential lifeguard consumes the merged log on
+      another; the slower side determines completion.
+
+    Work quantities (per-block lifeguard cycles, false-positive handling)
+    are supplied by the caller, which obtains them from the actual lifeguard
+    run: the timing model never invents analysis work. *)
+
+type epoch_work = {
+  instrs : int;  (** events logged by this block *)
+  app_cycles : int;  (** application execution cycles for this block *)
+  pass1_cycles : int;  (** lifeguard pass-1 cycles for this block *)
+  pass2_cycles : int;  (** lifeguard pass-2 cycles, incl. FP processing *)
+}
+
+type parallel_input = {
+  work : epoch_work array array;  (** [.(tid).(epoch)] *)
+  buffer_entries : int;  (** log-buffer capacity in events *)
+  barrier_cycles : int;  (** per-pass synchronization cost *)
+  epoch_fixed_cycles : int;  (** per-epoch summary/meet/SOS bookkeeping *)
+}
+
+type parallel_result = {
+  makespan : int;
+  app_finish : int array;  (** per-thread application completion *)
+  lifeguard_finish : int array;
+  stall_cycles : int array;  (** application cycles lost to a full buffer *)
+}
+
+val parallel : parallel_input -> parallel_result
+
+type timesliced_input = {
+  app_total_cycles : int;  (** all threads timesliced on one core *)
+  lifeguard_total_cycles : int;  (** sequential lifeguard over merged log *)
+}
+
+val timesliced : timesliced_input -> int
+(** Completion time: the application and the lifeguard proceed coupled
+    through the log buffer, so the slower side dominates. *)

@@ -1,0 +1,1 @@
+lib/memmodel/consistency.ml: Array Format List Tracing

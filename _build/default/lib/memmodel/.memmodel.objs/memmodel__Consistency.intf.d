@@ -1,0 +1,1 @@
+lib/memmodel/consistency.mli: Format Tracing

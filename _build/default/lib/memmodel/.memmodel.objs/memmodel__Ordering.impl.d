@@ -1,0 +1,1 @@
+lib/memmodel/ordering.ml: Array Format Hashtbl List Tracing

@@ -1,0 +1,1 @@
+lib/memmodel/ordering.mli: Format Tracing

@@ -1,0 +1,1 @@
+lib/memmodel/valid_ordering.ml: Array Consistency List Ordering Random Tracing

@@ -1,0 +1,1 @@
+lib/memmodel/valid_ordering.mli: Consistency Ordering Random Tracing

@@ -1,0 +1,81 @@
+type t = Sequential | Tso | Relaxed
+
+let equal a b = a = b
+
+let to_string = function
+  | Sequential -> "sequential"
+  | Tso -> "tso"
+  | Relaxed -> "relaxed"
+
+let pp ppf m = Format.pp_print_string ppf (to_string m)
+let all = [ Sequential; Tso; Relaxed ]
+
+(* Location footprints.  Malloc/Free touch their whole range (the allocator
+   mutates that memory and its metadata), so they order against any access
+   falling inside the range. *)
+
+type footprint = {
+  reads : (Tracing.Addr.t * int) list; (* (base, len) ranges read *)
+  writes : (Tracing.Addr.t * int) list;
+  fence : bool; (* system-call-like: ordered against everything *)
+}
+
+let footprint (i : Tracing.Instr.t) : footprint =
+  let pt a = (a, 1) in
+  match i with
+  | Assign_const x -> { reads = []; writes = [ pt x ]; fence = false }
+  | Assign_unop (x, a) -> { reads = [ pt a ]; writes = [ pt x ]; fence = false }
+  | Assign_binop (x, a, b) ->
+    { reads = [ pt a; pt b ]; writes = [ pt x ]; fence = false }
+  | Read a -> { reads = [ pt a ]; writes = []; fence = false }
+  | Malloc { base; size } | Free { base; size } ->
+    { reads = []; writes = [ (base, size) ]; fence = true }
+  | Taint_source x | Untaint x ->
+    { reads = []; writes = [ pt x ]; fence = true }
+  | Jump_via x | Syscall_arg x ->
+    { reads = [ pt x ]; writes = []; fence = true }
+  | Nop -> { reads = []; writes = []; fence = false }
+
+let ranges_overlap (b1, l1) (b2, l2) =
+  b1 < b2 + l2 && b2 < b1 + l1
+
+let any_overlap r1 r2 =
+  List.exists (fun a -> List.exists (fun b -> ranges_overlap a b) r2) r1
+
+(* Dependence edge under the weakest model: read-after-write,
+   write-after-write (coherence) or write-after-read on an overlapping
+   location, or either side is a fence. *)
+let depends fi fj =
+  fi.fence || fj.fence
+  || any_overlap fi.writes fj.reads
+  || any_overlap fi.writes fj.writes
+  || any_overlap fi.reads fj.writes
+
+(* TSO relaxes exactly store -> later load to a distinct location. *)
+let tso_ordered fi fj =
+  let pure_store f = f.writes <> [] && f.reads = [] && not f.fence in
+  let load f = f.reads <> [] in
+  if fi.fence || fj.fence then true
+  else if pure_store fi && load fj && not (any_overlap fi.writes fj.reads)
+  then depends fi fj
+  else true
+
+let intra_thread_edges m is =
+  let n = Array.length is in
+  match m with
+  | Sequential -> List.init (max 0 (n - 1)) (fun i -> (i, i + 1))
+  | Tso | Relaxed ->
+    let fp = Array.map footprint is in
+    let edges = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let ordered =
+          match m with
+          | Tso -> tso_ordered fp.(i) fp.(j)
+          | Relaxed -> depends fp.(i) fp.(j)
+          | Sequential -> true
+        in
+        if ordered then edges := (i, j) :: !edges
+      done
+    done;
+    List.rev !edges

@@ -1,0 +1,29 @@
+(** Memory consistency models.
+
+    Butterfly analysis supports any relaxed model that (i) respects each
+    thread's own intra-thread dependences and (ii) provides cache coherence
+    (Section 4.4).  This module defines the models we simulate and, for each
+    model, the intra-thread ordering constraints that any execution — and
+    hence any ordering the lifeguard must account for — preserves. *)
+
+type t =
+  | Sequential  (** Sequential consistency: full program order per thread. *)
+  | Tso
+      (** Total store order: loads may not pass loads or earlier ops; a
+          store may be delayed past subsequent loads to different
+          locations. *)
+  | Relaxed
+      (** The paper's weakest model: only same-location ordering (cache
+          coherence) and data dependences within a thread are preserved. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val all : t list
+
+val intra_thread_edges : t -> Tracing.Instr.t array -> (int * int) list
+(** [intra_thread_edges m is] returns the pairs [(i, j)], [i < j], such that
+    instruction [i] must become globally visible before instruction [j]
+    when the thread executes [is] under model [m].  The result is reduced to
+    immediate constraints (no transitive closure guarantee beyond what the
+    generators imply); consumers treat it as a DAG. *)

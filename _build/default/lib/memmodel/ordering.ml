@@ -1,0 +1,34 @@
+type step = { tid : Tracing.Tid.t; index : int }
+type t = step list
+
+let step tid index = { tid; index }
+let equal a b = a = b
+
+let apply threads o =
+  List.map
+    (fun { tid; index } ->
+      if tid < 0 || tid >= Array.length threads then
+        invalid_arg "Ordering.apply: bad tid";
+      let is = threads.(tid) in
+      if index < 0 || index >= Array.length is then
+        invalid_arg "Ordering.apply: bad index";
+      is.(index))
+    o
+
+let complete threads o =
+  let n = Array.fold_left (fun n is -> n + Array.length is) 0 threads in
+  let seen = Hashtbl.create n in
+  let ok =
+    List.for_all
+      (fun { tid; index } ->
+        (not (Hashtbl.mem seen (tid, index)))
+        && (Hashtbl.add seen (tid, index) (); true))
+      o
+  in
+  ok && Hashtbl.length seen = n
+
+let pp ppf o =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+    (fun ppf { tid; index } -> Format.fprintf ppf "(%d,%d)" tid index)
+    ppf o

@@ -1,0 +1,20 @@
+(** Total orderings of a parallel execution's instructions.
+
+    An ordering is a sequence of [(thread, index)] steps; applying it to the
+    per-thread instruction lists yields the single serialized instruction
+    stream a sequential lifeguard would consume. *)
+
+type step = { tid : Tracing.Tid.t; index : int }
+type t = step list
+
+val step : Tracing.Tid.t -> int -> step
+val equal : t -> t -> bool
+
+val apply : Tracing.Instr.t array array -> t -> Tracing.Instr.t list
+(** [apply threads o] maps each step to its instruction.  Raises
+    [Invalid_argument] if a step is out of range. *)
+
+val complete : Tracing.Instr.t array array -> t -> bool
+(** Does the ordering contain every instruction exactly once? *)
+
+val pp : Format.formatter -> t -> unit

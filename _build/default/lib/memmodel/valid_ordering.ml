@@ -1,0 +1,184 @@
+type t = {
+  threads : Tracing.Instr.t array array;
+  preds : int list array array; (* preds.(t).(i): intra-thread predecessors *)
+  epoch : int array array;
+  max_epoch : int;
+}
+
+let build_preds model threads =
+  Array.map
+    (fun is ->
+      let n = Array.length is in
+      let preds = Array.make n [] in
+      List.iter
+        (fun (i, j) -> preds.(j) <- i :: preds.(j))
+        (Consistency.intra_thread_edges model is);
+      preds)
+    threads
+
+let make ?(model = Consistency.Sequential) ?epoch_of threads =
+  let epoch_of = match epoch_of with Some f -> f | None -> fun _ _ -> 0 in
+  let epoch =
+    Array.mapi (fun t is -> Array.init (Array.length is) (epoch_of t)) threads
+  in
+  Array.iter
+    (fun es ->
+      let ok = ref true in
+      Array.iteri (fun i e -> if i > 0 && e < es.(i - 1) then ok := false) es;
+      if not !ok then
+        invalid_arg "Valid_ordering.make: epoch_of must be non-decreasing")
+    epoch;
+  let max_epoch =
+    Array.fold_left
+      (fun m es -> Array.fold_left max m es)
+      0 epoch
+  in
+  { threads; preds = build_preds model threads; epoch; max_epoch }
+
+let of_blocks ?model per_thread_blocks =
+  let threads =
+    Array.map (fun bs -> Array.concat (List.map Array.copy bs)) per_thread_blocks
+  in
+  let epoch_tbl =
+    Array.map
+      (fun bs ->
+        Array.concat
+          (List.mapi (fun l b -> Array.make (Array.length b) l) bs))
+      per_thread_blocks
+  in
+  make ?model ~epoch_of:(fun t i -> epoch_tbl.(t).(i)) threads
+
+let threads t = t.threads
+
+let instr_count t =
+  Array.fold_left (fun n is -> n + Array.length is) 0 t.threads
+
+let strictly_before ~epoch_a ~epoch_b = epoch_a <= epoch_b - 2
+
+(* Enumeration state shared by iter / is_valid / sample. *)
+type state = {
+  emitted : bool array array;
+  remaining_in_epoch : int array; (* count of unemitted instrs per epoch *)
+  mutable emitted_total : int;
+}
+
+let init_state t =
+  let remaining = Array.make (t.max_epoch + 1) 0 in
+  Array.iter
+    (Array.iter (fun e -> remaining.(e) <- remaining.(e) + 1))
+    t.epoch;
+  {
+    emitted = Array.map (fun is -> Array.make (Array.length is) false) t.threads;
+    remaining_in_epoch = remaining;
+    emitted_total = 0;
+  }
+
+let min_pending_epoch st =
+  let rec go e =
+    if e >= Array.length st.remaining_in_epoch then max_int
+    else if st.remaining_in_epoch.(e) > 0 then e
+    else go (e + 1)
+  in
+  go 0
+
+let ready t st tid index =
+  (not st.emitted.(tid).(index))
+  && List.for_all (fun p -> st.emitted.(tid).(p)) t.preds.(tid).(index)
+  && t.epoch.(tid).(index) <= min_pending_epoch st + 1
+
+let emit t st tid index =
+  st.emitted.(tid).(index) <- true;
+  st.remaining_in_epoch.(t.epoch.(tid).(index)) <-
+    st.remaining_in_epoch.(t.epoch.(tid).(index)) - 1;
+  st.emitted_total <- st.emitted_total + 1
+
+let unemit t st tid index =
+  st.emitted.(tid).(index) <- false;
+  st.remaining_in_epoch.(t.epoch.(tid).(index)) <-
+    st.remaining_in_epoch.(t.epoch.(tid).(index)) + 1;
+  st.emitted_total <- st.emitted_total - 1
+
+let candidates t st =
+  let cs = ref [] in
+  for tid = Array.length t.threads - 1 downto 0 do
+    for index = Array.length t.threads.(tid) - 1 downto 0 do
+      if ready t st tid index then cs := (tid, index) :: !cs
+    done
+  done;
+  !cs
+
+exception Stop
+
+let iter ?(cap = 100_000) t f =
+  let st = init_state t in
+  let total = instr_count t in
+  let seen = ref 0 in
+  let exhaustive = ref true in
+  let rec go acc =
+    if st.emitted_total = total then (
+      f (List.rev acc);
+      incr seen;
+      if !seen >= cap then (
+        exhaustive := false;
+        raise Stop))
+    else
+      List.iter
+        (fun (tid, index) ->
+          emit t st tid index;
+          go (Ordering.step tid index :: acc);
+          unemit t st tid index)
+        (candidates t st)
+  in
+  (try go [] with Stop -> ());
+  !exhaustive
+
+let enumerate ?cap t =
+  let acc = ref [] in
+  let exhaustive = iter ?cap t (fun o -> acc := o :: !acc) in
+  (List.rev !acc, exhaustive)
+
+let count ?cap t =
+  let n = ref 0 in
+  let exhaustive = iter ?cap t (fun _ -> incr n) in
+  (!n, exhaustive)
+
+let exists ?cap t p =
+  let found = ref false in
+  let _ =
+    try iter ?cap t (fun o -> if p o then (found := true; raise Stop))
+    with Stop -> false
+  in
+  !found
+
+let for_all ?cap t p = not (exists ?cap t (fun o -> not (p o)))
+
+let is_valid t o =
+  let st = init_state t in
+  let total = instr_count t in
+  let rec go = function
+    | [] -> st.emitted_total = total
+    | { Ordering.tid; index } :: rest ->
+      tid >= 0
+      && tid < Array.length t.threads
+      && index >= 0
+      && index < Array.length t.threads.(tid)
+      && ready t st tid index
+      && (emit t st tid index;
+          go rest)
+  in
+  go o
+
+let sample rng t =
+  let st = init_state t in
+  let total = instr_count t in
+  let rec go acc =
+    if st.emitted_total = total then List.rev acc
+    else
+      match candidates t st with
+      | [] -> assert false (* the constraint DAG is acyclic *)
+      | cs ->
+        let tid, index = List.nth cs (Random.State.int rng (List.length cs)) in
+        emit t st tid index;
+        go (Ordering.step tid index :: acc)
+  in
+  go []

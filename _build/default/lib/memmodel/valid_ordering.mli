@@ -1,0 +1,59 @@
+(** Valid orderings (Section 5, "Valid Ordering").
+
+    A valid ordering is a total order over the instructions of the first
+    [k] epochs that respects (i) each thread's intra-thread constraints
+    under the chosen consistency model and (ii) the butterfly epoch
+    assumption: every instruction of epoch [l] becomes globally visible
+    before any instruction of epoch [l+2].
+
+    The set of valid orderings is a superset of the orderings any machine
+    obeying the model can produce, which is exactly why enumerating them
+    provides ground truth for the paper's zero-false-negative theorems.
+    Enumeration is exponential and meant for small traces in tests;
+    [sample] provides cheap randomized orderings for larger ones. *)
+
+type t
+
+val make :
+  ?model:Consistency.t ->
+  ?epoch_of:(Tracing.Tid.t -> int -> int) ->
+  Tracing.Instr.t array array ->
+  t
+(** [make threads] builds the constraint system.  [model] defaults to
+    {!Consistency.Sequential}.  [epoch_of tid index] assigns each
+    instruction to an epoch and must be non-decreasing in [index] for each
+    thread; it defaults to a single epoch (pure interleaving semantics,
+    i.e. no butterfly window constraint). *)
+
+val of_blocks :
+  ?model:Consistency.t -> Tracing.Instr.t array list array -> t
+(** [of_blocks per_thread_blocks] assigns epoch [l] to every instruction of
+    each thread's [l]-th block, as produced by {!Tracing.Trace.blocks}. *)
+
+val threads : t -> Tracing.Instr.t array array
+val instr_count : t -> int
+
+val is_valid : t -> Ordering.t -> bool
+(** Complete ordering respecting all constraints? *)
+
+val iter : ?cap:int -> t -> (Ordering.t -> unit) -> bool
+(** Visit valid orderings; stops after [cap] (default 100_000).  Returns
+    [true] if the enumeration was exhaustive (not truncated by the cap). *)
+
+val enumerate : ?cap:int -> t -> Ordering.t list * bool
+val count : ?cap:int -> t -> int * bool
+
+val exists : ?cap:int -> t -> (Ordering.t -> bool) -> bool
+(** Early-exit search among the first [cap] valid orderings. *)
+
+val for_all : ?cap:int -> t -> (Ordering.t -> bool) -> bool
+
+val sample : Random.State.t -> t -> Ordering.t
+(** One random valid ordering (greedy random topological sort; not uniform
+    over the extension space, but covers it with nonzero probability). *)
+
+val strictly_before :
+  epoch_a:int -> epoch_b:int -> bool
+(** The coarse strict-ordering test between instructions of different
+    threads: epoch [a] happens strictly before epoch [b] iff
+    [epoch_a <= epoch_b - 2]. *)

@@ -1,0 +1,1 @@
+lib/trace/addr.mli: Format

@@ -1,0 +1,1 @@
+lib/trace/program.ml: Array Format List Tid Trace

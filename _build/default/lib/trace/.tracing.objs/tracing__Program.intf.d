@@ -1,0 +1,1 @@
+lib/trace/program.mli: Format Instr Tid Trace

@@ -1,0 +1,1 @@
+lib/trace/trace_codec.ml: Addr Array Buffer Char Event Hashtbl In_channel Instr List Printf Program Result String Trace

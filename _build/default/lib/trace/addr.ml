@@ -1,0 +1,12 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp ppf a = Format.fprintf ppf "0x%x" a
+let to_string a = Format.asprintf "%a" pp a
+
+let of_string s =
+  match int_of_string_opt s with
+  | Some a -> Some a
+  | None -> None

@@ -1,0 +1,19 @@
+(** Application memory addresses.
+
+    Lifeguards maintain shadow metadata for every location in the monitored
+    application's address space; we represent locations as plain integer
+    byte addresses. *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** [pp] prints addresses in hexadecimal, e.g. [0x1f40]. *)
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** [of_string s] parses decimal or [0x]-prefixed hexadecimal. *)

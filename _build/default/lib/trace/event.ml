@@ -1,0 +1,11 @@
+type t = Instr of Instr.t | Heartbeat
+
+let equal a b =
+  match (a, b) with
+  | Heartbeat, Heartbeat -> true
+  | Instr i, Instr j -> Instr.equal i j
+  | (Instr _ | Heartbeat), _ -> false
+
+let pp ppf = function
+  | Instr i -> Instr.pp ppf i
+  | Heartbeat -> Format.fprintf ppf "-- heartbeat --"

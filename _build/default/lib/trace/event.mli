@@ -1,0 +1,13 @@
+(** Events delivered to a lifeguard thread.
+
+    A lifeguard consumes the monitored thread's dynamic instructions
+    interleaved with {e heartbeat} markers.  Heartbeats are delivered to all
+    threads (not necessarily simultaneously) and demarcate uncertainty-epoch
+    boundaries (Section 4.1). *)
+
+type t =
+  | Instr of Instr.t  (** An application instruction. *)
+  | Heartbeat  (** Epoch boundary marker inserted into the log. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

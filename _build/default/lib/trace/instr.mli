@@ -1,0 +1,71 @@
+(** Dynamic-trace instructions.
+
+    A lifeguard observes a per-thread sequence of application events
+    (Section 2 of the paper).  This module defines the event vocabulary:
+    data movement between memory locations (registers are modelled as
+    thread-private locations), heap management, taint sources and sinks,
+    and neutral work.
+
+    Instructions carry only the information lifeguards consume — operand
+    {e addresses} — never computed values: AddrCheck cares about which
+    locations are touched, allocated and freed; TaintCheck cares about which
+    locations flow into which. *)
+
+type t =
+  | Assign_const of Addr.t
+      (** [x := k] — writes location [x] with a constant; defines [x],
+          clears taint. *)
+  | Assign_unop of Addr.t * Addr.t
+      (** [x := op a] — reads [a], writes [x]; [x] inherits [a]'s taint. *)
+  | Assign_binop of Addr.t * Addr.t * Addr.t
+      (** [x := a op b] — reads [a] and [b], writes [x]; [x] inherits the OR
+          of the sources' taint. *)
+  | Read of Addr.t
+      (** A bare load whose value is consumed without being stored (e.g. a
+          compare); an access for AddrCheck, a no-op for TaintCheck. *)
+  | Malloc of { base : Addr.t; size : int }
+      (** Allocation of [size] bytes at [base..base+size-1]. *)
+  | Free of { base : Addr.t; size : int }
+      (** Deallocation of the region allocated at [base]. *)
+  | Taint_source of Addr.t
+      (** A system call writes untrusted data (network, untrusted file) into
+          the location; TAINTCHECK marks it tainted. *)
+  | Untaint of Addr.t
+      (** The program validates/overwrites the location with trusted data. *)
+  | Jump_via of Addr.t
+      (** Indirect control transfer through the value stored at the
+          location: a TAINTCHECK sink. *)
+  | Syscall_arg of Addr.t
+      (** The location is passed to a critical system call (e.g. a format
+          string): a TAINTCHECK sink. *)
+  | Nop  (** Computation that touches no monitored memory. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val reads : t -> Addr.t list
+(** Locations whose values the instruction consumes (single bytes; [Malloc]
+    and [Free] read nothing). *)
+
+val writes : t -> Addr.t option
+(** The single location the instruction defines, if any.  [Malloc]/[Free]
+    return [None]: they change allocation metadata, not location values
+    (use {!alloc_effect}). *)
+
+val accesses : t -> Addr.t list
+(** All locations read or written — the events AddrCheck checks.  Excludes
+    the regions managed by [Malloc]/[Free] themselves. *)
+
+val alloc_effect : t -> [ `Alloc of Addr.t * int | `Free of Addr.t * int | `None ]
+(** Heap-management effect, if any. *)
+
+val is_memory_event : t -> bool
+(** [true] iff the instruction generates at least one load or store the
+    monitoring hardware would log (i.e. {!accesses} is non-empty or the
+    instruction manages the heap). *)
+
+val taint_sink : t -> Addr.t option
+(** The location whose taint status must be checked at this instruction
+    ([Jump_via], [Syscall_arg]). *)

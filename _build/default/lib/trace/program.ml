@@ -1,0 +1,31 @@
+type t = { traces : Trace.t array }
+
+let make ts =
+  if ts = [] then invalid_arg "Program.make: no threads";
+  { traces = Array.of_list ts }
+
+let of_instrs iss = make (List.map Trace.of_instrs iss)
+let threads p = Array.length p.traces
+
+let trace p t =
+  if t < 0 || t >= threads p then invalid_arg "Program.trace: bad tid";
+  p.traces.(t)
+
+let traces p = Array.copy p.traces
+
+let total_instrs p =
+  Array.fold_left (fun n tr -> n + Trace.instr_count tr) 0 p.traces
+
+let total_memory_events p =
+  Array.fold_left (fun n tr -> n + Trace.memory_event_count tr) 0 p.traces
+
+let with_heartbeats ~every p =
+  { traces = Array.map (Trace.with_heartbeats ~every) p.traces }
+
+let map_traces f p = { traces = Array.mapi f p.traces }
+
+let pp ppf p =
+  Array.iteri
+    (fun t tr ->
+      Format.fprintf ppf "--- %a ---@.%a" Tid.pp t Trace.pp tr)
+    p.traces

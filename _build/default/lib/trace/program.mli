@@ -1,0 +1,28 @@
+(** A monitored parallel execution: one dynamic trace per application
+    thread.
+
+    This is the monitoring model of Section 2 — multiple event sequences,
+    one per application thread, each processed by its own lifeguard thread.
+    No inter-thread ordering information is recorded. *)
+
+type t
+
+val make : Trace.t list -> t
+(** Thread [t]'s trace is the [t]-th element. *)
+
+val of_instrs : Instr.t list list -> t
+
+val threads : t -> int
+val trace : t -> Tid.t -> Trace.t
+val traces : t -> Trace.t array
+
+val total_instrs : t -> int
+val total_memory_events : t -> int
+
+val with_heartbeats : every:int -> t -> t
+(** Re-heartbeat every thread with the given epoch size (in instructions per
+    thread).  Staggered delivery is modelled downstream by the epoch
+    assignment, not here. *)
+
+val map_traces : (Tid.t -> Trace.t -> Trace.t) -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,11 @@
+(** Application thread identifiers.
+
+    Threads are numbered densely from [0]; thread [t]'s dynamic trace is the
+    [t]-th event sequence of a {!Program.t}. *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,50 @@
+type t = Event.t array
+
+let of_events evs = Array.of_list evs
+let of_instrs is = Array.of_list (List.map (fun i -> Event.Instr i) is)
+let events t = t
+
+let instrs t =
+  Array.to_list t
+  |> List.filter_map (function Event.Instr i -> Some i | Event.Heartbeat -> None)
+
+let length = Array.length
+let instr_count t = List.length (instrs t)
+
+let memory_event_count t =
+  List.fold_left
+    (fun n i -> if Instr.is_memory_event i then n + 1 else n)
+    0 (instrs t)
+
+let with_heartbeats ~every t =
+  if every <= 0 then invalid_arg "Trace.with_heartbeats: every must be > 0";
+  let is = instrs t in
+  let buf = ref [] in
+  let count = ref 0 in
+  let emit e = buf := e :: !buf in
+  List.iter
+    (fun i ->
+      emit (Event.Instr i);
+      incr count;
+      if !count mod every = 0 then emit Event.Heartbeat)
+    is;
+  Array.of_list (List.rev !buf)
+
+let blocks t =
+  let acc = ref [] in
+  let cur = ref [] in
+  Array.iter
+    (fun e ->
+      match e with
+      | Event.Instr i -> cur := i :: !cur
+      | Event.Heartbeat ->
+        acc := Array.of_list (List.rev !cur) :: !acc;
+        cur := [])
+    t;
+  acc := Array.of_list (List.rev !cur) :: !acc;
+  List.rev !acc
+
+let append = Array.append
+
+let pp ppf t =
+  Array.iteri (fun k e -> Format.fprintf ppf "%4d %a@." k Event.pp e) t

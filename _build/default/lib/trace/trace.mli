@@ -1,0 +1,31 @@
+(** A single thread's dynamic trace: the event sequence one lifeguard
+    thread consumes. *)
+
+type t
+
+val of_events : Event.t list -> t
+val of_instrs : Instr.t list -> t
+(** A trace with no heartbeats. *)
+
+val events : t -> Event.t array
+val instrs : t -> Instr.t list
+(** Instructions in program order, heartbeats stripped. *)
+
+val length : t -> int
+(** Total number of events including heartbeats. *)
+
+val instr_count : t -> int
+val memory_event_count : t -> int
+(** Number of instructions that generate logged loads/stores. *)
+
+val with_heartbeats : every:int -> t -> t
+(** [with_heartbeats ~every t] strips any existing heartbeats and inserts a
+    heartbeat after every [every] instructions.  [every] must be positive. *)
+
+val blocks : t -> Instr.t array list
+(** Split at heartbeats: the list of per-epoch instruction blocks, in epoch
+    order.  A trace with [k] heartbeats yields [k+1] blocks (possibly
+    empty). *)
+
+val append : t -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,286 @@
+let encode_event buf tid e =
+  let addf fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  let a = Addr.to_string in
+  (match e with
+  | Event.Heartbeat -> addf "%d heartbeat" tid
+  | Event.Instr i -> (
+    match i with
+    | Instr.Assign_const x -> addf "%d assign %s" tid (a x)
+    | Instr.Assign_unop (x, s) -> addf "%d unop %s %s" tid (a x) (a s)
+    | Instr.Assign_binop (x, s1, s2) ->
+      addf "%d binop %s %s %s" tid (a x) (a s1) (a s2)
+    | Instr.Read s -> addf "%d read %s" tid (a s)
+    | Instr.Malloc { base; size } -> addf "%d malloc %s %d" tid (a base) size
+    | Instr.Free { base; size } -> addf "%d free %s %d" tid (a base) size
+    | Instr.Taint_source x -> addf "%d taint %s" tid (a x)
+    | Instr.Untaint x -> addf "%d untaint %s" tid (a x)
+    | Instr.Jump_via x -> addf "%d jump %s" tid (a x)
+    | Instr.Syscall_arg x -> addf "%d sysarg %s" tid (a x)
+    | Instr.Nop -> addf "%d nop" tid));
+  Buffer.add_char buf '\n'
+
+let encode p =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "threads %d\n" (Program.threads p));
+  for t = 0 to Program.threads p - 1 do
+    Array.iter (encode_event buf t) (Trace.events (Program.trace p t))
+  done;
+  Buffer.contents buf
+
+let encode_to_channel oc p = output_string oc (encode p)
+
+let parse_line lineno line =
+  let fail fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt
+  in
+  let words =
+    String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [] -> Ok None
+  | [ "threads"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> Ok (Some (n - 1, `Declare))
+    | _ -> fail "bad thread count %S" n)
+  | tid_s :: rest -> (
+    match int_of_string_opt tid_s with
+    | None -> fail "bad thread id %S" tid_s
+    | Some tid when tid < 0 -> fail "negative thread id"
+    | Some tid -> (
+      let addr w =
+        match Addr.of_string w with
+        | Some x -> Ok x
+        | None -> Error (Printf.sprintf "line %d: bad address %S" lineno w)
+      in
+      let int w =
+        match int_of_string_opt w with
+        | Some x -> Ok x
+        | None -> Error (Printf.sprintf "line %d: bad integer %S" lineno w)
+      in
+      let ( let* ) = Result.bind in
+      let instr i = Ok (Some (tid, `Event (Event.Instr i))) in
+      match rest with
+      | [ "heartbeat" ] -> Ok (Some (tid, `Event Event.Heartbeat))
+      | [ "nop" ] -> instr Instr.Nop
+      | [ "assign"; x ] ->
+        let* x = addr x in
+        instr (Instr.Assign_const x)
+      | [ "unop"; x; s ] ->
+        let* x = addr x in
+        let* s = addr s in
+        instr (Instr.Assign_unop (x, s))
+      | [ "binop"; x; s1; s2 ] ->
+        let* x = addr x in
+        let* s1 = addr s1 in
+        let* s2 = addr s2 in
+        instr (Instr.Assign_binop (x, s1, s2))
+      | [ "read"; s ] ->
+        let* s = addr s in
+        instr (Instr.Read s)
+      | [ "malloc"; b; sz ] ->
+        let* b = addr b in
+        let* sz = int sz in
+        instr (Instr.Malloc { base = b; size = sz })
+      | [ "free"; b; sz ] ->
+        let* b = addr b in
+        let* sz = int sz in
+        instr (Instr.Free { base = b; size = sz })
+      | [ "taint"; x ] ->
+        let* x = addr x in
+        instr (Instr.Taint_source x)
+      | [ "untaint"; x ] ->
+        let* x = addr x in
+        instr (Instr.Untaint x)
+      | [ "jump"; x ] ->
+        let* x = addr x in
+        instr (Instr.Jump_via x)
+      | [ "sysarg"; x ] ->
+        let* x = addr x in
+        instr (Instr.Syscall_arg x)
+      | mnemonic :: _ -> fail "unknown mnemonic %S" mnemonic
+      | [] -> fail "missing mnemonic"))
+
+let decode s =
+  let lines = String.split_on_char '\n' s in
+  let table : (int, Event.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let max_tid = ref (-1) in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" || String.length line > 0 && line.[0] = '#' then
+        go (lineno + 1) rest
+      else (
+        match parse_line lineno line with
+        | Error _ as e -> e
+        | Ok None -> go (lineno + 1) rest
+        | Ok (Some (tid, `Declare)) ->
+          max_tid := max !max_tid tid;
+          go (lineno + 1) rest
+        | Ok (Some (tid, `Event ev)) ->
+          max_tid := max !max_tid tid;
+          let cell =
+            match Hashtbl.find_opt table tid with
+            | Some c -> c
+            | None ->
+              let c = ref [] in
+              Hashtbl.add table tid c;
+              c
+          in
+          cell := ev :: !cell;
+          go (lineno + 1) rest)
+  in
+  match go 1 lines with
+  | Error m -> Error m
+  | Ok () ->
+    if !max_tid < 0 then Error "empty trace: no events"
+    else
+      let ts =
+        List.init (!max_tid + 1) (fun t ->
+            match Hashtbl.find_opt table t with
+            | None -> Trace.of_events []
+            | Some c -> Trace.of_events (List.rev !c))
+      in
+      Ok (Program.make ts)
+
+let decode_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> decode s
+  | exception Sys_error m -> Error m
+
+let roundtrip_exn p =
+  match decode (encode p) with
+  | Ok p' -> p'
+  | Error m -> failwith ("Trace_codec.roundtrip_exn: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Binary format. *)
+
+let magic = "BFLY1"
+
+let put_varint buf n =
+  if n < 0 then invalid_arg "Trace_codec.encode_binary: negative operand";
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let b = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then (
+      Buffer.add_char buf (Char.chr b);
+      continue := false)
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+let opcode = function
+  | Event.Heartbeat -> 0
+  | Event.Instr i -> (
+    match i with
+    | Instr.Nop -> 1
+    | Instr.Assign_const _ -> 2
+    | Instr.Assign_unop _ -> 3
+    | Instr.Assign_binop _ -> 4
+    | Instr.Read _ -> 5
+    | Instr.Malloc _ -> 6
+    | Instr.Free _ -> 7
+    | Instr.Taint_source _ -> 8
+    | Instr.Untaint _ -> 9
+    | Instr.Jump_via _ -> 10
+    | Instr.Syscall_arg _ -> 11)
+
+let put_event buf e =
+  Buffer.add_char buf (Char.chr (opcode e));
+  match e with
+  | Event.Heartbeat -> ()
+  | Event.Instr i -> (
+    match i with
+    | Instr.Nop -> ()
+    | Instr.Assign_const x | Instr.Read x | Instr.Taint_source x
+    | Instr.Untaint x | Instr.Jump_via x | Instr.Syscall_arg x ->
+      put_varint buf x
+    | Instr.Assign_unop (x, a) ->
+      put_varint buf x;
+      put_varint buf a
+    | Instr.Assign_binop (x, a, b) ->
+      put_varint buf x;
+      put_varint buf a;
+      put_varint buf b
+    | Instr.Malloc { base; size } | Instr.Free { base; size } ->
+      put_varint buf base;
+      put_varint buf size)
+
+let encode_binary p =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  put_varint buf (Program.threads p);
+  for t = 0 to Program.threads p - 1 do
+    let events = Trace.events (Program.trace p t) in
+    put_varint buf (Array.length events);
+    Array.iter (put_event buf) events
+  done;
+  Buffer.contents buf
+
+exception Malformed of string
+
+let decode_binary s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let byte () =
+    if !pos >= len then raise (Malformed "truncated input");
+    let b = Char.code s.[!pos] in
+    incr pos;
+    b
+  in
+  let varint () =
+    let rec go shift acc =
+      if shift > 56 then raise (Malformed "varint too long");
+      let b = byte () in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 <> 0 then go (shift + 7) acc else acc
+    in
+    go 0 0
+  in
+  let event () =
+    match byte () with
+    | 0 -> Event.Heartbeat
+    | 1 -> Event.Instr Instr.Nop
+    | 2 -> Event.Instr (Instr.Assign_const (varint ()))
+    | 3 ->
+      let x = varint () in
+      Event.Instr (Instr.Assign_unop (x, varint ()))
+    | 4 ->
+      let x = varint () in
+      let a = varint () in
+      Event.Instr (Instr.Assign_binop (x, a, varint ()))
+    | 5 -> Event.Instr (Instr.Read (varint ()))
+    | 6 ->
+      let base = varint () in
+      Event.Instr (Instr.Malloc { base; size = varint () })
+    | 7 ->
+      let base = varint () in
+      Event.Instr (Instr.Free { base; size = varint () })
+    | 8 -> Event.Instr (Instr.Taint_source (varint ()))
+    | 9 -> Event.Instr (Instr.Untaint (varint ()))
+    | 10 -> Event.Instr (Instr.Jump_via (varint ()))
+    | 11 -> Event.Instr (Instr.Syscall_arg (varint ()))
+    | op -> raise (Malformed (Printf.sprintf "unknown opcode %d" op))
+  in
+  try
+    if len < String.length magic || String.sub s 0 (String.length magic) <> magic
+    then Error "bad magic"
+    else (
+      pos := String.length magic;
+      let threads = varint () in
+      if threads <= 0 || threads > 4096 then raise (Malformed "bad thread count");
+      let ts =
+        List.init threads (fun _ ->
+            let n = varint () in
+            if n < 0 || n > 100_000_000 then raise (Malformed "bad event count");
+            Trace.of_events (List.init n (fun _ -> event ())))
+      in
+      if !pos <> len then Error "trailing bytes" else Ok (Program.make ts))
+  with Malformed m -> Error m
+
+let binary_roundtrip_exn p =
+  match decode_binary (encode_binary p) with
+  | Ok p2 -> p2
+  | Error m -> failwith ("Trace_codec.binary_roundtrip_exn: " ^ m)

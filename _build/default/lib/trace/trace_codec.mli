@@ -1,0 +1,45 @@
+(** Textual serialization of programs (multi-threaded traces).
+
+    The format is line-oriented; each non-blank, non-comment line is
+    [<tid> <mnemonic> <operands...>]:
+
+    {v
+    # comment
+    threads 2
+    0 malloc 0x100 64
+    0 binop 0x10 0x100 0x104
+    1 read 0x100
+    0 heartbeat
+    v}
+
+    A [threads N] directive declares the thread count (needed when a
+    thread's trace is empty).  Mnemonics: [assign x], [unop x a], [binop x a b], [read a],
+    [malloc base size], [free base size], [taint x], [untaint x],
+    [jump x], [sysarg x], [nop], [heartbeat].
+
+    This is the trace tooling the paper's LBA hardware provided; here it
+    lets externally generated traces be fed to the analyses and lets
+    workload traces be inspected and persisted. *)
+
+val encode : Program.t -> string
+val encode_to_channel : out_channel -> Program.t -> unit
+
+val decode : string -> (Program.t, string) result
+(** Returns [Error msg] with a 1-based line number on malformed input. *)
+
+val decode_file : string -> (Program.t, string) result
+
+val roundtrip_exn : Program.t -> Program.t
+(** [decode (encode p)], raising [Failure] on codec disagreement; used by
+    tests. *)
+
+(** {1 Binary format}
+
+    A compact varint-encoded format for large traces (the text format costs
+    ~20 bytes/event; the binary one 2–6).  Layout: magic ["BFLY1"], varint
+    thread count, then per thread a varint event count followed by events
+    (opcode byte + varint operands). *)
+
+val encode_binary : Program.t -> string
+val decode_binary : string -> (Program.t, string) result
+val binary_roundtrip_exn : Program.t -> Program.t

@@ -1,0 +1,1 @@
+lib/workloads/barnes.ml: Array Random Tracing Workload

@@ -1,0 +1,1 @@
+lib/workloads/faults.ml: Format Synthetic Tracing Workload

@@ -1,0 +1,1 @@
+lib/workloads/faults.mli: Format Tracing

@@ -1,0 +1,1 @@
+lib/workloads/ocean.ml: Array Tracing Workload

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Barnes Blackscholes Fft Fmm List Lu Ocean String Workload

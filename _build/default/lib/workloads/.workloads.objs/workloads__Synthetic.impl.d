@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Array Printf Random Tracing Workload

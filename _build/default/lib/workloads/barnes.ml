@@ -1,0 +1,68 @@
+module I = Tracing.Instr
+
+(* Fixed problem size: 512 bodies and a 128-node tree, partitioned across
+   threads.  The node pool is allocated once and rewired in place each
+   timestep, as in the Splash-2 original. *)
+
+let total_bodies = 2048
+let tree_nodes = 512
+let warmup = 1100
+
+let generate ~threads ~scale ~seed =
+  if threads <= 0 then invalid_arg "Barnes.generate: threads must be > 0";
+  if total_bodies mod threads <> 0 then
+    invalid_arg "Barnes.generate: threads must divide 2048";
+  let heap = Workload.Heap.create () in
+  let bundle = Workload.Bundle.create ~threads in
+  let ems = Workload.Bundle.emitters bundle in
+  let rngs =
+    Array.init threads (fun t -> Random.State.make [| seed; t; 0xba41e5 |])
+  in
+  let bodies_per_thread = total_bodies / threads in
+  let bodies =
+    Array.init threads (fun t ->
+        Workload.Heap.alloc heap ems.(t) (64 * bodies_per_thread))
+  in
+  let tree = ref (Workload.Heap.alloc heap ems.(0) (64 * tree_nodes)) in
+  (* Warm-up: let the initial allocations reach the strongly ordered past
+     before compute begins (real runs spend this time in startup code). *)
+  Array.iter (fun em -> Workload.Emitter.nops em warmup) ems;
+  let done_ () = Array.for_all (fun e -> Workload.Emitter.length e >= scale) ems in
+  while not (done_ ()) do
+    (* Master rewires tree nodes in place (the node pool is allocated once,
+       as in Splash-2 BARNES). *)
+    let em0 = ems.(0) in
+    for n = 0 to (tree_nodes / 4) - 1 do
+      Workload.Emitter.emit em0
+        (I.Assign_const (Workload.elem_l !tree (n * 4 mod tree_nodes)))
+    done;
+    (* All threads: force phase — pointer-chasing walks of the shared tree,
+       then a write-back to the thread's own bodies. *)
+    Array.iteri
+      (fun t em ->
+        let rng = rngs.(t) in
+        for b = 0 to bodies_per_thread - 1 do
+          let acc = Workload.elem_l bodies.(t) b in
+          let node = ref (Random.State.int rng tree_nodes) in
+          for _ = 1 to 4 do
+            Workload.Emitter.emit em
+              (I.Assign_binop (acc, acc, Workload.elem_l !tree !node));
+            node := (!node * 2 + 1 + Random.State.int rng 3) mod tree_nodes;
+            Workload.Emitter.nops em 2
+          done;
+          Workload.Emitter.emit em (I.Assign_const (Workload.elem_l bodies.(t) b))
+        done)
+      ems
+  done;
+  Workload.Bundle.align ~extra:warmup bundle;
+  Workload.Heap.free heap ems.(0) !tree;
+  Array.iteri (fun t base -> Workload.Heap.free heap ems.(t) base) bodies;
+  bundle
+
+let profile =
+  {
+    Workload.name = "barnes";
+    suite = "Splash-2";
+    input_desc = "16384 bodies";
+    generate;
+  }

@@ -1,0 +1,9 @@
+(** BARNES (Splash-2): Barnes–Hut N-body.
+
+    Reproduced profile: per-iteration octree rebuild (allocation churn by
+    the master thread), force computation by irregular pointer-chasing tree
+    walks (poor locality), balanced per-body updates to thread-private
+    partitions, moderate memory-event density. *)
+
+val generate : threads:int -> scale:int -> seed:int -> Workload.Bundle.t
+val profile : Workload.profile

@@ -1,0 +1,11 @@
+(** BLACKSCHOLES (Parsec 2.0): option pricing.
+
+    Reproduced profile: embarrassingly parallel — one shared read-only
+    input array and disjoint output slices, no inter-thread sharing, no
+    allocation churn, and a very high memory-event density (each option
+    reads several parameters and writes a price), which makes the lifeguard
+    the bottleneck and keeps timesliced monitoring competitive
+    (Figure 11). *)
+
+val generate : threads:int -> scale:int -> seed:int -> Workload.Bundle.t
+val profile : Workload.profile

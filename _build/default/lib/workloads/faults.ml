@@ -1,0 +1,79 @@
+module I = Tracing.Instr
+
+type bug_kind = Use_after_free | Double_free | Unallocated_access
+
+type injected = {
+  kind : bug_kind;
+  tid : Tracing.Tid.t;
+  addr : Tracing.Addr.t;
+}
+
+let pp_bug ppf b =
+  let kind =
+    match b.kind with
+    | Use_after_free -> "use-after-free"
+    | Double_free -> "double-free"
+    | Unallocated_access -> "unallocated-access"
+  in
+  Format.fprintf ppf "%s of %a in %a" kind Tracing.Addr.pp b.addr
+    Tracing.Tid.pp b.tid
+
+let base_workload ~threads ~scale ~seed =
+  Synthetic.generate
+    ~knobs:{ Synthetic.default with sharing = 0.05; churn = 0.05 }
+    ~threads ~scale ~seed ()
+
+(* A region far above the synthetic heap, so injections never collide with
+   legitimate allocations. *)
+let scratch_base = 0x4000000
+
+let inject_uaf bundle tid =
+  let em = Workload.Bundle.em bundle tid in
+  let b = scratch_base in
+  Workload.Emitter.emit em (I.Malloc { base = b; size = 32 });
+  Workload.Emitter.emit em (I.Assign_const b);
+  Workload.Emitter.emit em (I.Free { base = b; size = 32 });
+  Workload.Emitter.emit em (I.Read (b + 8));
+  Workload.Emitter.emit em (I.Assign_const (b + 16));
+  [
+    { kind = Use_after_free; tid; addr = b + 8 };
+    { kind = Use_after_free; tid; addr = b + 16 };
+  ]
+
+let inject_df bundle tid =
+  let em = Workload.Bundle.em bundle tid in
+  let b = scratch_base + 0x1000 in
+  Workload.Emitter.emit em (I.Malloc { base = b; size = 16 });
+  Workload.Emitter.emit em (I.Read b);
+  Workload.Emitter.emit em (I.Free { base = b; size = 16 });
+  Workload.Emitter.emit em (I.Free { base = b; size = 16 });
+  [ { kind = Double_free; tid; addr = b } ]
+
+let inject_ua bundle tid =
+  let em = Workload.Bundle.em bundle tid in
+  let b = scratch_base + 0x2000 in
+  Workload.Emitter.emit em (I.Read b);
+  [ { kind = Unallocated_access; tid; addr = b } ]
+
+let finish bundle bugs = (Workload.Bundle.program bundle, bugs)
+
+let use_after_free ~threads ~scale ~seed =
+  let bundle = base_workload ~threads ~scale ~seed in
+  finish bundle (inject_uaf bundle (threads - 1))
+
+let double_free ~threads ~scale ~seed =
+  let bundle = base_workload ~threads ~scale ~seed in
+  finish bundle (inject_df bundle 0)
+
+let unallocated_access ~threads ~scale ~seed =
+  let bundle = base_workload ~threads ~scale ~seed in
+  finish bundle (inject_ua bundle (threads / 2))
+
+let all_kinds ~threads ~scale ~seed =
+  let bundle = base_workload ~threads ~scale ~seed in
+  let bugs =
+    inject_uaf bundle (threads - 1)
+    @ inject_df bundle 0
+    @ inject_ua bundle (threads / 2)
+  in
+  finish bundle bugs

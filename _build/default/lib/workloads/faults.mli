@@ -1,0 +1,32 @@
+(** Memory-bug injection for AddrCheck validation and demos.
+
+    Each scenario returns the program together with the set of {e true}
+    errors it contains — accesses that violate allocation discipline under
+    {e every} possible ordering — so callers can verify the
+    zero-false-negative guarantee and measure false positives exactly. *)
+
+type bug_kind = Use_after_free | Double_free | Unallocated_access
+
+type injected = {
+  kind : bug_kind;
+  tid : Tracing.Tid.t;
+  addr : Tracing.Addr.t;  (** address whose access/free is erroneous *)
+}
+
+val pp_bug : Format.formatter -> injected -> unit
+
+val use_after_free :
+  threads:int -> scale:int -> seed:int -> Tracing.Program.t * injected list
+(** A synthetic workload where one thread frees its scratch buffer and then
+    keeps reading it. *)
+
+val double_free :
+  threads:int -> scale:int -> seed:int -> Tracing.Program.t * injected list
+
+val unallocated_access :
+  threads:int -> scale:int -> seed:int -> Tracing.Program.t * injected list
+(** A stray pointer dereference into memory that was never allocated. *)
+
+val all_kinds :
+  threads:int -> scale:int -> seed:int -> Tracing.Program.t * injected list
+(** One of each, in different threads where possible. *)

@@ -1,0 +1,72 @@
+module I = Tracing.Instr
+
+(* Fixed problem size: 512 complex points in one shared array plus a
+   twiddle table, partitioned by rows across threads. *)
+
+let total_points = 512
+let warmup = 1100
+
+let generate ~threads ~scale ~seed =
+  if threads <= 0 then invalid_arg "Fft.generate: threads must be > 0";
+  if total_points mod (threads * threads) <> 0 then
+    invalid_arg "Fft.generate: threads^2 must divide 512";
+  ignore seed;
+  let heap = Workload.Heap.create () in
+  let bundle = Workload.Bundle.create ~threads in
+  let ems = Workload.Bundle.emitters bundle in
+  let points_per_thread = total_points / threads in
+  let data = Workload.Heap.alloc heap ems.(0) (64 * total_points) in
+  let twiddle = Workload.Heap.alloc heap ems.(0) (64 * total_points) in
+  for k = 0 to (total_points / 2) - 1 do
+    Workload.Emitter.emit ems.(0)
+      (I.Assign_const (Workload.elem_l twiddle (2 * k)))
+  done;
+  Array.iter (fun em -> Workload.Emitter.nops em warmup) ems;
+  let stages = 8 in
+  let done_ () = Array.for_all (fun e -> Workload.Emitter.length e >= scale) ems in
+  while not (done_ ()) do
+    (* Local butterfly stages on each thread's contiguous partition. *)
+    Array.iteri
+      (fun t em ->
+        let base = t * points_per_thread in
+        for stage = 0 to stages - 1 do
+          let stride = 1 lsl stage in
+          let k = ref 0 in
+          while !k < points_per_thread - stride do
+            let a = Workload.elem_l data (base + !k) in
+            let b = Workload.elem_l data (base + !k + stride) in
+            let w = Workload.elem_l twiddle (2 * (!k mod (total_points / 2))) in
+            Workload.Emitter.emit em (I.Assign_binop (b, b, w));
+            Workload.Emitter.emit em (I.Assign_binop (a, a, b));
+            Workload.Emitter.nops em 1;
+            k := !k + (2 * stride)
+          done
+        done)
+      ems;
+    (* Transpose: all-to-all writes into other threads' partitions. *)
+    Array.iteri
+      (fun t em ->
+        let chunk = points_per_thread / threads in
+        for dst = 0 to threads - 1 do
+          for k = 0 to chunk - 1 do
+            let src_i = (t * points_per_thread) + (dst * chunk) + k in
+            let dst_i = (dst * points_per_thread) + (t * chunk) + k in
+            Workload.Emitter.emit em
+              (I.Assign_unop
+                 (Workload.elem_l data dst_i, Workload.elem_l data src_i))
+          done
+        done)
+      ems
+  done;
+  Workload.Bundle.align ~extra:warmup bundle;
+  Workload.Heap.free heap ems.(0) twiddle;
+  Workload.Heap.free heap ems.(0) data;
+  bundle
+
+let profile =
+  {
+    Workload.name = "fft";
+    suite = "Splash-2";
+    input_desc = "m = 20 (2^20 sized matrix)";
+    generate;
+  }

@@ -1,0 +1,10 @@
+(** FFT (Splash-2): radix-2 six-step FFT.
+
+    Reproduced profile: a single up-front allocation of the data and
+    twiddle arrays, strided butterfly stages within each thread's partition
+    (stride doubling each stage degrades locality), and all-to-all
+    transpose phases that write into other threads' partitions — high
+    memory-event density, negligible allocation churn. *)
+
+val generate : threads:int -> scale:int -> seed:int -> Workload.Bundle.t
+val profile : Workload.profile

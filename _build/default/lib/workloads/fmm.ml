@@ -1,0 +1,87 @@
+module I = Tracing.Instr
+
+(* Fixed problem size: 64 cells of 16 lines each, partitioned across
+   threads.  Compute-dominated (multipole expansions), with an occasional
+   adaptive re-allocation of a single cell. *)
+
+let total_cells = 64
+let cell_elems = 32
+let warmup = 1100
+
+let generate ~threads ~scale ~seed =
+  if threads <= 0 then invalid_arg "Fmm.generate: threads must be > 0";
+  if total_cells mod threads <> 0 then
+    invalid_arg "Fmm.generate: threads must divide 64";
+  let heap = Workload.Heap.create () in
+  let bundle = Workload.Bundle.create ~threads in
+  let ems = Workload.Bundle.emitters bundle in
+  let rngs =
+    Array.init threads (fun t -> Random.State.make [| seed; t; 0xf33 |])
+  in
+  let cells_per_thread = total_cells / threads in
+  let cells =
+    Array.init threads (fun t ->
+        Array.init cells_per_thread (fun _ ->
+            Workload.Heap.alloc heap ems.(t) (64 * cell_elems)))
+  in
+  Array.iter (fun em -> Workload.Emitter.nops em warmup) ems;
+  let rebuild_countdown = ref 2 in
+  let done_ () = Array.for_all (fun e -> Workload.Emitter.length e >= scale) ems in
+  while not (done_ ()) do
+    (* Occasional adaptive rebuild: each thread re-allocates one cell. *)
+    decr rebuild_countdown;
+    if !rebuild_countdown = 0 then (
+      rebuild_countdown := 2;
+      Array.iteri
+        (fun t em ->
+          let c = Random.State.int rngs.(t) cells_per_thread in
+          Workload.Heap.free heap em cells.(t).(c);
+          cells.(t).(c) <- Workload.Heap.alloc heap em (64 * cell_elems))
+        ems);
+    (* Upward pass: expansions over the thread's own cells. *)
+    Array.iteri
+      (fun t em ->
+        Array.iter
+          (fun cell ->
+            for k = 0 to cell_elems - 1 do
+              Workload.Emitter.emit em
+                (I.Assign_binop
+                   ( Workload.elem_l cell k,
+                     Workload.elem_l cell k,
+                     Workload.elem_l cell ((k + 1) mod cell_elems) ));
+              Workload.Emitter.nops em 5
+            done)
+          cells.(t))
+      ems;
+    (* Interaction pass: read a few neighbour threads' cells. *)
+    Array.iteri
+      (fun t em ->
+        let rng = rngs.(t) in
+        for _ = 1 to cells_per_thread do
+          let t' =
+            if threads = 1 then t
+            else (t + 1 + Random.State.int rng (threads - 1)) mod threads
+          in
+          let cell = cells.(t').(Random.State.int rng cells_per_thread) in
+          let acc = Workload.elem_l cells.(t).(0) 0 in
+          for k = 0 to 3 do
+            Workload.Emitter.emit em
+              (I.Assign_binop (acc, acc, Workload.elem_l cell (4 * k)));
+            Workload.Emitter.nops em 6
+          done
+        done)
+      ems
+  done;
+  Workload.Bundle.align ~extra:warmup bundle;
+  Array.iteri
+    (fun t row -> Array.iter (fun c -> Workload.Heap.free heap ems.(t) c) row)
+    cells;
+  bundle
+
+let profile =
+  {
+    Workload.name = "fmm";
+    suite = "Splash-2";
+    input_desc = "32768 bodies";
+    generate;
+  }

@@ -1,0 +1,9 @@
+(** FMM (Splash-2): adaptive fast multipole method.
+
+    Reproduced profile: cell structures allocated occasionally (less churn
+    than BARNES), interaction-list traversals with good locality within a
+    cell, high compute-to-memory ratio (multipole expansions), balanced
+    partitions. *)
+
+val generate : threads:int -> scale:int -> seed:int -> Workload.Bundle.t
+val profile : Workload.profile

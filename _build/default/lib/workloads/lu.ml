@@ -1,0 +1,83 @@
+module I = Tracing.Instr
+
+(* Fixed problem size: a 6x6 grid of 32-line blocks with striped ownership.
+   Phase k factorizes the diagonal block (owner works alone), updates the
+   perimeter, then the trailing submatrix — the shrinking active set gives
+   the growing load imbalance characteristic of LU. *)
+
+let nb = 6
+let be = 32
+let warmup = 1100
+
+let generate ~threads ~scale ~seed =
+  if threads <= 0 then invalid_arg "Lu.generate: threads must be > 0";
+  ignore seed;
+  let heap = Workload.Heap.create () in
+  let bundle = Workload.Bundle.create ~threads in
+  let ems = Workload.Bundle.emitters bundle in
+  let owner bi bj = (bi + (bj * nb)) mod threads in
+  let blocks =
+    Array.init nb (fun bi ->
+        Array.init nb (fun bj ->
+            Workload.Heap.alloc heap ems.(owner bi bj) (64 * be)))
+  in
+  Array.iter (fun em -> Workload.Emitter.nops em warmup) ems;
+  let touch em ?(w = true) block k =
+    let a = Workload.elem_l block (k mod be) in
+    if w then Workload.Emitter.emit em (I.Assign_binop (a, a, a))
+    else Workload.Emitter.emit em (I.Read a)
+  in
+  let done_ () = Array.for_all (fun e -> Workload.Emitter.length e >= scale) ems in
+  while not (done_ ()) do
+    let k = ref 0 in
+    while (not (done_ ())) && !k < nb do
+      let kk = !k in
+      (* Diagonal factorization: only the owner works. *)
+      let t0 = owner kk kk in
+      for e = 0 to be - 1 do
+        touch ems.(t0) blocks.(kk).(kk) e;
+        Workload.Emitter.nops ems.(t0) 1
+      done;
+      (* Perimeter: row/col block owners read the diagonal block. *)
+      for j = kk + 1 to nb - 1 do
+        let t = owner kk j in
+        for e = 0 to (be / 2) - 1 do
+          touch ems.(t) ~w:false blocks.(kk).(kk) e;
+          touch ems.(t) blocks.(kk).(j) e
+        done;
+        let t = owner j kk in
+        for e = 0 to (be / 2) - 1 do
+          touch ems.(t) ~w:false blocks.(kk).(kk) e;
+          touch ems.(t) blocks.(j).(kk) e
+        done
+      done;
+      (* Trailing update: owners read the perimeter blocks. *)
+      for i = kk + 1 to nb - 1 do
+        for j = kk + 1 to nb - 1 do
+          let t = owner i j in
+          for e = 0 to (be / 4) - 1 do
+            touch ems.(t) ~w:false blocks.(i).(kk) e;
+            touch ems.(t) ~w:false blocks.(kk).(j) e;
+            touch ems.(t) blocks.(i).(j) e;
+            Workload.Emitter.nops ems.(t) 1
+          done
+        done
+      done;
+      incr k
+    done
+  done;
+  Workload.Bundle.align ~extra:warmup bundle;
+  for bi = 0 to nb - 1 do
+    for bj = 0 to nb - 1 do
+      Workload.Heap.free heap ems.(owner bi bj) blocks.(bi).(bj)
+    done
+  done;
+  bundle
+
+let profile =
+  {
+    Workload.name = "lu";
+    suite = "Splash-2";
+    input_desc = "Matrix size: 1024 x 1024, b = 64";
+    generate;
+  }

@@ -1,0 +1,11 @@
+(** LU (Splash-2): blocked dense LU factorization.
+
+    Reproduced profile: one up-front matrix allocation in per-thread-owned
+    blocks, phase-structured elimination where the diagonal-block owner
+    works alone (growing load imbalance as the trailing matrix shrinks),
+    perimeter updates reading the freshly written pivot blocks of other
+    threads (cross-thread sharing with one-phase lag), dense local access
+    within blocks. *)
+
+val generate : threads:int -> scale:int -> seed:int -> Workload.Bundle.t
+val profile : Workload.profile

@@ -1,0 +1,73 @@
+module I = Tracing.Instr
+
+(* Fixed problem size: a 32 x 64 grid banded across threads.  Every
+   iteration each thread recycles (frees and re-allocates) its boundary
+   exchange buffer and neighbours read it immediately — the
+   allocation/access concurrency that makes OCEAN the false-positive
+   outlier of Figure 13. *)
+
+let total_rows = 32
+let cols = 64
+let warmup = 1100
+
+let generate ~threads ~scale ~seed =
+  if threads <= 0 then invalid_arg "Ocean.generate: threads must be > 0";
+  if total_rows mod threads <> 0 then
+    invalid_arg "Ocean.generate: threads must divide 32";
+  ignore seed;
+  let heap = Workload.Heap.create () in
+  let bundle = Workload.Bundle.create ~threads in
+  let ems = Workload.Bundle.emitters bundle in
+  let rows_per_thread = total_rows / threads in
+  let bands =
+    Array.init threads (fun t ->
+        Workload.Heap.alloc heap ems.(t) (64 * cols * rows_per_thread))
+  in
+  let exch =
+    Array.init threads (fun t -> Workload.Heap.alloc heap ems.(t) (64 * cols))
+  in
+  Array.iter (fun em -> Workload.Emitter.nops em warmup) ems;
+  let cell band r c = Workload.elem_l band ((r * cols) + c) in
+  let done_ () = Array.for_all (fun e -> Workload.Emitter.length e >= scale) ems in
+  while not (done_ ()) do
+    (* Exchange: recycle the boundary buffer and publish the top row. *)
+    Array.iteri
+      (fun t em ->
+        Workload.Heap.free heap em exch.(t);
+        exch.(t) <- Workload.Heap.alloc heap em (64 * cols);
+        for c = 0 to cols - 1 do
+          Workload.Emitter.emit em
+            (I.Assign_unop (Workload.elem_l exch.(t) c, cell bands.(t) 0 c))
+        done)
+      ems;
+    (* Stencil sweep: interior from the own band, boundary row from the
+       neighbour's freshly re-allocated exchange buffer. *)
+    Array.iteri
+      (fun t em ->
+        let up = (t + threads - 1) mod threads in
+        for r = 0 to rows_per_thread - 1 do
+          for c = 1 to cols - 2 do
+            let center = cell bands.(t) r c in
+            let north =
+              if r = 0 then Workload.elem_l exch.(up) c
+              else cell bands.(t) (r - 1) c
+            in
+            let west = cell bands.(t) r (c - 1) in
+            Workload.Emitter.emit em (I.Assign_binop (center, north, west));
+            Workload.Emitter.nops em 1
+          done
+        done)
+      ems
+  done;
+  Workload.Bundle.align ~extra:warmup bundle;
+  Array.iteri (fun t base -> Workload.Heap.free heap ems.(t) base) exch;
+  Array.iteri (fun t base -> Workload.Heap.free heap ems.(t) base) bands;
+  bundle
+
+let profile =
+  {
+    Workload.name = "ocean";
+    suite = "Splash-2";
+    input_desc = "Grid size: 258 x 258";
+    generate;
+  }

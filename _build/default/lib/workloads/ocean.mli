@@ -1,0 +1,11 @@
+(** OCEAN (Splash-2): red-black Gauss-Seidel ocean current simulation.
+
+    Reproduced profile: banded grid partitioning with 5-point stencil
+    sweeps, heavy boundary-row sharing between adjacent threads every
+    iteration, and per-iteration exchange buffers that are freed and
+    re-allocated by their owners and immediately read by neighbours — the
+    allocation/access pattern whose adjacent-epoch concurrency makes OCEAN
+    the false-positive outlier of Figure 13. *)
+
+val generate : threads:int -> scale:int -> seed:int -> Workload.Bundle.t
+val profile : Workload.profile

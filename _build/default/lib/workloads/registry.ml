@@ -1,0 +1,20 @@
+let all =
+  [
+    Barnes.profile;
+    Fft.profile;
+    Fmm.profile;
+    Ocean.profile;
+    Blackscholes.profile;
+    Lu.profile;
+  ]
+
+let find name =
+  List.find_opt (fun (p : Workload.profile) -> p.name = name) all
+
+let names = List.map (fun (p : Workload.profile) -> p.name) all
+
+let table1_rows =
+  List.map
+    (fun (p : Workload.profile) ->
+      (String.uppercase_ascii p.name, p.suite, p.input_desc))
+    all

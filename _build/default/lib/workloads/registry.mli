@@ -1,0 +1,8 @@
+(** The benchmark registry: the six monitored applications of Table 1. *)
+
+val all : Workload.profile list
+val find : string -> Workload.profile option
+val names : string list
+
+val table1_rows : (string * string * string) list
+(** (application, suite, input data set) — the benchmark half of Table 1. *)

@@ -1,0 +1,73 @@
+module I = Tracing.Instr
+
+type knobs = {
+  mem_ratio : float;
+  sharing : float;
+  churn : float;
+  imbalance : float;
+}
+
+let default = { mem_ratio = 0.5; sharing = 0.1; churn = 0.01; imbalance = 0.0 }
+
+let generate ?(knobs = default) ~threads ~scale ~seed () =
+  if threads <= 0 then invalid_arg "Synthetic.generate: threads must be > 0";
+  let heap = Workload.Heap.create () in
+  let bundle = Workload.Bundle.create ~threads in
+  let ems = Workload.Bundle.emitters bundle in
+  let rngs =
+    Array.init threads (fun t -> Random.State.make [| seed; t; 0x5f17 |])
+  in
+  let private_elems = 64 and shared_elems = 64 in
+  let privates =
+    Array.init threads (fun t -> Workload.Heap.alloc heap ems.(t) (8 * private_elems))
+  in
+  let shared = Array.init threads (fun t -> Workload.Heap.alloc heap ems.(t) (8 * shared_elems)) in
+  let budget t =
+    let f = 1.0 -. (knobs.imbalance *. float_of_int t /. float_of_int threads) in
+    max 1 (int_of_float (float_of_int scale *. f))
+  in
+  (* Generate in synchronized rounds so cross-thread references always name
+     a buffer that is live in that round: the round-robin interleaving of
+     the resulting traces is race-free by construction. *)
+  let round = 50 in
+  let remaining = Array.init threads budget in
+  let live () = Array.exists (fun r -> r > 0) remaining in
+  while live () do
+    Array.iteri
+      (fun t em ->
+        let rng = rngs.(t) in
+        let quota = min round remaining.(t) in
+        remaining.(t) <- remaining.(t) - quota;
+        for _ = 1 to quota do
+          if Random.State.float rng 1.0 < knobs.churn /. 100.0 then (
+            (* Recycle this thread's shared buffer. *)
+            Workload.Heap.free heap em shared.(t);
+            shared.(t) <- Workload.Heap.alloc heap em (8 * shared_elems))
+          else if Random.State.float rng 1.0 < knobs.mem_ratio then (
+            let target =
+              if Random.State.float rng 1.0 < knobs.sharing && threads > 1 then (
+                let t' = (t + 1 + Random.State.int rng (threads - 1)) mod threads in
+                Workload.elem shared.(t') (Random.State.int rng shared_elems))
+              else Workload.elem privates.(t) (Random.State.int rng private_elems)
+            in
+            let own = Workload.elem privates.(t) (Random.State.int rng private_elems) in
+            if Random.State.bool rng then
+              Workload.Emitter.emit em (I.Assign_binop (own, own, target))
+            else Workload.Emitter.emit em (I.Read target))
+          else Workload.Emitter.emit em I.Nop
+        done)
+      ems
+  done;
+  Array.iteri (fun t b -> Workload.Heap.free heap ems.(t) b) privates;
+  Array.iteri (fun t b -> Workload.Heap.free heap ems.(t) b) shared;
+  bundle
+
+let profile_of name knobs =
+  {
+    Workload.name;
+    suite = "synthetic";
+    input_desc =
+      Printf.sprintf "mem=%.2f share=%.2f churn=%.2f imb=%.2f" knobs.mem_ratio
+        knobs.sharing knobs.churn knobs.imbalance;
+    generate = (fun ~threads ~scale ~seed -> generate ~knobs ~threads ~scale ~seed ());
+  }

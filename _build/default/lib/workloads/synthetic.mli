@@ -1,0 +1,25 @@
+(** Tunable synthetic workload for sensitivity and ablation studies.
+
+    The four knobs isolate the workload properties the evaluation depends
+    on: memory-event density (lifeguard load), inter-thread sharing and
+    allocation churn (false-positive pressure), and load imbalance
+    (parallel speedup). *)
+
+type knobs = {
+  mem_ratio : float;  (** fraction of instructions touching memory, [0,1] *)
+  sharing : float;  (** fraction of accesses to the shared region, [0,1] *)
+  churn : float;
+      (** probability per 100 instructions that a thread recycles (frees
+          and re-allocates) a shared buffer *)
+  imbalance : float;
+      (** thread [t] receives [scale * (1 - imbalance * t / threads)]
+          instructions, [0,1) *)
+}
+
+val default : knobs
+
+val generate :
+  ?knobs:knobs -> threads:int -> scale:int -> seed:int -> unit ->
+  Workload.Bundle.t
+
+val profile_of : string -> knobs -> Workload.profile

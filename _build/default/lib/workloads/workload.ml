@@ -1,0 +1,98 @@
+module Emitter = struct
+  type t = {
+    mutable rev : Tracing.Instr.t list;
+    mutable len : int;
+    canonical : Tracing.Instr.t list ref;
+  }
+
+  let create ~canonical = { rev = []; len = 0; canonical }
+
+  let emit t i =
+    t.rev <- i :: t.rev;
+    t.len <- t.len + 1;
+    t.canonical := i :: !(t.canonical)
+
+  let nops t n =
+    for _ = 1 to n do
+      emit t Tracing.Instr.Nop
+    done
+
+  let length t = t.len
+  let to_trace t = Tracing.Trace.of_instrs (List.rev t.rev)
+end
+
+module Bundle = struct
+  type t = { emitters : Emitter.t array; canonical : Tracing.Instr.t list ref }
+
+  let create ~threads =
+    if threads <= 0 then invalid_arg "Bundle.create: threads must be > 0";
+    let canonical = ref [] in
+    {
+      emitters = Array.init threads (fun _ -> Emitter.create ~canonical);
+      canonical;
+    }
+
+  let emitters t = t.emitters
+
+  let em t tid =
+    if tid < 0 || tid >= Array.length t.emitters then
+      invalid_arg "Bundle.em: bad tid";
+    t.emitters.(tid)
+
+  let program t =
+    Tracing.Program.make (Array.to_list (Array.map Emitter.to_trace t.emitters))
+
+  let canonical t = List.rev !(t.canonical)
+
+  let align ?(extra = 0) t =
+    let target =
+      extra
+      + Array.fold_left (fun m e -> max m (Emitter.length e)) 0 t.emitters
+    in
+    Array.iter
+      (fun e -> Emitter.nops e (max 0 (target - Emitter.length e)))
+      t.emitters
+end
+
+type profile = {
+  name : string;
+  suite : string;
+  input_desc : string;
+  generate : threads:int -> scale:int -> seed:int -> Bundle.t;
+}
+
+let generate_program p ~threads ~scale ~seed =
+  Bundle.program (p.generate ~threads ~scale ~seed)
+
+module Heap = struct
+  type t = {
+    mutable next : int;
+    live : (int, int) Hashtbl.t; (* base -> size *)
+  }
+
+  let create ?(base = 0x10000) () = { next = base; live = Hashtbl.create 64 }
+
+  let alloc_silent t size =
+    if size <= 0 then invalid_arg "Heap.alloc: size must be > 0";
+    let base = t.next in
+    t.next <- t.next + ((size + 7) / 8 * 8);
+    Hashtbl.replace t.live base size;
+    base
+
+  let alloc t em size =
+    let base = alloc_silent t size in
+    Emitter.emit em (Tracing.Instr.Malloc { base; size });
+    base
+
+  let free t em base =
+    match Hashtbl.find_opt t.live base with
+    | None -> invalid_arg "Heap.free: unknown or already-freed base"
+    | Some size ->
+      Hashtbl.remove t.live base;
+      Emitter.emit em (Tracing.Instr.Free { base; size })
+
+  let size_of t base = Hashtbl.find_opt t.live base
+end
+
+let elem base i = base + (8 * i)
+let elem_l base i = base + (64 * i)

@@ -1,0 +1,85 @@
+(** Workload infrastructure: trace emitters and a simulated heap.
+
+    The paper's evaluation monitors Splash-2 and Parsec 2.0 benchmarks;
+    those binaries (and the Simics/LBA infrastructure that traces them) are
+    not available, so each benchmark is reproduced as a {e synthetic
+    kernel}: a generator that emits per-thread dynamic traces with the
+    benchmark's characteristic instruction mix, locality, inter-thread
+    sharing and allocation behaviour — the properties the evaluation's
+    results actually depend on.
+
+    Generators emit through a {!Bundle}, which records the {e canonical
+    interleaving} (global emission order).  Kernels are written so that
+    this interleaving is race-free: it is the "actual execution" a
+    sequential lifeguard would observe, making every butterfly finding on a
+    clean workload a measurable false positive. *)
+
+(** Per-thread trace emitter. *)
+module Emitter : sig
+  type t
+
+  val emit : t -> Tracing.Instr.t -> unit
+  val nops : t -> int -> unit
+  val length : t -> int
+end
+
+(** A multi-threaded trace under construction. *)
+module Bundle : sig
+  type t
+
+  val create : threads:int -> t
+  val emitters : t -> Emitter.t array
+  val em : t -> Tracing.Tid.t -> Emitter.t
+
+  val program : t -> Tracing.Program.t
+  (** The per-thread traces (no heartbeats; add them downstream). *)
+
+  val canonical : t -> Tracing.Instr.t list
+  (** All emitted instructions in global emission order: a valid, race-free
+      serialization of the program by construction. *)
+
+  val align : ?extra:int -> t -> unit
+  (** Pad every thread with [Nop]s to the length of the longest, plus
+      [extra] (default 0): used before teardown so frees are not
+      potentially concurrent with other threads' trailing accesses. *)
+end
+
+type profile = {
+  name : string;
+  suite : string;  (** "Splash-2" or "Parsec 2.0" *)
+  input_desc : string;  (** the input-set description of Table 1 *)
+  generate : threads:int -> scale:int -> seed:int -> Bundle.t;
+      (** [scale] is the approximate instruction count per thread. *)
+}
+
+val generate_program :
+  profile -> threads:int -> scale:int -> seed:int -> Tracing.Program.t
+
+(** Bump allocator over the simulated heap.  Addresses are never recycled
+    across different objects (like a debugging allocator), which keeps
+    use-after-free detectable. *)
+module Heap : sig
+  type t
+
+  val create : ?base:int -> unit -> t
+
+  val alloc : t -> Emitter.t -> int -> int
+  (** [alloc heap em size] emits the [Malloc] into [em] and returns the
+      base address. *)
+
+  val free : t -> Emitter.t -> int -> unit
+  (** Emits the [Free] for a live allocation; raises if unknown. *)
+
+  val alloc_silent : t -> int -> int
+  (** Reserve an address range without emitting. *)
+
+  val size_of : t -> int -> int option
+end
+
+val elem : int -> int -> int
+(** [elem base i] is the address of 8-byte element [i] of an array. *)
+
+val elem_l : int -> int -> int
+(** [elem_l base i] is the address of cache-line-sized (64-byte) element
+    [i]: used by kernels whose working-set size matters to the timing
+    model. *)

@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Butterfly List Memmodel Printf Testutil Tracing

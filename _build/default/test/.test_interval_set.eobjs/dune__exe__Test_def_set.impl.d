@@ -1,0 +1,1 @@
+test/test_def_set.ml: Alcotest Butterfly Format List Printf QCheck Testutil Tracing

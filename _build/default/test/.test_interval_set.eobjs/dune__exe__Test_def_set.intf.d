@@ -1,0 +1,1 @@
+test/test_def_set.mli:

@@ -1,0 +1,1 @@
+test/test_expr_set.ml: Alcotest Butterfly Format List Printf QCheck Testutil Tracing

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Astring Format Harness List Machine Option String Testutil Workloads

@@ -1,0 +1,1 @@
+test/test_interval_set.ml: Alcotest Array Butterfly Format List QCheck Testutil

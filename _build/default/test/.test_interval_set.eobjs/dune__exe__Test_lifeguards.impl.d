@@ -1,0 +1,1 @@
+test/test_lifeguards.ml: Alcotest Array Butterfly Format Lifeguards List Machine Memmodel Printf QCheck Testutil Tracing Workloads

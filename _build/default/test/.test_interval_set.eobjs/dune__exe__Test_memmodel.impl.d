@@ -1,0 +1,1 @@
+test/test_memmodel.ml: Alcotest Array List Memmodel Random Testutil Tracing

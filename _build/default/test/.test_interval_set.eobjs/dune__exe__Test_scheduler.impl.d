@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Array Butterfly Format List Printf QCheck Random Testutil Tracing

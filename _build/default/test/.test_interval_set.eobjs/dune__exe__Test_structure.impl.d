@@ -1,0 +1,1 @@
+test/test_structure.ml: Alcotest Array Butterfly List Testutil Tracing

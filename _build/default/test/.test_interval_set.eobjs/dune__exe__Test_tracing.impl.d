@@ -1,0 +1,1 @@
+test/test_tracing.ml: Alcotest Array Fun Gen List QCheck String Testutil Tracing

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Butterfly Format Lifeguards List Memmodel Option Printf QCheck Testutil Tracing Workloads

@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Array Buffer Butterfly Hashtbl List Memmodel Printf QCheck QCheck_alcotest Tracing

@@ -1,0 +1,140 @@
+(* Def_set: the per-location finite/cofinite algebra is validated against
+   direct semantic evaluation of random operation trees.  Probe definitions
+   include sites never used in construction, so cofinite ("all defs of a
+   location") portions are exercised on generic elements. *)
+
+module D = Butterfly.Def_set
+module Def = Butterfly.Definition
+module Id = Butterfly.Instr_id
+
+let site k = Id.make ~epoch:k ~tid:0 ~index:k
+let used_sites = List.init 4 site
+let fresh_sites = [ site 97; site 98 ]
+let locs = [ 0; 1; 2 ]
+
+type tree =
+  | Empty
+  | Single of Def.t
+  | All_loc of Tracing.Addr.t
+  | All_except of Tracing.Addr.t * Id.t
+  | Union of tree * tree
+  | Inter of tree * tree
+  | Diff of tree * tree
+
+let rec build = function
+  | Empty -> D.empty
+  | Single d -> D.singleton d
+  | All_loc l -> D.all_of_loc l
+  | All_except (l, s) -> D.all_of_loc_except l s
+  | Union (a, b) -> D.union (build a) (build b)
+  | Inter (a, b) -> D.inter (build a) (build b)
+  | Diff (a, b) -> D.diff (build a) (build b)
+
+let rec sem t (d : Def.t) =
+  match t with
+  | Empty -> false
+  | Single d' -> Def.equal d d'
+  | All_loc l -> d.loc = l
+  | All_except (l, s) -> d.loc = l && not (Id.equal d.site s)
+  | Union (a, b) -> sem a d || sem b d
+  | Inter (a, b) -> sem a d && sem b d
+  | Diff (a, b) -> sem a d && not (sem b d)
+
+let gen_tree =
+  let open QCheck.Gen in
+  let loc = oneofl locs in
+  let st = oneofl used_sites in
+  let base =
+    frequency
+      [
+        (1, return Empty);
+        (3, map2 (fun l s -> Single (Def.make ~loc:l ~site:s)) loc st);
+        (2, map (fun l -> All_loc l) loc);
+        (2, map2 (fun l s -> All_except (l, s)) loc st);
+      ]
+  in
+  fix
+    (fun self n ->
+      if n = 0 then base
+      else
+        frequency
+          [
+            (1, base);
+            (2, map2 (fun a b -> Union (a, b)) (self (n - 1)) (self (n - 1)));
+            (2, map2 (fun a b -> Inter (a, b)) (self (n - 1)) (self (n - 1)));
+            (2, map2 (fun a b -> Diff (a, b)) (self (n - 1)) (self (n - 1)));
+          ])
+    3
+
+let rec tree_to_string = function
+  | Empty -> "0"
+  | Single d -> Format.asprintf "%a" Def.pp d
+  | All_loc l -> Printf.sprintf "all(%d)" l
+  | All_except (l, s) -> Format.asprintf "all(%d)\\%a" l Id.pp s
+  | Union (a, b) -> Printf.sprintf "(%s u %s)" (tree_to_string a) (tree_to_string b)
+  | Inter (a, b) -> Printf.sprintf "(%s n %s)" (tree_to_string a) (tree_to_string b)
+  | Diff (a, b) -> Printf.sprintf "(%s - %s)" (tree_to_string a) (tree_to_string b)
+
+let arb = QCheck.make ~print:tree_to_string gen_tree
+
+let probes =
+  List.concat_map
+    (fun l ->
+      List.map (fun s -> Def.make ~loc:l ~site:s) (used_sites @ fresh_sites))
+    (locs @ [ 9 ])
+
+let prop_tests =
+  [
+    Testutil.qtest ~count:500 "membership matches semantics" arb (fun t ->
+        let s = build t in
+        List.for_all (fun d -> D.mem d s = sem t d) probes);
+    Testutil.qtest ~count:500 "equal is semantic" (QCheck.pair arb arb)
+      (fun (ta, tb) ->
+        let a = build ta and b = build tb in
+        let same_sem = List.for_all (fun d -> sem ta d = sem tb d) probes in
+        (* The probe set distinguishes all canonical forms over these
+           locations and sites, so structural and semantic equality must
+           agree exactly. *)
+        D.equal a b = same_sem);
+    Testutil.qtest ~count:500 "is_empty sound" arb (fun t ->
+        let s = build t in
+        if D.is_empty s then List.for_all (fun d -> not (sem t d)) probes
+        else true);
+    Testutil.qtest ~count:300 "defines_loc sound" arb (fun t ->
+        let s = build t in
+        List.for_all
+          (fun l ->
+            let any_probe =
+              List.exists (fun (d : Def.t) -> d.loc = l && sem t d) probes
+            in
+            if D.defines_loc l s then true else not any_probe)
+          locs);
+  ]
+
+let unit_tests =
+  [
+    Alcotest.test_case "kill algebra closure" `Quick (fun () ->
+        let d0 = Def.make ~loc:0 ~site:(site 0) in
+        let d1 = Def.make ~loc:0 ~site:(site 1) in
+        let s = D.diff (D.all_of_loc 0) (D.singleton d0) in
+        Testutil.checkb "excluded" false (D.mem d0 s);
+        Testutil.checkb "included" true (D.mem d1 s));
+    Alcotest.test_case "cofinite minus cofinite flips to finite" `Quick
+      (fun () ->
+        let a = D.all_of_loc_except 0 (site 0) in
+        let b = D.all_of_loc_except 0 (site 1) in
+        let d = D.diff a b in
+        Testutil.checkb "s1 in" true (D.mem (Def.make ~loc:0 ~site:(site 1)) d);
+        Testutil.checkb "s0 out" false (D.mem (Def.make ~loc:0 ~site:(site 0)) d);
+        Testutil.checkb "generic out" false
+          (D.mem (Def.make ~loc:0 ~site:(site 42)) d));
+    Alcotest.test_case "sites_of_loc" `Quick (fun () ->
+        let d0 = Def.make ~loc:1 ~site:(site 0) in
+        match D.sites_of_loc 1 (D.singleton d0) with
+        | `Sites s ->
+          Testutil.checkb "site present" true (Def.Site_set.mem (site 0) s)
+        | `None | `All_except _ -> Alcotest.fail "expected `Sites");
+  ]
+
+let () =
+  Alcotest.run "def_set" [ ("unit", unit_tests); ("properties", prop_tests) ]

@@ -1,0 +1,135 @@
+(* Expr_set: the wildcard ("all expressions mentioning a location")
+   representation is validated against direct semantic evaluation of random
+   operation trees.  Probe expressions use locations beyond those seen in
+   construction so wildcard coverage is tested on generic elements. *)
+
+module E = Butterfly.Expr
+module ES = Butterfly.Expr_set
+
+let used_locs = [ 0; 1; 2 ]
+let probe_locs = [ 0; 1; 2; 3; 4 ]
+
+let all_probe_exprs =
+  let unops = List.map E.unop probe_locs in
+  let binops =
+    List.concat_map
+      (fun a -> List.filter_map (fun b -> if a < b then Some (E.binop a b) else None) probe_locs)
+      probe_locs
+  in
+  unops @ binops
+
+type tree =
+  | Empty
+  | Single of E.t
+  | Killing of Tracing.Addr.t
+  | Union of tree * tree
+  | Inter of tree * tree
+  | Diff of tree * tree
+
+let rec build = function
+  | Empty -> ES.empty
+  | Single e -> ES.singleton e
+  | Killing l -> ES.killing l
+  | Union (a, b) -> ES.union (build a) (build b)
+  | Inter (a, b) -> ES.inter (build a) (build b)
+  | Diff (a, b) -> ES.diff (build a) (build b)
+
+let rec sem t e =
+  match t with
+  | Empty -> false
+  | Single e' -> E.equal e e'
+  | Killing l -> E.mentions l e
+  | Union (a, b) -> sem a e || sem b e
+  | Inter (a, b) -> sem a e && sem b e
+  | Diff (a, b) -> sem a e && not (sem b e)
+
+let gen_tree =
+  let open QCheck.Gen in
+  let loc = oneofl used_locs in
+  let expr =
+    oneof
+      [
+        map E.unop loc;
+        map2 E.binop loc loc;
+      ]
+  in
+  let base =
+    frequency
+      [
+        (1, return Empty);
+        (3, map (fun e -> Single e) expr);
+        (3, map (fun l -> Killing l) loc);
+      ]
+  in
+  fix
+    (fun self n ->
+      if n = 0 then base
+      else
+        frequency
+          [
+            (1, base);
+            (2, map2 (fun a b -> Union (a, b)) (self (n - 1)) (self (n - 1)));
+            (2, map2 (fun a b -> Inter (a, b)) (self (n - 1)) (self (n - 1)));
+            (2, map2 (fun a b -> Diff (a, b)) (self (n - 1)) (self (n - 1)));
+          ])
+    3
+
+let rec tree_to_string = function
+  | Empty -> "0"
+  | Single e -> Format.asprintf "%a" E.pp e
+  | Killing l -> Printf.sprintf "kill(%d)" l
+  | Union (a, b) -> Printf.sprintf "(%s u %s)" (tree_to_string a) (tree_to_string b)
+  | Inter (a, b) -> Printf.sprintf "(%s n %s)" (tree_to_string a) (tree_to_string b)
+  | Diff (a, b) -> Printf.sprintf "(%s - %s)" (tree_to_string a) (tree_to_string b)
+
+let arb = QCheck.make ~print:tree_to_string gen_tree
+
+let prop_tests =
+  [
+    Testutil.qtest ~count:800 "membership matches semantics" arb (fun t ->
+        let s = build t in
+        List.for_all (fun e -> ES.mem e s = sem t e) all_probe_exprs);
+    Testutil.qtest ~count:800 "equal is semantic" (QCheck.pair arb arb)
+      (fun (ta, tb) ->
+        let a = build ta and b = build tb in
+        let same_sem =
+          List.for_all (fun e -> sem ta e = sem tb e) all_probe_exprs
+        in
+        ES.equal a b = same_sem);
+    Testutil.qtest ~count:500 "is_empty is semantic" arb (fun t ->
+        ES.is_empty (build t)
+        = List.for_all (fun e -> not (sem t e)) all_probe_exprs);
+  ]
+
+let unit_tests =
+  [
+    Alcotest.test_case "binop canonicalization" `Quick (fun () ->
+        Testutil.checkb "commutes" true (E.equal (E.binop 2 5) (E.binop 5 2));
+        Testutil.checkb "self collapses" true (E.equal (E.binop 3 3) (E.unop 3)));
+    Alcotest.test_case "killing covers both operand positions" `Quick
+      (fun () ->
+        let k = ES.killing 1 in
+        Testutil.checkb "first" true (ES.mem (E.binop 1 7) k);
+        Testutil.checkb "second" true (ES.mem (E.binop 0 1) k);
+        Testutil.checkb "unop" true (ES.mem (E.unop 1) k);
+        Testutil.checkb "other" false (ES.mem (E.unop 2) k));
+    Alcotest.test_case "wildcard intersection is the shared binop" `Quick
+      (fun () ->
+        let s = ES.inter (ES.killing 0) (ES.killing 1) in
+        Testutil.checkb "binop01" true (ES.mem (E.binop 0 1) s);
+        Testutil.checkb "unop0 out" false (ES.mem (E.unop 0) s);
+        Testutil.checkb "binop02 out" false (ES.mem (E.binop 0 2) s));
+    Alcotest.test_case "kill minus regenerated expr" `Quick (fun () ->
+        (* Net-kill composition: (kill x) − {gen of a later instr}. *)
+        let s = ES.diff (ES.killing 0) (ES.singleton (E.binop 0 1)) in
+        Testutil.checkb "generic still killed" true (ES.mem (E.binop 0 2) s);
+        Testutil.checkb "regenerated survives" false (ES.mem (E.binop 0 1) s));
+    Alcotest.test_case "explicit and wild_locations" `Quick (fun () ->
+        let s = ES.union (ES.singleton (E.unop 3)) (ES.killing 1) in
+        Testutil.checkb "explicit has unop3" true
+          (E.Set.mem (E.unop 3) (ES.explicit s));
+        Alcotest.(check (list int)) "wild locs" [ 1 ] (ES.wild_locations s));
+  ]
+
+let () =
+  Alcotest.run "expr_set" [ ("unit", unit_tests); ("properties", prop_tests) ]

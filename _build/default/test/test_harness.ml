@@ -1,0 +1,215 @@
+(* Harness: cost model, experiment pipeline, and the reproduced shapes of
+   the paper's evaluation (small-scale configuration for test speed). *)
+
+let test_config =
+  { Harness.Experiment.default_config with total_scale = 12_000 }
+
+let run name ~threads ~epoch_size =
+  Harness.Experiment.run ~config:test_config
+    (Option.get (Workloads.Registry.find name))
+    ~threads ~epoch_size
+
+let sane (r : Harness.Experiment.result) =
+  r.seq_unmonitored_cycles > 0
+  && r.timesliced > 0.0
+  && r.butterfly > 0.0
+  && r.parallel_unmonitored > 0.0
+  && r.total_accesses > 0
+  && r.flagged_events >= 0
+  && r.flagged_events <= r.total_accesses
+
+let experiment_tests =
+  [
+    Alcotest.test_case "results are sane across the matrix" `Slow (fun () ->
+        List.iter
+          (fun name ->
+            List.iter
+              (fun threads ->
+                let r = run name ~threads ~epoch_size:256 in
+                Testutil.checkb
+                  (Format.asprintf "%a" Harness.Experiment.pp_result r)
+                  true (sane r))
+              [ 2; 4 ])
+          Workloads.Registry.names);
+    Alcotest.test_case "parallel unmonitored beats sequential" `Quick
+      (fun () ->
+        let r = run "fmm" ~threads:4 ~epoch_size:256 in
+        Testutil.checkb "speedup" true (r.parallel_unmonitored < 1.0));
+    Alcotest.test_case "butterfly scales with threads" `Slow (fun () ->
+        let r2 = run "fmm" ~threads:2 ~epoch_size:256 in
+        let r8 = run "fmm" ~threads:8 ~epoch_size:256 in
+        Testutil.checkb "8 threads faster" true (r8.butterfly < r2.butterfly));
+    Alcotest.test_case "timesliced does not scale with threads" `Slow
+      (fun () ->
+        let r2 = run "fmm" ~threads:2 ~epoch_size:256 in
+        let r8 = run "fmm" ~threads:8 ~epoch_size:256 in
+        (* Within a factor ~1.6 either way: flat, no parallel speedup. *)
+        Testutil.checkb "flat" true
+          (r8.timesliced > r2.timesliced /. 1.6
+          && r8.timesliced < r2.timesliced *. 1.6));
+    Alcotest.test_case "ocean: FPs grow with epoch size" `Slow (fun () ->
+        let small = run "ocean" ~threads:4 ~epoch_size:64 in
+        let large = run "ocean" ~threads:4 ~epoch_size:512 in
+        Testutil.checkb "nonzero at small h" true (small.flagged_events > 0);
+        Testutil.checkb "grows with h" true
+          (large.flagged_events > small.flagged_events));
+    Alcotest.test_case "ocean is the false-positive outlier" `Slow (fun () ->
+        let ocean = run "ocean" ~threads:4 ~epoch_size:512 in
+        List.iter
+          (fun name ->
+            let other = run name ~threads:4 ~epoch_size:512 in
+            Testutil.checkb
+              (name ^ " has fewer FPs than ocean")
+              true
+              (other.fp_rate_percent < ocean.fp_rate_percent /. 5.0))
+          [ "barnes"; "fft"; "fmm"; "blackscholes"; "lu" ]);
+    Alcotest.test_case "static-allocation benchmarks have zero FPs" `Slow
+      (fun () ->
+        List.iter
+          (fun name ->
+            let r = run name ~threads:4 ~epoch_size:512 in
+            Alcotest.(check int) (name ^ " FPs") 0 r.flagged_events)
+          [ "fft"; "blackscholes"; "lu"; "barnes" ]);
+  ]
+
+let render_tests =
+  [
+    Alcotest.test_case "table1 contains the paper's rows" `Quick (fun () ->
+        let t = Harness.Table1.render () in
+        List.iter
+          (fun needle ->
+            Testutil.checkb needle true
+              (Astring.String.is_infix ~affix:needle t))
+          [ "L1-D"; "Log buffer"; "BARNES"; "Parsec 2.0"; "OCEAN" ]);
+    Alcotest.test_case "figure renders mention every benchmark" `Slow
+      (fun () ->
+        let results =
+          List.map
+            (fun name -> run name ~threads:2 ~epoch_size:256)
+            Workloads.Registry.names
+        in
+        let s = Harness.Figure11.render results in
+        List.iter
+          (fun name ->
+            Testutil.checkb name true (Astring.String.is_infix ~affix:name s))
+          Workloads.Registry.names);
+  ]
+
+let format_tests =
+  [
+    Alcotest.test_case "table aligns columns" `Quick (fun () ->
+        let t =
+          Harness.Report_format.table ~header:[ "a"; "bb" ]
+            [ [ "xxx"; "y" ]; [ "z" ] ]
+        in
+        let lines = String.split_on_char '\n' t in
+        (match lines with
+        | header :: sep :: _ ->
+          Testutil.checkb "separator dashes" true
+            (String.for_all (fun ch -> ch = '-' || ch = ' ') sep);
+          Testutil.checkb "header present" true
+            (Astring.String.is_infix ~affix:"bb" header)
+        | _ -> Alcotest.fail "expected at least two lines"));
+    Alcotest.test_case "pct formats tiny rates" `Quick (fun () ->
+        Alcotest.(check string) "zero" "0" (Harness.Report_format.pct 0.0);
+        Testutil.checkb "small keeps digits" true
+          (Harness.Report_format.pct 0.00042 = "0.00042%"));
+    Alcotest.test_case "bar is proportional" `Quick (fun () ->
+        let full = Harness.Report_format.bar ~width:10 10.0 ~max:10.0 in
+        let half = Harness.Report_format.bar ~width:10 5.0 ~max:10.0 in
+        Alcotest.(check string) "full" "##########" full;
+        Alcotest.(check string) "half" "#####     " half);
+  ]
+
+let cost_model_tests =
+  [
+    Alcotest.test_case "butterfly input dimensions" `Quick (fun () ->
+        let profile = Option.get (Workloads.Registry.find "fft") in
+        let p =
+          Workloads.Workload.generate_program profile ~threads:4 ~scale:2000
+            ~seed:3
+          |> Machine.Heartbeat.insert ~every:128
+        in
+        let app =
+          Machine.App_timing.per_thread_epochs Machine.Machine_config.default p
+        in
+        let input =
+          Harness.Cost_model.butterfly_input Machine.Machine_config.default p
+            ~app ~flagged:(fun _ _ -> 0)
+        in
+        Alcotest.(check int) "threads" 4 (Array.length input.work);
+        Alcotest.(check int) "epochs" (Array.length app.(0))
+          (Array.length input.work.(0));
+        Array.iter
+          (Array.iter (fun (w : Machine.Monitor_sim.epoch_work) ->
+               Testutil.checkb "pass1 nonneg" true (w.pass1_cycles >= 0)))
+          input.work);
+    Alcotest.test_case "more threads, more meet work per event" `Quick
+      (fun () ->
+        (* The meet combines 3(T-1) wing summaries: per-epoch pass-2 cost
+           grows with thread count for the same per-thread trace. *)
+        let mk threads =
+          let profile = Option.get (Workloads.Registry.find "ocean") in
+          let p =
+            Workloads.Workload.generate_program profile ~threads ~scale:2000
+              ~seed:3
+            |> Machine.Heartbeat.insert ~every:256
+          in
+          let app =
+            Machine.App_timing.per_thread_epochs Machine.Machine_config.default
+              p
+          in
+          let input =
+            Harness.Cost_model.butterfly_input Machine.Machine_config.default p
+              ~app ~flagged:(fun _ _ -> 0)
+          in
+          (* average pass-2 cycles per epoch of thread 0 *)
+          let row = input.work.(0) in
+          Array.fold_left (fun a w -> a + w.Machine.Monitor_sim.pass2_cycles) 0 row
+          / Array.length row
+        in
+        Testutil.checkb "meet grows" true (mk 8 > mk 2));
+  ]
+
+let sensitivity_tests =
+  [
+    Alcotest.test_case "no sharing, no churn -> no false positives" `Slow
+      (fun () ->
+        let pts =
+          Harness.Sensitivity.sharing_sweep ~config:test_config ~threads:2 ()
+        in
+        match pts with
+        | { value = 0.0; result } :: _ when result.flagged_events > 0 ->
+          (* sharing=0 still has churn: flags allowed; check the stronger
+             condition on a churn sweep instead *)
+          ()
+        | _ -> ();
+        let churn0 =
+          List.hd (Harness.Sensitivity.churn_sweep ~config:test_config ~threads:2 ())
+        in
+        Testutil.checkb "churn-0 FPs bounded by cold start" true
+          (churn0.result.flagged_events < churn0.result.total_accesses / 10));
+    Alcotest.test_case "imbalance slows butterfly down" `Slow (fun () ->
+        match Harness.Sensitivity.imbalance_sweep ~config:test_config ~threads:4 () with
+        | first :: rest ->
+          let last = List.nth rest (List.length rest - 1) in
+          Testutil.checkb "monotone-ish" true
+            (last.result.butterfly > first.result.butterfly)
+        | [] -> Alcotest.fail "empty sweep");
+    Alcotest.test_case "isolation check only adds reports" `Slow (fun () ->
+        List.iter
+          (fun (s : Harness.Sensitivity.isolation_split) ->
+            Testutil.checkb s.benchmark true
+              (s.with_isolation >= s.without_isolation))
+          (Harness.Sensitivity.isolation_splits ~config:test_config ~threads:2 ()));
+  ]
+
+let () =
+  Alcotest.run "harness"
+    [
+      ("experiment", experiment_tests);
+      ("render", render_tests);
+      ("format", format_tests);
+      ("cost_model", cost_model_tests);
+      ("sensitivity", sensitivity_tests);
+    ]

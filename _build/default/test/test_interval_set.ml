@@ -1,0 +1,141 @@
+(* Interval_set: unit tests plus qcheck equivalence with a reference
+   bitset implementation over the universe [0, 64). *)
+
+module I = Butterfly.Interval_set
+
+let universe = 64
+
+(* Reference: bool array. *)
+module Ref = struct
+  type t = bool array [@@warning "-34"]
+
+  let of_iset (s : I.t) =
+    Array.init universe (fun x -> I.mem x s)
+
+  let binop f a b = Array.init universe (fun x -> f a.(x) b.(x))
+  let union = binop ( || )
+  let inter = binop ( && )
+  let diff = binop (fun x y -> x && not y)
+  let equal = ( = )
+end
+
+(* A random interval-set built from a list of signed ranges. *)
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_bound 8)
+      (triple (int_bound (universe - 1)) (int_bound 16) bool))
+
+let build ops =
+  List.fold_left
+    (fun s (lo, len, add) ->
+      if add then I.add_range lo (min universe (lo + len)) s
+      else I.remove_range lo (min universe (lo + len)) s)
+    I.empty ops
+
+let arb =
+  QCheck.make
+    ~print:(fun ops ->
+      Format.asprintf "%a" I.pp (build ops))
+    gen_ops
+
+let arb2 = QCheck.pair arb arb
+
+let canonical (s : I.t) =
+  (* Intervals sorted, disjoint, non-adjacent, non-empty. *)
+  let rec ok = function
+    | [] | [ _ ] -> true
+    | (lo1, hi1) :: ((lo2, _) :: _ as rest) ->
+      lo1 < hi1 && hi1 < lo2 && ok rest
+  in
+  (match I.intervals s with [ (lo, hi) ] -> lo < hi | l -> ok l)
+
+let unit_tests =
+  [
+    Alcotest.test_case "empty" `Quick (fun () ->
+        Testutil.checkb "is_empty" true (I.is_empty I.empty);
+        Testutil.checkb "mem" false (I.mem 3 I.empty));
+    Alcotest.test_case "range basics" `Quick (fun () ->
+        let s = I.range 10 20 in
+        Testutil.checkb "mem lo" true (I.mem 10 s);
+        Testutil.checkb "mem hi-1" true (I.mem 19 s);
+        Testutil.checkb "mem hi" false (I.mem 20 s);
+        Alcotest.(check int) "cardinal" 10 (I.cardinal s));
+    Alcotest.test_case "adjacent ranges merge" `Quick (fun () ->
+        let s = I.union (I.range 0 5) (I.range 5 10) in
+        Alcotest.(check int) "one interval" 1 (I.interval_count s);
+        Testutil.checkb "equal" true (I.equal s (I.range 0 10)));
+    Alcotest.test_case "remove splits" `Quick (fun () ->
+        let s = I.remove_range 3 5 (I.range 0 10) in
+        Alcotest.(check int) "two intervals" 2 (I.interval_count s);
+        Testutil.checkb "left" true (I.mem 2 s);
+        Testutil.checkb "gone" false (I.mem 4 s);
+        Testutil.checkb "right" true (I.mem 5 s));
+    Alcotest.test_case "empty range is empty" `Quick (fun () ->
+        Testutil.checkb "hi<=lo" true (I.is_empty (I.range 5 5));
+        Testutil.checkb "hi<lo" true (I.is_empty (I.range 5 2)));
+    Alcotest.test_case "of_intervals normalizes" `Quick (fun () ->
+        let s = I.of_intervals [ (5, 8); (0, 6); (10, 10); (8, 9) ] in
+        Testutil.checkb "merged" true (I.equal s (I.range 0 9)));
+    Alcotest.test_case "choose" `Quick (fun () ->
+        Alcotest.(check (option int)) "min" (Some 3)
+          (I.choose (I.of_intervals [ (7, 9); (3, 4) ]));
+        Alcotest.(check (option int)) "none" None (I.choose I.empty));
+    Alcotest.test_case "elements" `Quick (fun () ->
+        Alcotest.(check (list int)) "elems" [ 1; 2; 5 ]
+          (I.elements (I.of_intervals [ (1, 3); (5, 6) ])));
+    Alcotest.test_case "subset/disjoint" `Quick (fun () ->
+        Testutil.checkb "subset" true (I.subset (I.range 2 4) (I.range 0 10));
+        Testutil.checkb "not subset" false (I.subset (I.range 2 12) (I.range 0 10));
+        Testutil.checkb "disjoint" true (I.disjoint (I.range 0 5) (I.range 5 9));
+        Testutil.checkb "not disjoint" false (I.disjoint (I.range 0 6) (I.range 5 9)));
+  ]
+
+let prop_tests =
+  [
+    Testutil.qtest "build matches reference" arb (fun ops ->
+        let s = build ops in
+        let r =
+          List.fold_left
+            (fun r (lo, len, add) ->
+              Array.mapi
+                (fun x v ->
+                  if x >= lo && x < min universe (lo + len) then add else v)
+                r)
+            (Array.make universe false)
+            ops
+        in
+        Ref.equal (Ref.of_iset s) r);
+    Testutil.qtest "canonical form" arb (fun ops -> canonical (build ops));
+    Testutil.qtest "union matches reference" arb2 (fun (a, b) ->
+        let sa = build a and sb = build b in
+        Ref.equal
+          (Ref.of_iset (I.union sa sb))
+          (Ref.union (Ref.of_iset sa) (Ref.of_iset sb)));
+    Testutil.qtest "inter matches reference" arb2 (fun (a, b) ->
+        let sa = build a and sb = build b in
+        Ref.equal
+          (Ref.of_iset (I.inter sa sb))
+          (Ref.inter (Ref.of_iset sa) (Ref.of_iset sb)));
+    Testutil.qtest "diff matches reference" arb2 (fun (a, b) ->
+        let sa = build a and sb = build b in
+        Ref.equal
+          (Ref.of_iset (I.diff sa sb))
+          (Ref.diff (Ref.of_iset sa) (Ref.of_iset sb)));
+    Testutil.qtest "union canonical" arb2 (fun (a, b) ->
+        canonical (I.union (build a) (build b)));
+    Testutil.qtest "diff canonical" arb2 (fun (a, b) ->
+        canonical (I.diff (build a) (build b)));
+    Testutil.qtest "inter canonical" arb2 (fun (a, b) ->
+        canonical (I.inter (build a) (build b)));
+    Testutil.qtest "equal is semantic" arb2 (fun (a, b) ->
+        let sa = build a and sb = build b in
+        I.equal sa sb = Ref.equal (Ref.of_iset sa) (Ref.of_iset sb));
+    Testutil.qtest "cardinal matches" arb (fun ops ->
+        let s = build ops in
+        I.cardinal s
+        = Array.fold_left (fun n v -> if v then n + 1 else n) 0 (Ref.of_iset s));
+  ]
+
+let () =
+  Alcotest.run "interval_set"
+    [ ("unit", unit_tests); ("properties", prop_tests) ]

@@ -1,0 +1,316 @@
+(* Machine substrate: caches, memory hierarchy, heartbeats, log buffer, and
+   the monitoring timeline. *)
+
+module MC = Machine.Machine_config
+module I = Tracing.Instr
+
+let tiny_cache =
+  { MC.size_bytes = 512; ways = 2; line_bytes = 64; latency = 2 }
+
+let cache_tests =
+  [
+    Alcotest.test_case "geometry" `Quick (fun () ->
+        let c = Machine.Cache.create tiny_cache in
+        (* 512 / (2 * 64) = 4 sets *)
+        Alcotest.(check int) "sets" 4 (Machine.Cache.sets c));
+    Alcotest.test_case "hit after miss" `Quick (fun () ->
+        let c = Machine.Cache.create tiny_cache in
+        Testutil.checkb "first is miss" true (Machine.Cache.access c 0x100 = `Miss);
+        Testutil.checkb "second is hit" true (Machine.Cache.access c 0x100 = `Hit);
+        Testutil.checkb "same line hits" true (Machine.Cache.access c 0x13f = `Hit));
+    Alcotest.test_case "lru eviction" `Quick (fun () ->
+        let c = Machine.Cache.create tiny_cache in
+        (* Three conflicting lines in a 2-way set: set = (addr/64) mod 4. *)
+        let a0 = 0 and a1 = 4 * 64 and a2 = 8 * 64 in
+        ignore (Machine.Cache.access c a0);
+        ignore (Machine.Cache.access c a1);
+        ignore (Machine.Cache.access c a0);
+        (* a1 is LRU now; a2 evicts it. *)
+        ignore (Machine.Cache.access c a2);
+        Testutil.checkb "a0 kept" true (Machine.Cache.probe c a0);
+        Testutil.checkb "a1 evicted" false (Machine.Cache.probe c a1));
+    Alcotest.test_case "stats" `Quick (fun () ->
+        let c = Machine.Cache.create tiny_cache in
+        ignore (Machine.Cache.access c 0);
+        ignore (Machine.Cache.access c 0);
+        let s = Machine.Cache.stats c in
+        Alcotest.(check int) "accesses" 2 s.Machine.Cache.accesses;
+        Alcotest.(check int) "misses" 1 s.Machine.Cache.misses;
+        Testutil.checkb "rate" true (abs_float (Machine.Cache.miss_rate c -. 0.5) < 1e-9));
+  ]
+
+let hierarchy_tests =
+  [
+    Alcotest.test_case "latency ordering" `Quick (fun () ->
+        let cfg = MC.default in
+        let l2 = Machine.Mem_hierarchy.shared_l2 cfg in
+        let h = Machine.Mem_hierarchy.create cfg ~l2 in
+        let cold = Machine.Mem_hierarchy.access h 0x1000 in
+        let warm = Machine.Mem_hierarchy.access h 0x1000 in
+        Testutil.checkb "cold slower" true (cold > warm);
+        Alcotest.(check int) "warm is L1" cfg.MC.l1d.MC.latency warm;
+        Alcotest.(check int) "cold goes to memory"
+          (cfg.MC.l1d.MC.latency + cfg.MC.l2.MC.latency + cfg.MC.memory_latency)
+          cold);
+    Alcotest.test_case "instr cycles" `Quick (fun () ->
+        let cfg = MC.default in
+        let l2 = Machine.Mem_hierarchy.shared_l2 cfg in
+        let h = Machine.Mem_hierarchy.create cfg ~l2 in
+        Alcotest.(check int) "nop" 1 (Machine.Mem_hierarchy.instr_cycles h I.Nop);
+        Testutil.checkb "malloc has allocator cost" true
+          (Machine.Mem_hierarchy.instr_cycles h (I.Malloc { base = 0; size = 64 })
+          > 20));
+  ]
+
+let heartbeat_tests =
+  [
+    Alcotest.test_case "uniform insertion" `Quick (fun () ->
+        let p =
+          Tracing.Program.of_instrs [ List.init 10 (fun _ -> I.Nop) ]
+          |> Machine.Heartbeat.insert ~every:3
+        in
+        Alcotest.(check (list int)) "blocks" [ 3; 3; 3; 1 ]
+          (List.map Array.length (Tracing.Trace.blocks (Tracing.Program.trace p 0))));
+    Alcotest.test_case "staggered boundaries stay within skew" `Quick
+      (fun () ->
+        let every = 10 and max_skew = 3 in
+        let p =
+          Tracing.Program.of_instrs
+            [ List.init 100 (fun _ -> I.Nop); List.init 100 (fun _ -> I.Nop) ]
+          |> Machine.Heartbeat.insert_staggered ~every ~max_skew ~seed:9
+        in
+        for t = 0 to 1 do
+          let blocks = Tracing.Trace.blocks (Tracing.Program.trace p t) in
+          let pos = ref 0 in
+          List.iteri
+            (fun k b ->
+              pos := !pos + Array.length b;
+              (* boundary k+1 nominal position: (k+1)*every *)
+              if k < List.length blocks - 1 then
+                Testutil.checkb "within skew" true
+                  (abs (!pos - ((k + 1) * every)) <= max_skew))
+            blocks;
+          Alcotest.(check int) "instrs preserved" 100
+            (Tracing.Trace.instr_count (Tracing.Program.trace p t))
+        done);
+    Alcotest.test_case "staggered rejects excessive skew" `Quick (fun () ->
+        let p = Tracing.Program.of_instrs [ [ I.Nop ] ] in
+        match Machine.Heartbeat.insert_staggered ~every:4 ~max_skew:2 ~seed:0 p with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+  ]
+
+let log_buffer_tests =
+  [
+    Alcotest.test_case "no stall under capacity" `Quick (fun () ->
+        let b = Machine.Log_buffer.create ~capacity:4 in
+        for now = 0 to 3 do
+          Alcotest.(check int) "immediate" now (Machine.Log_buffer.produce b ~now)
+        done;
+        Alcotest.(check int) "no stalls" 0 (Machine.Log_buffer.stall_cycles b);
+        Alcotest.(check int) "occupancy" 4 (Machine.Log_buffer.occupancy b));
+    Alcotest.test_case "producer stalls when full" `Quick (fun () ->
+        let b = Machine.Log_buffer.create ~capacity:2 in
+        ignore (Machine.Log_buffer.produce b ~now:0);
+        ignore (Machine.Log_buffer.produce b ~now:1);
+        (* Consumer drains the first entry at t=10. *)
+        let c0 = Machine.Log_buffer.consume b ~now:5 ~service:5 in
+        Alcotest.(check int) "consume done" 10 c0;
+        (* Third produce at t=2 must wait for that consume. *)
+        let p2 = Machine.Log_buffer.produce b ~now:2 in
+        Alcotest.(check int) "stalled to 10" 10 p2;
+        Alcotest.(check int) "stall cycles" 8 (Machine.Log_buffer.stall_cycles b));
+    Alcotest.test_case "consume before produce waits" `Quick (fun () ->
+        let b = Machine.Log_buffer.create ~capacity:2 in
+        ignore (Machine.Log_buffer.produce b ~now:7);
+        let c = Machine.Log_buffer.consume b ~now:0 ~service:1 in
+        Alcotest.(check int) "waits for data" 8 c);
+    Alcotest.test_case "consume empty raises" `Quick (fun () ->
+        let b = Machine.Log_buffer.create ~capacity:2 in
+        match Machine.Log_buffer.consume b ~now:0 ~service:1 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+  ]
+
+let work ~instrs ~app ~p1 ~p2 =
+  { Machine.Monitor_sim.instrs; app_cycles = app; pass1_cycles = p1; pass2_cycles = p2 }
+
+let sim_tests =
+  [
+    Alcotest.test_case "lifeguard-bound makespan" `Quick (fun () ->
+        (* One thread, two epochs; the lifeguard is far slower than the
+           application, so the makespan tracks lifeguard work. *)
+        let input =
+          {
+            Machine.Monitor_sim.work =
+              [| [| work ~instrs:100 ~app:100 ~p1:1000 ~p2:500;
+                    work ~instrs:100 ~app:100 ~p1:1000 ~p2:500 |] |];
+            buffer_entries = 1000;
+            barrier_cycles = 0;
+            epoch_fixed_cycles = 0;
+          }
+        in
+        let r = Machine.Monitor_sim.parallel input in
+        Testutil.checkb "dominated by lifeguard" true (r.makespan >= 3000));
+    Alcotest.test_case "app-bound when lifeguard is fast" `Quick (fun () ->
+        let input =
+          {
+            Machine.Monitor_sim.work =
+              [| [| work ~instrs:100 ~app:5000 ~p1:10 ~p2:10;
+                    work ~instrs:100 ~app:5000 ~p1:10 ~p2:10 |] |];
+            buffer_entries = 1000;
+            barrier_cycles = 0;
+            epoch_fixed_cycles = 0;
+          }
+        in
+        let r = Machine.Monitor_sim.parallel input in
+        Testutil.checkb "close to app time" true
+          (r.makespan >= 10000 && r.makespan < 11000));
+    Alcotest.test_case "slow thread delays the barrier" `Quick (fun () ->
+        let fast = work ~instrs:10 ~app:10 ~p1:10 ~p2:10 in
+        let slow = work ~instrs:10 ~app:10 ~p1:10000 ~p2:10 in
+        let balanced =
+          Machine.Monitor_sim.parallel
+            {
+              work = [| [| fast; fast |]; [| fast; fast |] |];
+              buffer_entries = 1000;
+              barrier_cycles = 0;
+              epoch_fixed_cycles = 0;
+            }
+        in
+        let skewed =
+          Machine.Monitor_sim.parallel
+            {
+              work = [| [| fast; fast |]; [| slow; fast |] |];
+              buffer_entries = 1000;
+              barrier_cycles = 0;
+              epoch_fixed_cycles = 0;
+            }
+        in
+        Testutil.checkb "skew hurts everyone" true
+          (skewed.makespan > balanced.makespan + 9000));
+    Alcotest.test_case "per-epoch fixed costs accumulate" `Quick (fun () ->
+        let w = work ~instrs:10 ~app:10 ~p1:10 ~p2:10 in
+        let base =
+          Machine.Monitor_sim.parallel
+            { work = [| [| w; w; w; w |] |]; buffer_entries = 100;
+              barrier_cycles = 0; epoch_fixed_cycles = 0 }
+        in
+        let fixed =
+          Machine.Monitor_sim.parallel
+            { work = [| [| w; w; w; w |] |]; buffer_entries = 100;
+              barrier_cycles = 0; epoch_fixed_cycles = 1000 }
+        in
+        Testutil.checkb "fixed cost visible" true
+          (fixed.makespan >= base.makespan + 4000));
+    Alcotest.test_case "small buffer stalls the application" `Quick (fun () ->
+        let w = work ~instrs:1000 ~app:1000 ~p1:10000 ~p2:0 in
+        let r =
+          Machine.Monitor_sim.parallel
+            { work = [| [| w; w |] |]; buffer_entries = 10;
+              barrier_cycles = 0; epoch_fixed_cycles = 0 }
+        in
+        Testutil.checkb "stalls recorded" true (r.stall_cycles.(0) > 0));
+    Alcotest.test_case "timesliced is the max of both sides" `Quick (fun () ->
+        Alcotest.(check int) "lifeguard bound" 500
+          (Machine.Monitor_sim.timesliced
+             { app_total_cycles = 300; lifeguard_total_cycles = 500 });
+        Alcotest.(check int) "app bound" 700
+          (Machine.Monitor_sim.timesliced
+             { app_total_cycles = 700; lifeguard_total_cycles = 500 }));
+  ]
+
+let app_timing_tests =
+  [
+    Alcotest.test_case "per-thread epoch costs" `Quick (fun () ->
+        let p =
+          Tracing.Program.of_instrs
+            [ List.init 10 (fun k -> I.Read (64 * k)); List.init 6 (fun _ -> I.Nop) ]
+          |> Tracing.Program.with_heartbeats ~every:4
+        in
+        let costs = Machine.App_timing.per_thread_epochs MC.default p in
+        Alcotest.(check int) "threads" 2 (Array.length costs);
+        Alcotest.(check int) "epochs padded" (Array.length costs.(0))
+          (Array.length costs.(1));
+        Alcotest.(check int) "t0 epoch0 instrs" 4 costs.(0).(0).Machine.App_timing.instrs;
+        Testutil.checkb "reads cost more than nops" true
+          (costs.(0).(0).Machine.App_timing.cycles > costs.(1).(0).Machine.App_timing.cycles));
+    Alcotest.test_case "sequential vs timesliced" `Quick (fun () ->
+        let p =
+          Tracing.Program.of_instrs
+            [ List.init 50 (fun k -> I.Read (64 * k));
+              List.init 50 (fun k -> I.Read (64 * (k + 100))) ]
+        in
+        let seq = Machine.App_timing.sequential_cycles MC.default p in
+        let ts = Machine.App_timing.timesliced_cycles ~quantum:10 MC.default p in
+        Testutil.checkb "timeslicing adds switch cost" true (ts > seq));
+  ]
+
+let config_tests =
+  [
+    Alcotest.test_case "table 1 defaults" `Quick (fun () ->
+        let c = MC.default in
+        Alcotest.(check int) "log entries" 1024 (MC.log_buffer_entries c);
+        let rows = MC.table1_rows c in
+        Testutil.checkb "has L2 row" true (List.mem_assoc "L2" rows);
+        Testutil.checkb "has log row" true (List.mem_assoc "Log buffer" rows));
+  ]
+
+let filter_tests =
+  [
+    Alcotest.test_case "first touch admitted, repeat filtered" `Quick
+      (fun () ->
+        let f = Machine.Idempotent_filter.create () in
+        Testutil.checkb "first" true (Machine.Idempotent_filter.admit f (I.Read 0x100));
+        Testutil.checkb "repeat" false (Machine.Idempotent_filter.admit f (I.Read 0x100));
+        Testutil.checkb "same line" false (Machine.Idempotent_filter.admit f (I.Read 0x13f));
+        Testutil.checkb "other line" true (Machine.Idempotent_filter.admit f (I.Read 0x140)));
+    Alcotest.test_case "metadata change invalidates" `Quick (fun () ->
+        let f = Machine.Idempotent_filter.create () in
+        ignore (Machine.Idempotent_filter.admit f (I.Read 0x100));
+        Testutil.checkb "malloc admitted" true
+          (Machine.Idempotent_filter.admit f (I.Malloc { base = 0x100; size = 8 }));
+        Testutil.checkb "readmitted after change" true
+          (Machine.Idempotent_filter.admit f (I.Read 0x100)));
+    Alcotest.test_case "flush readmits" `Quick (fun () ->
+        let f = Machine.Idempotent_filter.create () in
+        ignore (Machine.Idempotent_filter.admit f (I.Read 0x100));
+        Machine.Idempotent_filter.flush f;
+        Testutil.checkb "fresh after flush" true
+          (Machine.Idempotent_filter.admit f (I.Read 0x100)));
+    Alcotest.test_case "capacity eviction readmits old lines" `Quick
+      (fun () ->
+        let f = Machine.Idempotent_filter.create ~capacity:4 () in
+        for k = 0 to 5 do
+          ignore (Machine.Idempotent_filter.admit f (I.Read (64 * k)))
+        done;
+        (* line 0 was evicted by lines 4 and 5 *)
+        Testutil.checkb "evicted line readmits" true
+          (Machine.Idempotent_filter.admit f (I.Read 0));
+        Testutil.checkb "recent line filtered" false
+          (Machine.Idempotent_filter.admit f (I.Read (64 * 5))));
+    Alcotest.test_case "non-memory instructions never admitted" `Quick
+      (fun () ->
+        let f = Machine.Idempotent_filter.create () in
+        Testutil.checkb "nop" false (Machine.Idempotent_filter.admit f I.Nop));
+    Alcotest.test_case "stats" `Quick (fun () ->
+        let f = Machine.Idempotent_filter.create () in
+        ignore (Machine.Idempotent_filter.admit f (I.Read 0));
+        ignore (Machine.Idempotent_filter.admit f (I.Read 0));
+        let adm, filt = Machine.Idempotent_filter.stats f in
+        Alcotest.(check int) "admitted" 1 adm;
+        Alcotest.(check int) "filtered" 1 filt);
+  ]
+
+let () =
+  Alcotest.run "machine"
+    [
+      ("cache", cache_tests);
+      ("hierarchy", hierarchy_tests);
+      ("heartbeat", heartbeat_tests);
+      ("log_buffer", log_buffer_tests);
+      ("monitor_sim", sim_tests);
+      ("app_timing", app_timing_tests);
+      ("filter", filter_tests);
+      ("config", config_tests);
+    ]

@@ -1,0 +1,148 @@
+(* Memory-model substrate: intra-thread constraint generation and the
+   valid-ordering enumerator. *)
+
+module C = Memmodel.Consistency
+module VO = Memmodel.Valid_ordering
+module I = Tracing.Instr
+
+let consistency_tests =
+  [
+    Alcotest.test_case "sequential is the program-order chain" `Quick
+      (fun () ->
+        let is = [| I.Nop; I.Read 1; I.Assign_const 2 |] in
+        Alcotest.(check (list (pair int int)))
+          "chain" [ (0, 1); (1, 2) ]
+          (C.intra_thread_edges C.Sequential is));
+    Alcotest.test_case "relaxed keeps only dependences" `Quick (fun () ->
+        (* Two writes to different locations: unordered under Relaxed. *)
+        let is = [| I.Assign_const 0; I.Assign_const 1 |] in
+        Alcotest.(check (list (pair int int)))
+          "independent" []
+          (C.intra_thread_edges C.Relaxed is);
+        (* Same location: coherence orders them. *)
+        let is = [| I.Assign_const 0; I.Assign_const 0 |] in
+        Alcotest.(check (list (pair int int)))
+          "coherence" [ (0, 1) ]
+          (C.intra_thread_edges C.Relaxed is));
+    Alcotest.test_case "relaxed respects data dependences" `Quick (fun () ->
+        (* x := a; b := x  — write-read dependence through x. *)
+        let is = [| I.Assign_unop (1, 0); I.Assign_unop (2, 1) |] in
+        Alcotest.(check (list (pair int int)))
+          "raw" [ (0, 1) ]
+          (C.intra_thread_edges C.Relaxed is));
+    Alcotest.test_case "tso relaxes store->load only" `Quick (fun () ->
+        (* store x; load y: reorderable under TSO. *)
+        let is = [| I.Assign_const 0; I.Read 1 |] in
+        Alcotest.(check (list (pair int int)))
+          "store-load relaxed" []
+          (C.intra_thread_edges C.Tso is);
+        (* load y; store x: kept in order. *)
+        let is = [| I.Read 1; I.Assign_const 0 |] in
+        Alcotest.(check (list (pair int int)))
+          "load-store ordered" [ (0, 1) ]
+          (C.intra_thread_edges C.Tso is);
+        (* store x; load x: same location, ordered. *)
+        let is = [| I.Assign_const 0; I.Read 0 |] in
+        Alcotest.(check (list (pair int int)))
+          "same-loc ordered" [ (0, 1) ]
+          (C.intra_thread_edges C.Tso is));
+    Alcotest.test_case "malloc is a fence" `Quick (fun () ->
+        let is = [| I.Malloc { base = 0; size = 4 }; I.Read 100 |] in
+        Alcotest.(check (list (pair int int)))
+          "fenced" [ (0, 1) ]
+          (C.intra_thread_edges C.Relaxed is));
+  ]
+
+let nop_thread n = Array.make n I.Nop
+
+let count_exn vo =
+  let n, exhaustive = VO.count vo in
+  Testutil.checkb "exhaustive" true exhaustive;
+  n
+
+let enumeration_tests =
+  [
+    Alcotest.test_case "single epoch = all interleavings" `Quick (fun () ->
+        (* 2 threads x 2 instrs, no epoch constraint: C(4,2) = 6. *)
+        let vo = VO.make [| nop_thread 2; nop_thread 2 |] in
+        Alcotest.(check int) "count" 6 (count_exn vo));
+    Alcotest.test_case "three threads" `Quick (fun () ->
+        (* multinomial 6! / (2!2!2!) = 90 *)
+        let vo = VO.make [| nop_thread 2; nop_thread 2; nop_thread 2 |] in
+        Alcotest.(check int) "count" 90 (count_exn vo));
+    Alcotest.test_case "epoch gap constrains orderings" `Quick (fun () ->
+        (* Two threads, one instr per epoch, 3 epochs.  Without constraints
+           C(6,3)=20 interleavings; the epoch-gap rule removes those where
+           an epoch-l instruction follows an epoch-(l+2) one. *)
+        let g = [| [ [| I.Nop |]; [| I.Nop |]; [| I.Nop |] ] |] in
+        let g2 = Array.append g g in
+        let vo = VO.of_blocks g2 in
+        let n = count_exn vo in
+        Testutil.checkb "fewer than unconstrained" true (n < 20);
+        Testutil.checkb "more than one" true (n > 1));
+    Alcotest.test_case "samples are valid" `Quick (fun () ->
+        let g =
+          [|
+            [ [| I.Assign_const 0; I.Nop |]; [| I.Read 0 |] ];
+            [ [| I.Nop |]; [| I.Assign_const 1; I.Nop |] ];
+          |]
+        in
+        let vo = VO.of_blocks g in
+        let rng = Random.State.make [| 42 |] in
+        for _ = 1 to 50 do
+          let o = VO.sample rng vo in
+          Testutil.checkb "valid" true (VO.is_valid vo o)
+        done);
+    Alcotest.test_case "enumerated orderings are valid and complete" `Quick
+      (fun () ->
+        let g =
+          [|
+            [ [| I.Assign_const 0 |]; [| I.Read 0 |] ];
+            [ [| I.Assign_const 1 |]; [| I.Nop |] ];
+          |]
+        in
+        let vo = VO.of_blocks g in
+        let os, exhaustive = VO.enumerate vo in
+        Testutil.checkb "exhaustive" true exhaustive;
+        List.iter
+          (fun o ->
+            Testutil.checkb "valid" true (VO.is_valid vo o);
+            Testutil.checkb "complete" true
+              (Memmodel.Ordering.complete (VO.threads vo) o))
+          os;
+        (* No duplicates. *)
+        let sorted = List.sort_uniq compare os in
+        Alcotest.(check int) "distinct" (List.length os) (List.length sorted));
+    Alcotest.test_case "is_valid rejects bad orderings" `Quick (fun () ->
+        let g = [| [ [| I.Nop |]; [| I.Nop |] ]; [ [| I.Nop |]; [| I.Nop |] ] |] in
+        let vo = VO.of_blocks g in
+        (* Program order violated within thread 0 (SC model). *)
+        let bad =
+          [ Memmodel.Ordering.step 0 1; Memmodel.Ordering.step 0 0;
+            Memmodel.Ordering.step 1 0; Memmodel.Ordering.step 1 1 ]
+        in
+        Testutil.checkb "rejected" false (VO.is_valid vo bad);
+        (* Incomplete ordering rejected. *)
+        Testutil.checkb "incomplete" false
+          (VO.is_valid vo [ Memmodel.Ordering.step 0 0 ]));
+    Alcotest.test_case "relaxed model admits more orderings" `Quick (fun () ->
+        let threads =
+          [| [| I.Assign_const 0; I.Assign_const 1 |]; [| I.Read 0 |] |]
+        in
+        let sc = count_exn (VO.make ~model:C.Sequential threads) in
+        let rx = count_exn (VO.make ~model:C.Relaxed threads) in
+        Testutil.checkb "superset" true (rx > sc));
+    Alcotest.test_case "strictly_before" `Quick (fun () ->
+        Testutil.checkb "gap 2" true (VO.strictly_before ~epoch_a:0 ~epoch_b:2);
+        Testutil.checkb "adjacent" false (VO.strictly_before ~epoch_a:0 ~epoch_b:1);
+        Testutil.checkb "same" false (VO.strictly_before ~epoch_a:1 ~epoch_b:1));
+    Alcotest.test_case "cap truncates and reports" `Quick (fun () ->
+        let vo = VO.make [| nop_thread 4; nop_thread 4 |] in
+        let n, exhaustive = VO.count ~cap:10 vo in
+        Alcotest.(check int) "capped" 10 n;
+        Testutil.checkb "not exhaustive" false exhaustive);
+  ]
+
+let () =
+  Alcotest.run "memmodel"
+    [ ("consistency", consistency_tests); ("valid_ordering", enumeration_tests) ]

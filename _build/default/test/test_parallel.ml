@@ -1,0 +1,76 @@
+(* Domain-parallel execution: the per-thread-domain runner must produce
+   exactly the batch driver's results — summaries, SOS, and the full
+   ordered stream of second-pass views. *)
+
+module RD = Butterfly.Reaching_definitions
+module RE = Butterfly.Reaching_expressions
+module Par_rd = Butterfly.Parallel.Make (RD.Problem)
+module Par_re = Butterfly.Parallel.Make (RE.Problem)
+
+let view_sig_rd (v : RD.Analysis.instr_view) =
+  Format.asprintf "%a|%s|%a|%a" Butterfly.Instr_id.pp v.id
+    (Tracing.Instr.to_string v.instr)
+    Butterfly.Def_set.pp v.in_before Butterfly.Def_set.pp v.lsos_before
+
+let view_sig_re (v : RE.Analysis.instr_view) =
+  Format.asprintf "%a|%s|%a|%a" Butterfly.Instr_id.pp v.id
+    (Tracing.Instr.to_string v.instr)
+    Butterfly.Expr_set.pp v.in_before Butterfly.Expr_set.pp v.lsos_before
+
+let gen_program =
+  let open QCheck.Gen in
+  let* threads = int_range 2 4 in
+  let* every = int_range 1 4 in
+  let thread = list_size (int_range 0 12) (Testutil.gen_df_instr ~n_addrs:3) in
+  let+ iss = list_repeat threads thread in
+  Tracing.Program.of_instrs iss |> Tracing.Program.with_heartbeats ~every
+
+let arb_program = QCheck.make ~print:Tracing.Trace_codec.encode gen_program
+
+let rd_equiv p =
+  let epochs = Butterfly.Epochs.of_program p in
+  let batch = ref [] in
+  let batch_result =
+    RD.run ~on_instr:(fun v -> batch := view_sig_rd v :: !batch) epochs
+  in
+  let par_result, par_views =
+    Par_rd.run ~map:(fun v -> Some (view_sig_rd v)) epochs
+  in
+  List.rev !batch = par_views
+  && Array.for_all2
+       (fun a b -> Butterfly.Def_set.equal a b)
+       batch_result.sos par_result.sos
+
+let re_equiv p =
+  let epochs = Butterfly.Epochs.of_program p in
+  let batch = ref [] in
+  let batch_result =
+    RE.run ~on_instr:(fun v -> batch := view_sig_re v :: !batch) epochs
+  in
+  let par_result, par_views =
+    Par_re.run ~map:(fun v -> Some (view_sig_re v)) epochs
+  in
+  List.rev !batch = par_views
+  && Array.for_all2
+       (fun a b -> Butterfly.Expr_set.equal a b)
+       batch_result.sos par_result.sos
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "equivalence",
+        [
+          Testutil.qtest ~count:60 "domains == batch (reaching definitions)"
+            arb_program rd_equiv;
+          Testutil.qtest ~count:60 "domains == batch (reaching expressions)"
+            arb_program re_equiv;
+          Alcotest.test_case "uses one domain per thread" `Quick (fun () ->
+              let p =
+                Tracing.Program.of_instrs
+                  [ [ Tracing.Instr.Nop ]; [ Tracing.Instr.Nop ];
+                    [ Tracing.Instr.Nop ] ]
+              in
+              ignore (Par_rd.run (Butterfly.Epochs.of_program p));
+              Alcotest.(check int) "domains" 3 (Par_rd.checks_in_parallel ()));
+        ] );
+    ]

@@ -1,0 +1,201 @@
+(* Streaming scheduler: the online sliding-window driver must deliver
+   exactly the batch driver's per-instruction views — regardless of how
+   the per-thread streams are interleaved at the input — while keeping
+   only a bounded window of epochs resident. *)
+
+module RD = Butterfly.Reaching_definitions
+module RE = Butterfly.Reaching_expressions
+module Sched_rd = Butterfly.Scheduler.Make (RD.Problem)
+module Sched_re = Butterfly.Scheduler.Make (RE.Problem)
+
+type view_key = {
+  id : Butterfly.Instr_id.t;
+  instr : string;
+  lsos : string;
+  in_before : string;
+  sos : string;
+}
+
+let key_rd (v : RD.Analysis.instr_view) =
+  {
+    id = v.id;
+    instr = Tracing.Instr.to_string v.instr;
+    lsos = Format.asprintf "%a" Butterfly.Def_set.pp v.lsos_before;
+    in_before = Format.asprintf "%a" Butterfly.Def_set.pp v.in_before;
+    sos = Format.asprintf "%a" Butterfly.Def_set.pp v.sos;
+  }
+
+let key_re (v : RE.Analysis.instr_view) =
+  {
+    id = v.id;
+    instr = Tracing.Instr.to_string v.instr;
+    lsos = Format.asprintf "%a" Butterfly.Expr_set.pp v.lsos_before;
+    in_before = Format.asprintf "%a" Butterfly.Expr_set.pp v.in_before;
+    sos = Format.asprintf "%a" Butterfly.Expr_set.pp v.sos;
+  }
+
+let batch_views_rd program =
+  let acc = ref [] in
+  let r =
+    RD.run
+      ~on_instr:(fun v -> acc := key_rd v :: !acc)
+      (Butterfly.Epochs.of_program program)
+  in
+  (List.rev !acc, Format.asprintf "%a" Butterfly.Def_set.pp r.sos.(Array.length r.sos - 1))
+
+
+let stream_views_rd order program =
+  let acc = ref [] in
+  let threads = Tracing.Program.threads program in
+  let s = Sched_rd.create ~threads ~on_instr:(fun v -> acc := key_rd v :: !acc) in
+  (match order with
+  | `Sequential ->
+    for tid = 0 to threads - 1 do
+      Sched_rd.feed_trace s tid (Tracing.Program.trace program tid)
+    done
+  | `Round_robin ->
+    let streams =
+      Array.init threads (fun tid ->
+          ref (Array.to_list (Tracing.Trace.events (Tracing.Program.trace program tid))))
+    in
+    let live = ref true in
+    while !live do
+      live := false;
+      Array.iteri
+        (fun tid stream ->
+          match !stream with
+          | [] -> ()
+          | ev :: rest ->
+            live := true;
+            stream := rest;
+            Sched_rd.feed s tid ev)
+        streams
+    done
+  | `Random ->
+    let rng = Random.State.make [| 0xfeed |] in
+    let streams =
+      Array.init threads (fun tid ->
+          ref (Array.to_list (Tracing.Trace.events (Tracing.Program.trace program tid))))
+    in
+    let remaining () =
+      Array.to_list streams
+      |> List.mapi (fun tid s -> (tid, s))
+      |> List.filter (fun (_, s) -> !s <> [])
+    in
+    let rec go () =
+      match remaining () with
+      | [] -> ()
+      | choices ->
+        let tid, stream = List.nth choices (Random.State.int rng (List.length choices)) in
+        (match !stream with
+        | ev :: rest ->
+          stream := rest;
+          Sched_rd.feed s tid ev
+        | [] -> assert false);
+        go ()
+    in
+    go ());
+  Sched_rd.finish s;
+  let sos = Format.asprintf "%a" Butterfly.Def_set.pp (Sched_rd.sos s) in
+  (List.rev !acc, sos, Sched_rd.max_resident_epochs s)
+
+let gen_program =
+  let open QCheck.Gen in
+  let* threads = int_range 2 3 in
+  let* every = int_range 1 4 in
+  let thread = list_size (int_range 0 14) (Testutil.gen_df_instr ~n_addrs:3) in
+  let+ iss = list_repeat threads thread in
+  Tracing.Program.of_instrs iss |> Tracing.Program.with_heartbeats ~every
+
+let arb_program = QCheck.make ~print:Tracing.Trace_codec.encode gen_program
+
+let equivalence_tests =
+  List.map
+    (fun (name, order) ->
+      Testutil.qtest ~count:150
+        (Printf.sprintf "streaming == batch (%s feed)" name)
+        arb_program
+        (fun p ->
+          let batch, batch_sos = batch_views_rd p in
+          let stream, stream_sos, _ = stream_views_rd order p in
+          batch = stream && batch_sos = stream_sos))
+    [ ("sequential", `Sequential); ("round-robin", `Round_robin);
+      ("random", `Random) ]
+
+let re_equivalence =
+  Testutil.qtest ~count:100 "streaming == batch (reaching expressions)"
+    arb_program
+    (fun p ->
+      let acc_b = ref [] in
+      ignore
+        (RE.run
+           ~on_instr:(fun v -> acc_b := key_re v :: !acc_b)
+           (Butterfly.Epochs.of_program p));
+      let acc_s = ref [] in
+      let threads = Tracing.Program.threads p in
+      let s =
+        Sched_re.create ~threads ~on_instr:(fun v -> acc_s := key_re v :: !acc_s)
+      in
+      for tid = 0 to threads - 1 do
+        Sched_re.feed_trace s tid (Tracing.Program.trace p tid)
+      done;
+      Sched_re.finish s;
+      !acc_b = !acc_s)
+
+let bounded_window =
+  Alcotest.test_case "window stays bounded on long streams" `Quick (fun () ->
+      let instrs = List.init 2_000 (fun k -> Tracing.Instr.Assign_const (k mod 5)) in
+      let p =
+        Tracing.Program.of_instrs [ instrs; instrs ]
+        |> Tracing.Program.with_heartbeats ~every:10
+      in
+      let s = Sched_rd.create ~threads:2 ~on_instr:(fun _ -> ()) in
+      (* Round-robin so both threads advance together. *)
+      let e0 = Tracing.Trace.events (Tracing.Program.trace p 0) in
+      let e1 = Tracing.Trace.events (Tracing.Program.trace p 1) in
+      for k = 0 to Array.length e0 - 1 do
+        Sched_rd.feed s 0 e0.(k);
+        Sched_rd.feed s 1 e1.(k)
+      done;
+      Sched_rd.finish s;
+      Alcotest.(check int) "epochs completed" 201 (Sched_rd.epochs_completed s);
+      Testutil.checkb
+        (Printf.sprintf "resident window %d <= 6" (Sched_rd.max_resident_epochs s))
+        true
+        (Sched_rd.max_resident_epochs s <= 6))
+
+let misuse =
+  Alcotest.test_case "feed after finish raises" `Quick (fun () ->
+      let s = Sched_rd.create ~threads:1 ~on_instr:(fun _ -> ()) in
+      Sched_rd.feed s 0 (Tracing.Event.Instr Tracing.Instr.Nop);
+      Sched_rd.finish s;
+      (match Sched_rd.feed s 0 Tracing.Event.Heartbeat with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "expected Invalid_argument");
+      (* finish is idempotent *)
+      Sched_rd.finish s)
+
+let lagging_thread =
+  Alcotest.test_case "a lagging thread stalls pass 2 but not pass 1" `Quick
+    (fun () ->
+      let s = Sched_rd.create ~threads:2 ~on_instr:(fun _ -> ()) in
+      (* Thread 0 races ahead by many epochs; nothing can be processed
+         because thread 1's blocks are missing. *)
+      for _ = 1 to 10 do
+        Sched_rd.feed s 0 (Tracing.Event.Instr (Tracing.Instr.Assign_const 0));
+        Sched_rd.feed s 0 Tracing.Event.Heartbeat
+      done;
+      Alcotest.(check int) "nothing processed" 0 (Sched_rd.epochs_completed s);
+      (* Thread 1 catches up: the window drains. *)
+      for _ = 1 to 10 do
+        Sched_rd.feed s 1 (Tracing.Event.Instr (Tracing.Instr.Assign_const 1));
+        Sched_rd.feed s 1 Tracing.Event.Heartbeat
+      done;
+      Testutil.checkb "processing resumed" true (Sched_rd.epochs_completed s >= 8))
+
+let () =
+  Alcotest.run "scheduler"
+    [
+      ("equivalence", (re_equivalence :: equivalence_tests));
+      ("streaming", [ bounded_window; misuse; lagging_thread ]);
+    ]

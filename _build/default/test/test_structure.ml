@@ -1,0 +1,113 @@
+(* Butterfly structure: epochs, blocks, butterfly geometry (Figure 7) and
+   the strictly-before relation. *)
+
+module E = Butterfly.Epochs
+module B = Butterfly.Block
+module Id = Butterfly.Instr_id
+module I = Tracing.Instr
+
+let grid_3x2 : Testutil.grid =
+  (* 2 threads, 3 epochs, 2 instrs per block. *)
+  [|
+    [ [| I.Nop; I.Nop |]; [| I.Nop; I.Nop |]; [| I.Nop; I.Nop |] ];
+    [ [| I.Nop; I.Nop |]; [| I.Nop; I.Nop |]; [| I.Nop; I.Nop |] ];
+  |]
+
+let structure_tests =
+  [
+    Alcotest.test_case "grid dimensions" `Quick (fun () ->
+        let e = E.of_blocks grid_3x2 in
+        Alcotest.(check int) "threads" 2 (E.threads e);
+        Alcotest.(check int) "epochs" 3 (E.num_epochs e);
+        Alcotest.(check int) "instrs" 12 (E.instr_count e));
+    Alcotest.test_case "ragged threads are padded" `Quick (fun () ->
+        let g : Testutil.grid =
+          [| [ [| I.Nop |]; [| I.Nop |] ]; [ [| I.Nop |] ] |]
+        in
+        let e = E.of_blocks g in
+        Alcotest.(check int) "epochs" 2 (E.num_epochs e);
+        Testutil.checkb "padding empty" true
+          (B.is_empty (E.block e ~epoch:1 ~tid:1)));
+    Alcotest.test_case "out-of-range blocks are empty" `Quick (fun () ->
+        let e = E.of_blocks grid_3x2 in
+        Testutil.checkb "negative" true (B.is_empty (E.block e ~epoch:(-1) ~tid:0));
+        Testutil.checkb "beyond" true (B.is_empty (E.block e ~epoch:99 ~tid:0)));
+    Alcotest.test_case "head and tail" `Quick (fun () ->
+        let e = E.of_blocks grid_3x2 in
+        let h = E.head e ~epoch:1 ~tid:0 in
+        Alcotest.(check int) "head epoch" 0 h.B.epoch;
+        Alcotest.(check int) "head tid" 0 h.B.tid;
+        let t = E.tail e ~epoch:1 ~tid:0 in
+        Alcotest.(check int) "tail epoch" 2 t.B.epoch);
+    Alcotest.test_case "wings of a middle block" `Quick (fun () ->
+        let e = E.of_blocks grid_3x2 in
+        let ws = E.wings e ~epoch:1 ~tid:0 in
+        (* 3 epochs x 1 other thread. *)
+        Alcotest.(check int) "count" 3 (List.length ws);
+        List.iter
+          (fun (w : B.t) ->
+            Testutil.checkb "other thread" true (w.B.tid <> 0);
+            Testutil.checkb "adjacent epoch" true (abs (w.B.epoch - 1) <= 1))
+          ws);
+    Alcotest.test_case "wings at the boundary include empty blocks" `Quick
+      (fun () ->
+        let e = E.of_blocks grid_3x2 in
+        let ws = E.wings e ~epoch:0 ~tid:1 in
+        Alcotest.(check int) "count" 3 (List.length ws);
+        let empty = List.filter B.is_empty ws in
+        Alcotest.(check int) "epoch -1 is empty" 1 (List.length empty));
+    Alcotest.test_case "three threads have six wing blocks" `Quick (fun () ->
+        let g : Testutil.grid =
+          Array.make 3 [ [| I.Nop |]; [| I.Nop |]; [| I.Nop |] ]
+        in
+        let e = E.of_blocks g in
+        Alcotest.(check int) "count" 6 (List.length (E.wings e ~epoch:1 ~tid:1)));
+    Alcotest.test_case "block ids" `Quick (fun () ->
+        let e = E.of_blocks grid_3x2 in
+        let b = E.block e ~epoch:2 ~tid:1 in
+        let id = B.id b 1 in
+        Alcotest.(check int) "epoch" 2 id.Id.epoch;
+        Alcotest.(check int) "tid" 1 id.Id.tid;
+        Alcotest.(check int) "index" 1 id.Id.index);
+    Alcotest.test_case "of_program splits at heartbeats" `Quick (fun () ->
+        let p =
+          Tracing.Program.of_instrs
+            [ List.init 5 (fun _ -> I.Nop); List.init 3 (fun _ -> I.Nop) ]
+          |> Tracing.Program.with_heartbeats ~every:2
+        in
+        let e = E.of_program p in
+        Alcotest.(check int) "threads" 2 (E.threads e);
+        Alcotest.(check int) "epochs" 3 (E.num_epochs e);
+        Alcotest.(check int) "instrs preserved" 8 (E.instr_count e));
+  ]
+
+let id_tests =
+  [
+    Alcotest.test_case "strictly_before epoch gap" `Quick (fun () ->
+        let a = Id.make ~epoch:0 ~tid:0 ~index:5 in
+        let b = Id.make ~epoch:2 ~tid:1 ~index:0 in
+        Testutil.checkb "gap 2" true (Id.strictly_before ~sequential:false a b);
+        Testutil.checkb "not symmetric" false
+          (Id.strictly_before ~sequential:false b a));
+    Alcotest.test_case "strictly_before same thread needs SC" `Quick (fun () ->
+        let a = Id.make ~epoch:1 ~tid:0 ~index:0 in
+        let b = Id.make ~epoch:1 ~tid:0 ~index:1 in
+        Testutil.checkb "sc" true (Id.strictly_before ~sequential:true a b);
+        Testutil.checkb "relaxed" false (Id.strictly_before ~sequential:false a b));
+    Alcotest.test_case "potentially_concurrent" `Quick (fun () ->
+        let a = Id.make ~epoch:1 ~tid:0 ~index:0 in
+        Testutil.checkb "adjacent other thread" true
+          (Id.potentially_concurrent a (Id.make ~epoch:2 ~tid:1 ~index:0));
+        Testutil.checkb "same thread" false
+          (Id.potentially_concurrent a (Id.make ~epoch:1 ~tid:0 ~index:1));
+        Testutil.checkb "distant epoch" false
+          (Id.potentially_concurrent a (Id.make ~epoch:3 ~tid:1 ~index:0)));
+    Alcotest.test_case "compare is lexicographic" `Quick (fun () ->
+        let a = Id.make ~epoch:0 ~tid:1 ~index:9 in
+        let b = Id.make ~epoch:1 ~tid:0 ~index:0 in
+        Testutil.checkb "epoch dominates" true (Id.compare a b < 0));
+  ]
+
+let () =
+  Alcotest.run "structure"
+    [ ("epochs", structure_tests); ("instr_id", id_tests) ]

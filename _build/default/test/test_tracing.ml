@@ -1,0 +1,192 @@
+(* Tracing library: instruction footprints, heartbeat splitting, and codec
+   round-trips. *)
+
+module I = Tracing.Instr
+
+let addr = 0x10
+
+let footprint_tests =
+  [
+    Alcotest.test_case "reads/writes" `Quick (fun () ->
+        Alcotest.(check (list int)) "binop reads" [ 1; 2 ]
+          (I.reads (I.Assign_binop (0, 1, 2)));
+        Alcotest.(check (list int)) "binop same-operand dedup" [ 1 ]
+          (I.reads (I.Assign_binop (0, 1, 1)));
+        Alcotest.(check (option int)) "write dst" (Some 0)
+          (I.writes (I.Assign_binop (0, 1, 2)));
+        Alcotest.(check (option int)) "read has no write" None
+          (I.writes (I.Read 5)));
+    Alcotest.test_case "accesses" `Quick (fun () ->
+        Alcotest.(check (list int)) "dst first" [ 0; 1; 2 ]
+          (I.accesses (I.Assign_binop (0, 1, 2)));
+        Alcotest.(check (list int)) "jump reads target" [ 7 ]
+          (I.accesses (I.Jump_via 7));
+        Alcotest.(check (list int)) "malloc accesses nothing" []
+          (I.accesses (I.Malloc { base = 0; size = 8 })));
+    Alcotest.test_case "alloc_effect" `Quick (fun () ->
+        (match I.alloc_effect (I.Malloc { base = 4; size = 8 }) with
+        | `Alloc (4, 8) -> ()
+        | _ -> Alcotest.fail "malloc");
+        match I.alloc_effect (I.Free { base = 4; size = 8 }) with
+        | `Free (4, 8) -> ()
+        | _ -> Alcotest.fail "free");
+    Alcotest.test_case "is_memory_event" `Quick (fun () ->
+        Testutil.checkb "nop" false (I.is_memory_event I.Nop);
+        Testutil.checkb "malloc" true (I.is_memory_event (I.Malloc { base = 0; size = 1 }));
+        Testutil.checkb "assign" true (I.is_memory_event (I.Assign_const addr)));
+    Alcotest.test_case "taint_sink" `Quick (fun () ->
+        Alcotest.(check (option int)) "jump" (Some 3) (I.taint_sink (I.Jump_via 3));
+        Alcotest.(check (option int)) "sysarg" (Some 4)
+          (I.taint_sink (I.Syscall_arg 4));
+        Alcotest.(check (option int)) "assign" None
+          (I.taint_sink (I.Assign_const 3)));
+  ]
+
+let trace_tests =
+  [
+    Alcotest.test_case "with_heartbeats splits evenly" `Quick (fun () ->
+        let t =
+          Tracing.Trace.of_instrs (List.init 7 (fun _ -> I.Nop))
+          |> Tracing.Trace.with_heartbeats ~every:3
+        in
+        let blocks = Tracing.Trace.blocks t in
+        Alcotest.(check (list int)) "block sizes" [ 3; 3; 1 ]
+          (List.map Array.length blocks));
+    Alcotest.test_case "with_heartbeats exact multiple" `Quick (fun () ->
+        let t =
+          Tracing.Trace.of_instrs (List.init 6 (fun _ -> I.Nop))
+          |> Tracing.Trace.with_heartbeats ~every:3
+        in
+        Alcotest.(check (list int)) "trailing empty block" [ 3; 3; 0 ]
+          (List.map Array.length (Tracing.Trace.blocks t)));
+    Alcotest.test_case "re-heartbeat strips old markers" `Quick (fun () ->
+        let t =
+          Tracing.Trace.of_instrs (List.init 6 (fun _ -> I.Nop))
+          |> Tracing.Trace.with_heartbeats ~every:2
+          |> Tracing.Trace.with_heartbeats ~every:5
+        in
+        Alcotest.(check (list int)) "sizes" [ 5; 1 ]
+          (List.map Array.length (Tracing.Trace.blocks t)));
+    Alcotest.test_case "instr_count ignores heartbeats" `Quick (fun () ->
+        let t =
+          Tracing.Trace.of_instrs (List.init 9 (fun _ -> I.Nop))
+          |> Tracing.Trace.with_heartbeats ~every:2
+        in
+        Alcotest.(check int) "count" 9 (Tracing.Trace.instr_count t));
+    Alcotest.test_case "memory_event_count" `Quick (fun () ->
+        let t =
+          Tracing.Trace.of_instrs [ I.Nop; I.Read 1; I.Assign_const 2; I.Nop ]
+        in
+        Alcotest.(check int) "count" 2 (Tracing.Trace.memory_event_count t));
+    Alcotest.test_case "program accessors" `Quick (fun () ->
+        let p =
+          Tracing.Program.of_instrs [ [ I.Nop; I.Read 1 ]; [ I.Assign_const 2 ] ]
+        in
+        Alcotest.(check int) "threads" 2 (Tracing.Program.threads p);
+        Alcotest.(check int) "total" 3 (Tracing.Program.total_instrs p));
+  ]
+
+(* Codec round-trip over random programs. *)
+let gen_instr : I.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let addr = int_bound 0xff in
+  let size = int_range 1 64 in
+  oneof
+    [
+      map (fun x -> I.Assign_const x) addr;
+      map2 (fun x a -> I.Assign_unop (x, a)) addr addr;
+      map3 (fun x a b -> I.Assign_binop (x, a, b)) addr addr addr;
+      map (fun a -> I.Read a) addr;
+      map2 (fun base size -> I.Malloc { base; size }) addr size;
+      map2 (fun base size -> I.Free { base; size }) addr size;
+      map (fun x -> I.Taint_source x) addr;
+      map (fun x -> I.Untaint x) addr;
+      map (fun x -> I.Jump_via x) addr;
+      map (fun x -> I.Syscall_arg x) addr;
+      return I.Nop;
+    ]
+
+let gen_program =
+  let open QCheck.Gen in
+  let* threads = int_range 1 4 in
+  let* heartbeat = int_range 1 5 in
+  let thread = list_size (int_bound 20) gen_instr in
+  let+ iss = list_repeat threads thread in
+  Tracing.Program.of_instrs iss |> Tracing.Program.with_heartbeats ~every:heartbeat
+
+let arb_program =
+  QCheck.make ~print:(fun p -> Tracing.Trace_codec.encode p) gen_program
+
+let programs_equal a b =
+  Tracing.Program.threads a = Tracing.Program.threads b
+  && List.for_all
+       (fun t ->
+         let ea = Tracing.Trace.events (Tracing.Program.trace a t) in
+         let eb = Tracing.Trace.events (Tracing.Program.trace b t) in
+         Array.length ea = Array.length eb
+         && Array.for_all2 Tracing.Event.equal ea eb)
+       (List.init (Tracing.Program.threads a) Fun.id)
+
+let codec_tests =
+  [
+    Testutil.qtest ~count:200 "codec round-trip" arb_program (fun p ->
+        programs_equal p (Tracing.Trace_codec.roundtrip_exn p));
+    Alcotest.test_case "decode rejects garbage" `Quick (fun () ->
+        (match Tracing.Trace_codec.decode "0 frobnicate 0x10" with
+        | Error msg ->
+          Testutil.checkb "mentions line" true
+            (String.length msg > 0 && String.sub msg 0 4 = "line")
+        | Ok _ -> Alcotest.fail "expected parse error");
+        match Tracing.Trace_codec.decode "x nop" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected tid error");
+    Alcotest.test_case "decode skips comments and blanks" `Quick (fun () ->
+        match Tracing.Trace_codec.decode "# hi\n\n0 nop\n  \n0 heartbeat\n" with
+        | Ok p ->
+          Alcotest.(check int) "events" 2
+            (Array.length (Tracing.Trace.events (Tracing.Program.trace p 0)))
+        | Error m -> Alcotest.fail m);
+    Alcotest.test_case "decode empty is an error" `Quick (fun () ->
+        match Tracing.Trace_codec.decode "# nothing\n" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+  ]
+
+let fuzz_tests =
+  [
+    Testutil.qtest ~count:200 "binary codec round-trip" arb_program (fun p ->
+        programs_equal p (Tracing.Trace_codec.binary_roundtrip_exn p));
+    Alcotest.test_case "binary is denser than text" `Quick (fun () ->
+        let p =
+          Tracing.Program.of_instrs
+            [ List.init 500 (fun k -> I.Assign_binop (k, k + 1, k + 2)) ]
+        in
+        Testutil.checkb "smaller" true
+          (String.length (Tracing.Trace_codec.encode_binary p)
+          < String.length (Tracing.Trace_codec.encode p) / 3));
+    Testutil.qtest ~count:300 "text decoder never raises on garbage"
+      QCheck.(string_gen_of_size Gen.(int_bound 200) Gen.printable)
+      (fun s ->
+        match Tracing.Trace_codec.decode s with
+        | Ok _ | Error _ -> true);
+    Testutil.qtest ~count:300 "binary decoder never raises on garbage"
+      QCheck.(string_gen_of_size Gen.(int_bound 200) Gen.char)
+      (fun s ->
+        match Tracing.Trace_codec.decode_binary s with
+        | Ok _ | Error _ -> true);
+    Testutil.qtest ~count:100 "binary decoder survives truncation"
+      arb_program (fun p ->
+        let b = Tracing.Trace_codec.encode_binary p in
+        let cut = String.sub b 0 (String.length b / 2) in
+        match Tracing.Trace_codec.decode_binary cut with
+        | Ok _ | Error _ -> true);
+  ]
+
+let () =
+  Alcotest.run "tracing"
+    [
+      ("instr", footprint_tests);
+      ("trace", trace_tests);
+      ("codec", codec_tests);
+      ("codec_binary", fuzz_tests);
+    ]

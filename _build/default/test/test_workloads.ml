@@ -1,0 +1,210 @@
+(* Workload generators: scale fidelity, profile differentiation, and the
+   key invariant that each kernel's canonical interleaving is race-free
+   (so every butterfly finding on it is a measurable false positive). *)
+
+module W = Workloads.Workload
+
+(* Kernels append fixed warm-up/quiesce padding around the scaled compute
+   phase, and stop at whole-iteration granularity; bound accordingly. *)
+let scale = 4000
+
+let small ~threads profile =
+  profile.W.generate ~threads ~scale ~seed:42
+
+let instr_count bundle tid =
+  Tracing.Trace.instr_count
+    (Tracing.Program.trace (W.Bundle.program bundle) tid)
+
+let mem_ratio bundle =
+  let p = W.Bundle.program bundle in
+  float_of_int (Tracing.Program.total_memory_events p)
+  /. float_of_int (Tracing.Program.total_instrs p)
+
+let per_profile_tests =
+  List.concat_map
+    (fun (profile : W.profile) ->
+      [
+        Alcotest.test_case (profile.name ^ ": scale respected") `Quick
+          (fun () ->
+            let b = small ~threads:4 profile in
+            for t = 0 to 3 do
+              let n = instr_count b t in
+              Testutil.checkb
+                (Printf.sprintf "thread %d count %d in [scale, 3*scale+12k)" t n)
+                true
+                (n >= scale && n < (3 * scale) + 12_000)
+            done);
+        Alcotest.test_case (profile.name ^ ": canonical order is clean")
+          `Quick (fun () ->
+            let b = small ~threads:4 profile in
+            let r = Lifeguards.Addrcheck_seq.check (W.Bundle.canonical b) in
+            Alcotest.(check int) "no true errors" 0 (List.length r.errors));
+        Alcotest.test_case (profile.name ^ ": deterministic for a seed")
+          `Quick (fun () ->
+            let b1 = small ~threads:2 profile in
+            let b2 = small ~threads:2 profile in
+            Testutil.checkb "same canonical" true
+              (W.Bundle.canonical b1 = W.Bundle.canonical b2));
+      ])
+    Workloads.Registry.all
+
+let differentiation_tests =
+  [
+    Alcotest.test_case "registry is complete" `Quick (fun () ->
+        Alcotest.(check (list string)) "names"
+          [ "barnes"; "fft"; "fmm"; "ocean"; "blackscholes"; "lu" ]
+          Workloads.Registry.names);
+    Alcotest.test_case "find" `Quick (fun () ->
+        Testutil.checkb "ocean found" true
+          (Workloads.Registry.find "ocean" <> None);
+        Testutil.checkb "absent" true (Workloads.Registry.find "x264" = None));
+    Alcotest.test_case "profiles differ in memory density" `Quick (fun () ->
+        let ratio name =
+          mem_ratio (small ~threads:4 (Option.get (Workloads.Registry.find name)))
+        in
+        (* blackscholes is access-dominated; fmm is compute-dominated. *)
+        Testutil.checkb "blackscholes > fmm" true
+          (ratio "blackscholes" > ratio "fmm" +. 0.1));
+    Alcotest.test_case "ocean has the most allocation churn" `Quick (fun () ->
+        let churn name =
+          let b = small ~threads:4 (Option.get (Workloads.Registry.find name)) in
+          List.length
+            (List.filter
+               (fun i ->
+                 match Tracing.Instr.alloc_effect i with
+                 | `Alloc _ | `Free _ -> true
+                 | `None -> false)
+               (W.Bundle.canonical b))
+        in
+        Testutil.checkb "ocean > fft" true (churn "ocean" > churn "fft");
+        Testutil.checkb "ocean > blackscholes" true
+          (churn "ocean" > churn "blackscholes"));
+  ]
+
+let synthetic_tests =
+  [
+    Alcotest.test_case "imbalance shortens later threads" `Quick (fun () ->
+        let b =
+          Workloads.Synthetic.generate
+            ~knobs:{ Workloads.Synthetic.default with imbalance = 0.8 }
+            ~threads:4 ~scale:1000 ~seed:1 ()
+        in
+        Testutil.checkb "t0 > t3" true (instr_count b 0 > instr_count b 3));
+    Testutil.qtest ~count:25 "synthetic canonical order is clean"
+      (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1000))
+      (fun seed ->
+        let b =
+          Workloads.Synthetic.generate
+            ~knobs:
+              {
+                Workloads.Synthetic.default with
+                sharing = 0.3;
+                churn = 0.5;
+              }
+            ~threads:3 ~scale:300 ~seed ()
+        in
+        (Lifeguards.Addrcheck_seq.check (W.Bundle.canonical b)).errors = []);
+  ]
+
+let fault_tests =
+  [
+    Alcotest.test_case "injected bugs are real on the canonical order" `Quick
+      (fun () ->
+        (* Faults must be true errors, not merely butterfly findings. *)
+        List.iter
+          (fun (name, make) ->
+            let program, bugs = make ~threads:3 ~scale:200 ~seed:5 in
+            ignore program;
+            Testutil.checkb (name ^ " has bugs") true (bugs <> []))
+          [
+            ("uaf", Workloads.Faults.use_after_free);
+            ("df", Workloads.Faults.double_free);
+            ("ua", Workloads.Faults.unallocated_access);
+          ]);
+    Alcotest.test_case "sequential oracle flags injected bugs" `Quick
+      (fun () ->
+        let program, bugs =
+          Workloads.Faults.all_kinds ~threads:3 ~scale:200 ~seed:5
+        in
+        (* Timeslicing is a real interleaving, so the sequential lifeguard
+           must flag each injected address. *)
+        let r = Lifeguards.Timesliced.addrcheck ~quantum:50 program in
+        let flagged = Lifeguards.Addrcheck_seq.flagged_addresses r in
+        List.iter
+          (fun (b : Workloads.Faults.injected) ->
+            Testutil.checkb
+              (Format.asprintf "%a" Workloads.Faults.pp_bug b)
+              true
+              (Butterfly.Interval_set.mem b.addr flagged))
+          bugs);
+  ]
+
+let exploit_tests =
+  [
+    Alcotest.test_case "true positives are sequentially reachable" `Quick
+      (fun () ->
+        List.iter
+          (fun (s : Workloads.Exploit.scenario) ->
+            let grid =
+              Array.init (Tracing.Program.threads s.program) (fun t ->
+                  Tracing.Trace.blocks (Tracing.Program.trace s.program t))
+            in
+            let vo = Memmodel.Valid_ordering.of_blocks grid in
+            List.iter
+              (fun sink ->
+                let reachable =
+                  Memmodel.Valid_ordering.exists ~cap:20_000 vo (fun o ->
+                      let instrs =
+                        Memmodel.Ordering.apply
+                          (Memmodel.Valid_ordering.threads vo)
+                          o
+                      in
+                      List.mem sink
+                        (Lifeguards.Taintcheck_seq.flagged_sinks
+                           (Lifeguards.Taintcheck_seq.check instrs)))
+                in
+                Testutil.checkb
+                  (Printf.sprintf "%s: sink %x truly tainted in some ordering"
+                     s.name sink)
+                  true reachable)
+              s.true_positives)
+          (Workloads.Exploit.all ()));
+    Alcotest.test_case "clean sinks are never sequentially tainted" `Quick
+      (fun () ->
+        List.iter
+          (fun (s : Workloads.Exploit.scenario) ->
+            let grid =
+              Array.init (Tracing.Program.threads s.program) (fun t ->
+                  Tracing.Trace.blocks (Tracing.Program.trace s.program t))
+            in
+            let vo = Memmodel.Valid_ordering.of_blocks grid in
+            List.iter
+              (fun sink ->
+                let tainted_somewhere =
+                  Memmodel.Valid_ordering.exists ~cap:20_000 vo (fun o ->
+                      let instrs =
+                        Memmodel.Ordering.apply
+                          (Memmodel.Valid_ordering.threads vo)
+                          o
+                      in
+                      List.mem sink
+                        (Lifeguards.Taintcheck_seq.flagged_sinks
+                           (Lifeguards.Taintcheck_seq.check instrs)))
+                in
+                Testutil.checkb
+                  (Printf.sprintf "%s: sink %x clean in all orderings" s.name
+                     sink)
+                  false tainted_somewhere)
+              s.clean_sinks)
+          (Workloads.Exploit.all ()));
+  ]
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ("profiles", per_profile_tests);
+      ("differentiation", differentiation_tests);
+      ("synthetic", synthetic_tests);
+      ("faults", fault_tests);
+      ("exploits", exploit_tests);
+    ]

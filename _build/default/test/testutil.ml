@@ -1,0 +1,124 @@
+(* Shared helpers for the test suites. *)
+
+let qtest ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+let check = Alcotest.check
+let checkb name expected actual = Alcotest.check Alcotest.bool name expected actual
+
+(* --- Grids: per-thread block lists, the raw form of an epoch grid. --- *)
+
+type grid = Tracing.Instr.t array list array
+
+let epochs_of_grid (g : grid) = Butterfly.Epochs.of_blocks g
+
+let vo_of_grid ?model (g : grid) = Memmodel.Valid_ordering.of_blocks ?model g
+
+(* Map an ordering step (tid, flat index) to the butterfly instruction id. *)
+let id_of_step (g : grid) (s : Memmodel.Ordering.step) =
+  let rec find epoch index = function
+    | [] -> invalid_arg "id_of_step: index out of range"
+    | b :: rest ->
+      if index < Array.length b then
+        Butterfly.Instr_id.make ~epoch ~tid:s.Memmodel.Ordering.tid ~index
+      else find (epoch + 1) (index - Array.length b) rest
+  in
+  find 0 s.Memmodel.Ordering.index g.(s.Memmodel.Ordering.tid)
+
+let instr_of_step (g : grid) (s : Memmodel.Ordering.step) =
+  let rec find index = function
+    | [] -> invalid_arg "instr_of_step: index out of range"
+    | b :: rest ->
+      if index < Array.length b then b.(index)
+      else find (index - Array.length b) rest
+  in
+  find s.Memmodel.Ordering.index g.(s.Memmodel.Ordering.tid)
+
+(* Restrict a grid to its first [n] epochs. *)
+let grid_prefix (g : grid) n =
+  Array.map (fun bs -> List.filteri (fun l _ -> l < n) bs) g
+
+(* --- Sequential reference analyses over a total ordering. --- *)
+
+(* Reaching definitions: the definitions live at the end of the ordering
+   (per location, the last write wins). *)
+let live_defs (g : grid) (o : Memmodel.Ordering.t) : Butterfly.Definition.t list =
+  let last : (Tracing.Addr.t, Butterfly.Instr_id.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun step ->
+      let instr = instr_of_step g step in
+      match Tracing.Instr.writes instr with
+      | Some x -> Hashtbl.replace last x (id_of_step g step)
+      | None -> ())
+    o;
+  Hashtbl.fold
+    (fun loc site acc -> Butterfly.Definition.make ~loc ~site :: acc)
+    last []
+
+(* Reaching expressions: expressions available at the end of the ordering
+   (generated, and no operand overwritten since). *)
+let avail_exprs (g : grid) (o : Memmodel.Ordering.t) : Butterfly.Expr.Set.t =
+  List.fold_left
+    (fun avail step ->
+      let instr = instr_of_step g step in
+      let avail =
+        match Tracing.Instr.writes instr with
+        | Some x ->
+          Butterfly.Expr.Set.filter
+            (fun e -> not (Butterfly.Expr.mentions x e))
+            avail
+        | None -> avail
+      in
+      match Butterfly.Expr.of_instr instr with
+      | Some e -> Butterfly.Expr.Set.add e avail
+      | None -> avail)
+    Butterfly.Expr.Set.empty o
+
+(* --- Small random instruction/grid generators for dataflow tests. --- *)
+
+let gen_addr n_addrs = QCheck.Gen.int_bound (n_addrs - 1)
+
+let gen_df_instr ~n_addrs : Tracing.Instr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let addr = gen_addr n_addrs in
+  frequency
+    [
+      (3, map (fun x -> Tracing.Instr.Assign_const x) addr);
+      (3, map2 (fun x a -> Tracing.Instr.Assign_unop (x, a)) addr addr);
+      ( 2,
+        map3 (fun x a b -> Tracing.Instr.Assign_binop (x, a, b)) addr addr addr
+      );
+      (1, map (fun a -> Tracing.Instr.Read a) addr);
+      (1, return Tracing.Instr.Nop);
+    ]
+
+let gen_grid ?(n_addrs = 3) ?(max_threads = 3) ?(max_epochs = 3)
+    ?(max_block = 2) () : grid QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* threads = int_range 2 max_threads in
+  let* epochs = int_range 1 max_epochs in
+  let block = list_size (int_bound max_block) (gen_df_instr ~n_addrs) in
+  let thread = list_repeat epochs (map Array.of_list block) in
+  map Array.of_list (list_repeat threads thread)
+
+let arb_grid ?n_addrs ?max_threads ?max_epochs ?max_block () =
+  let print (g : grid) =
+    let buf = Buffer.create 256 in
+    Array.iteri
+      (fun t bs ->
+        Buffer.add_string buf (Printf.sprintf "T%d:" t);
+        List.iter
+          (fun b ->
+            Buffer.add_string buf " [";
+            Array.iter
+              (fun i ->
+                Buffer.add_string buf (Tracing.Instr.to_string i);
+                Buffer.add_string buf "; ")
+              b;
+            Buffer.add_string buf "]")
+          bs;
+        Buffer.add_char buf '\n')
+      g;
+    Buffer.contents buf
+  in
+  QCheck.make ~print (gen_grid ?n_addrs ?max_threads ?max_epochs ?max_block ())
