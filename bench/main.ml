@@ -170,18 +170,22 @@ let figure13_tests =
              Butterfly.Reaching_expressions.run exploit_epochs));
     ]
 
-let run_benchmarks () =
+(* One measured benchmark: OLS ns-per-run estimate plus the number of raw
+   measurements it was fitted from. *)
+type measurement = { name : string; runs : int; ns_per_run : float }
+
+let measure_benchmarks () =
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.2) () in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let instance = Toolkit.Instance.monotonic_clock in
-  List.iter
+  List.map
     (fun tests ->
       let raw = Benchmark.all cfg [ instance ] tests in
       let results = Analyze.all ols instance raw in
       let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
-      List.iter
+      List.map
         (fun name ->
           let r = Hashtbl.find results name in
           let est =
@@ -189,27 +193,62 @@ let run_benchmarks () =
             | Some (e :: _) -> e
             | Some [] | None -> nan
           in
-          let pretty =
-            if est > 1e6 then Printf.sprintf "%8.3f ms" (est /. 1e6)
-            else if est > 1e3 then Printf.sprintf "%8.3f us" (est /. 1e3)
-            else Printf.sprintf "%8.1f ns" est
+          let runs =
+            match Hashtbl.find_opt raw name with
+            | Some (b : Benchmark.t) -> b.stats.samples
+            | None -> 0
           in
-          Printf.printf "  %-45s %s/run\n%!" name pretty)
+          { name; runs; ns_per_run = est })
         (List.sort compare names))
     [ core_tests; table1_tests; figure11_tests; figure12_tests; figure13_tests ]
+  |> List.concat
+
+let print_text measurements =
+  List.iter
+    (fun m ->
+      let pretty =
+        if m.ns_per_run > 1e6 then Printf.sprintf "%8.3f ms" (m.ns_per_run /. 1e6)
+        else if m.ns_per_run > 1e3 then
+          Printf.sprintf "%8.3f us" (m.ns_per_run /. 1e3)
+        else Printf.sprintf "%8.1f ns" m.ns_per_run
+      in
+      Printf.printf "  %-45s %s/run\n%!" m.name pretty)
+    measurements
+
+(* Machine-readable mode: the perf baseline future changes regress
+   against.  One JSON array of {name, runs, ns_per_run} on stdout,
+   nothing else. *)
+let print_json measurements =
+  let j =
+    Obs.Json.List
+      (List.map
+         (fun m ->
+           Obs.Json.Obj
+             [
+               ("name", Obs.Json.String m.name);
+               ("runs", Obs.Json.Int m.runs);
+               ("ns_per_run", Obs.Json.Float m.ns_per_run);
+             ])
+         measurements)
+  in
+  print_endline (Obs.Json.to_string j)
 
 (* ------------------------------------------------------------------ *)
 
 let () =
-  print_endline "=== Bechamel micro-benchmarks (one group per artifact) ===";
-  run_benchmarks ();
-  print_endline "";
-  print_endline "=== Regenerated paper artifacts ===";
-  print_endline "";
-  print_string (Harness.Table1.render ());
-  print_endline "";
-  print_string (Harness.Figure11.render (Harness.Figure11.run ()));
-  print_endline "";
-  print_string (Harness.Figure12.render (Harness.Figure12.run ()));
-  print_endline "";
-  print_string (Harness.Figure13.render (Harness.Figure13.run ()))
+  let json = Array.exists (( = ) "--json") Sys.argv in
+  if json then print_json (measure_benchmarks ())
+  else begin
+    print_endline "=== Bechamel micro-benchmarks (one group per artifact) ===";
+    print_text (measure_benchmarks ());
+    print_endline "";
+    print_endline "=== Regenerated paper artifacts ===";
+    print_endline "";
+    print_string (Harness.Table1.render ());
+    print_endline "";
+    print_string (Harness.Figure11.render (Harness.Figure11.run ()));
+    print_endline "";
+    print_string (Harness.Figure12.render (Harness.Figure12.run ()));
+    print_endline "";
+    print_string (Harness.Figure13.render (Harness.Figure13.run ()))
+  end

@@ -15,57 +15,188 @@ let seed_arg =
 let config_of scale seed =
   { Harness.Experiment.default_config with total_scale = scale; seed }
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry plumbing: every subcommand takes [--stats[=FORMAT]], which
+   runs it under an in-memory Obs registry and appends a structured run
+   report after the normal output. *)
+
+let stats_arg =
+  let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+  Arg.(value
+       & opt ~vopt:(Some `Text) (some fmt) None
+       & info [ "stats" ] ~docv:"FORMAT"
+           ~doc:"Append a structured telemetry report (metric registry \
+                 snapshot) after normal output; FORMAT is $(b,text) \
+                 (default) or $(b,json).")
+
+let print_snapshot fmt snap =
+  match fmt with
+  | `Text ->
+    Format.printf "@.--- run report ---@.";
+    Format.printf "%a" Obs.Snapshot.pp snap
+  | `Json -> print_endline (Obs.Json.to_string (Obs.Snapshot.to_json snap))
+
+let with_stats stats f =
+  match stats with
+  | None -> f ()
+  | Some fmt ->
+    let sink = Obs.Sink.memory () in
+    let r = Obs.with_sink sink f in
+    print_snapshot fmt (Obs.Sink.snapshot sink);
+    r
+
+(* Streaming window replay: drives the trace through the sliding-window
+   scheduler with a no-op analysis, so [--stats] reports genuine
+   summary-window occupancy (geometry only depends on the heartbeats,
+   not on the lifeguard).  Metrics carry [problem=window]. *)
+module Window_probe = struct
+  let name = "window"
+
+  module Set = Butterfly.Interval_set
+
+  let flavour = `May
+  let gen _ _ = Butterfly.Interval_set.empty
+  let kill _ _ = Butterfly.Interval_set.empty
+end
+
+module Window_sched = Butterfly.Scheduler.Make (Window_probe)
+
+let replay_window_metrics p =
+  let threads = Tracing.Program.threads p in
+  let s = Window_sched.create ~threads ~on_instr:(fun _ -> ()) in
+  (* Round-robin feed: threads advance together, as in a deployment, so
+     the occupancy high-water mark reflects the bounded window rather
+     than one thread racing ahead of the others. *)
+  let events =
+    Array.init threads (fun tid ->
+        Tracing.Trace.events (Tracing.Program.trace p tid))
+  in
+  let longest = Array.fold_left (fun m e -> max m (Array.length e)) 0 events in
+  for k = 0 to longest - 1 do
+    Array.iteri
+      (fun tid evs -> if k < Array.length evs then Window_sched.feed s tid evs.(k))
+      events
+  done;
+  Window_sched.finish s
+
+(* ------------------------------------------------------------------ *)
+(* JSON report serialization, shared by [--json] and [--stats=json]. *)
+
+module J = Obs.Json
+
+let json_of_instr_id (id : Butterfly.Instr_id.t) =
+  J.Obj
+    [ ("epoch", J.Int id.epoch); ("tid", J.Int id.tid);
+      ("index", J.Int id.index) ]
+
+let json_of_intervals is =
+  J.List
+    (List.map
+       (fun (lo, hi) -> J.List [ J.Int lo; J.Int hi ])
+       (Butterfly.Interval_set.intervals is))
+
+let lifeguard_json ~lifeguard ~checked ~flagged ~errors =
+  J.Obj
+    [
+      ("lifeguard", J.String lifeguard);
+      ("checked", J.Int checked);
+      ("flagged", J.Int flagged);
+      ("errors", J.List errors);
+    ]
+
+let json_of_addrcheck_error (e : Lifeguards.Addrcheck.error) =
+  let kind =
+    match e.kind with
+    | Lifeguards.Addrcheck.Unallocated_access -> "unallocated_access"
+    | Unallocated_free -> "unallocated_free"
+    | Double_alloc -> "double_alloc"
+    | Metadata_race -> "metadata_race"
+  in
+  let where =
+    match e.where with
+    | `Instr id -> [ ("at", json_of_instr_id id) ]
+    | `Block (l, t) ->
+      [ ("block", J.Obj [ ("epoch", J.Int l); ("tid", J.Int t) ]) ]
+  in
+  J.Obj
+    ([ ("kind", J.String kind); ("addrs", json_of_intervals e.addrs) ] @ where)
+
+let json_of_initcheck_error (e : Lifeguards.Initcheck.error) =
+  J.Obj
+    [ ("kind", J.String "uninitialized_read");
+      ("addrs", json_of_intervals e.addrs); ("at", json_of_instr_id e.id) ]
+
+let json_of_taintcheck_error (e : Lifeguards.Taintcheck.error) =
+  J.Obj
+    [ ("kind", J.String "tainted_sink"); ("sink", J.Int e.sink);
+      ("at", json_of_instr_id e.id) ]
+
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Emit the error list and totals as a JSON object instead \
+                 of text.")
+
+(* ------------------------------------------------------------------ *)
+
 let table1_cmd =
-  let run () = print_string (Harness.Table1.render ()) in
+  let run stats =
+    with_stats stats (fun () -> print_string (Harness.Table1.render ()))
+  in
   Cmd.v (Cmd.info "table1" ~doc:"Print Table 1 (simulator and benchmark parameters)")
-    Term.(const run $ const ())
+    Term.(const run $ stats_arg)
 
 let csv_arg =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV instead of a table.")
 
 let figure11_cmd =
-  let run scale seed h csv =
-    let config = config_of scale seed in
-    let results = Harness.Figure11.run ~config ~epoch_size:h () in
-    print_string
-      (if csv then Harness.Figure11.to_csv results
-       else Harness.Figure11.render results)
+  let run scale seed h csv stats =
+    with_stats stats (fun () ->
+        let config = config_of scale seed in
+        let results = Harness.Figure11.run ~config ~epoch_size:h () in
+        print_string
+          (if csv then Harness.Figure11.to_csv results
+           else Harness.Figure11.render results))
   in
   let h_arg =
     Arg.(value & opt int 512 & info [ "e"; "epoch-size" ]
          ~doc:"Epoch size in instructions per thread.")
   in
   Cmd.v (Cmd.info "figure11" ~doc:"Regenerate Figure 11 (relative performance)")
-    Term.(const run $ scale_arg $ seed_arg $ h_arg $ csv_arg)
+    Term.(const run $ scale_arg $ seed_arg $ h_arg $ csv_arg $ stats_arg)
 
 let figure12_cmd =
-  let run scale seed csv =
-    let config = config_of scale seed in
-    let results = Harness.Figure12.run ~config () in
-    print_string
-      (if csv then Harness.Figure12.to_csv results
-       else Harness.Figure12.render results)
+  let run scale seed csv stats =
+    with_stats stats (fun () ->
+        let config = config_of scale seed in
+        let results = Harness.Figure12.run ~config () in
+        print_string
+          (if csv then Harness.Figure12.to_csv results
+           else Harness.Figure12.render results))
   in
   Cmd.v (Cmd.info "figure12" ~doc:"Regenerate Figure 12 (performance vs epoch size)")
-    Term.(const run $ scale_arg $ seed_arg $ csv_arg)
+    Term.(const run $ scale_arg $ seed_arg $ csv_arg $ stats_arg)
 
 let figure13_cmd =
-  let run scale seed csv =
-    let config = config_of scale seed in
-    let results = Harness.Figure13.run ~config () in
-    print_string
-      (if csv then Harness.Figure13.to_csv results
-       else Harness.Figure13.render results)
+  let run scale seed csv stats =
+    with_stats stats (fun () ->
+        let config = config_of scale seed in
+        let results = Harness.Figure13.run ~config () in
+        print_string
+          (if csv then Harness.Figure13.to_csv results
+           else Harness.Figure13.render results))
   in
   Cmd.v (Cmd.info "figure13" ~doc:"Regenerate Figure 13 (false positives vs epoch size)")
-    Term.(const run $ scale_arg $ seed_arg $ csv_arg)
+    Term.(const run $ scale_arg $ seed_arg $ csv_arg $ stats_arg)
 
 let sensitivity_cmd =
-  let run () = print_string (Harness.Sensitivity.render ()) in
+  let run stats =
+    with_stats stats (fun () -> print_string (Harness.Sensitivity.render ()))
+  in
   Cmd.v
     (Cmd.info "sensitivity"
        ~doc:"Knob sweeps and ablations (churn/sharing/imbalance, isolation split)")
-    Term.(const run $ const ())
+    Term.(const run $ stats_arg)
 
 let trace_arg =
   let doc = "Trace file (Trace_codec format)." in
@@ -90,69 +221,140 @@ let load_program path h =
   | Ok p -> if h > 0 then Machine.Heartbeat.insert ~every:h p else p
 
 let addrcheck_cmd =
-  let run path h =
-    let p = load_program path h in
-    let r = Lifeguards.Addrcheck.run (Butterfly.Epochs.of_program p) in
-    Format.printf "checked %d memory events; flagged %d@." r.total_accesses
-      r.flagged_accesses;
-    List.iter
-      (fun e -> Format.printf "  %a@." Lifeguards.Addrcheck.pp_error e)
-      r.errors;
-    if r.errors = [] then Format.printf "  no errors@."
+  let run path h json stats =
+    with_stats stats (fun () ->
+        let p = load_program path h in
+        let r = Lifeguards.Addrcheck.run (Butterfly.Epochs.of_program p) in
+        if stats <> None then replay_window_metrics p;
+        if json then
+          print_endline
+            (J.to_string
+               (lifeguard_json ~lifeguard:"addrcheck"
+                  ~checked:r.total_accesses ~flagged:r.flagged_accesses
+                  ~errors:(List.map json_of_addrcheck_error r.errors)))
+        else begin
+          Format.printf "checked %d memory events; flagged %d@."
+            r.total_accesses r.flagged_accesses;
+          List.iter
+            (fun e -> Format.printf "  %a@." Lifeguards.Addrcheck.pp_error e)
+            r.errors;
+          if r.errors = [] then Format.printf "  no errors@."
+        end)
   in
   Cmd.v (Cmd.info "addrcheck" ~doc:"Run butterfly AddrCheck on a trace file")
-    Term.(const run $ trace_arg $ h_arg)
+    Term.(const run $ trace_arg $ h_arg $ json_arg $ stats_arg)
 
 let initcheck_cmd =
-  let run path h =
-    let p = load_program path h in
-    let r = Lifeguards.Initcheck.run (Butterfly.Epochs.of_program p) in
-    Format.printf "checked %d reads; flagged %d@." r.total_reads r.flagged_reads;
-    List.iter
-      (fun e -> Format.printf "  %a@." Lifeguards.Initcheck.pp_error e)
-      r.errors;
-    if r.errors = [] then Format.printf "  no uninitialized reads@."
+  let run path h json stats =
+    with_stats stats (fun () ->
+        let p = load_program path h in
+        let r = Lifeguards.Initcheck.run (Butterfly.Epochs.of_program p) in
+        if stats <> None then replay_window_metrics p;
+        if json then
+          print_endline
+            (J.to_string
+               (lifeguard_json ~lifeguard:"initcheck" ~checked:r.total_reads
+                  ~flagged:r.flagged_reads
+                  ~errors:(List.map json_of_initcheck_error r.errors)))
+        else begin
+          Format.printf "checked %d reads; flagged %d@." r.total_reads
+            r.flagged_reads;
+          List.iter
+            (fun e -> Format.printf "  %a@." Lifeguards.Initcheck.pp_error e)
+            r.errors;
+          if r.errors = [] then Format.printf "  no uninitialized reads@."
+        end)
   in
   Cmd.v
     (Cmd.info "initcheck"
        ~doc:"Run butterfly InitCheck (uninitialized reads) on a trace file")
-    Term.(const run $ trace_arg $ h_arg)
+    Term.(const run $ trace_arg $ h_arg $ json_arg $ stats_arg)
 
 let taintcheck_cmd =
-  let run path h relaxed =
-    let p = load_program path h in
-    let r =
-      Lifeguards.Taintcheck.run ~sequential:(not relaxed)
-        (Butterfly.Epochs.of_program p)
-    in
-    List.iter
-      (fun e -> Format.printf "  %a@." Lifeguards.Taintcheck.pp_error e)
-      r.errors;
-    if r.errors = [] then Format.printf "  no tainted sinks@."
+  let run path h relaxed json stats =
+    with_stats stats (fun () ->
+        let p = load_program path h in
+        let r =
+          Lifeguards.Taintcheck.run ~sequential:(not relaxed)
+            (Butterfly.Epochs.of_program p)
+        in
+        if stats <> None then replay_window_metrics p;
+        if json then begin
+          let checked =
+            Array.fold_left
+              (fun acc row ->
+                Array.fold_left
+                  (fun acc (s : Lifeguards.Taintcheck.block_stats) ->
+                    acc + s.checks_resolved)
+                  acc row)
+              0 r.block_stats
+          in
+          print_endline
+            (J.to_string
+               (lifeguard_json ~lifeguard:"taintcheck" ~checked
+                  ~flagged:(List.length r.errors)
+                  ~errors:(List.map json_of_taintcheck_error r.errors)))
+        end
+        else begin
+          List.iter
+            (fun e -> Format.printf "  %a@." Lifeguards.Taintcheck.pp_error e)
+            r.errors;
+          if r.errors = [] then Format.printf "  no tainted sinks@."
+        end)
   in
   let relaxed_arg =
     Arg.(value & flag & info [ "relaxed" ]
          ~doc:"Use the relaxed-consistency termination condition.")
   in
   Cmd.v (Cmd.info "taintcheck" ~doc:"Run butterfly TaintCheck on a trace file")
-    Term.(const run $ trace_arg $ h_arg $ relaxed_arg)
+    Term.(const run $ trace_arg $ h_arg $ relaxed_arg $ json_arg $ stats_arg)
+
+let stats_cmd =
+  let run path h lifeguard json =
+    let sink = Obs.Sink.memory () in
+    Obs.with_sink sink (fun () ->
+        let p = load_program path h in
+        let epochs = Butterfly.Epochs.of_program p in
+        (match lifeguard with
+        | `Addrcheck -> ignore (Lifeguards.Addrcheck.run epochs)
+        | `Initcheck -> ignore (Lifeguards.Initcheck.run epochs)
+        | `Taintcheck -> ignore (Lifeguards.Taintcheck.run epochs));
+        replay_window_metrics p);
+    print_snapshot (if json then `Json else `Text) (Obs.Sink.snapshot sink)
+  in
+  let lifeguard_arg =
+    let lg =
+      Arg.enum
+        [ ("addrcheck", `Addrcheck); ("initcheck", `Initcheck);
+          ("taintcheck", `Taintcheck) ]
+    in
+    Arg.(value & opt lg `Addrcheck & info [ "lifeguard" ] ~docv:"LIFEGUARD"
+         ~doc:"Which lifeguard to run: $(b,addrcheck) (default), \
+               $(b,initcheck) or $(b,taintcheck).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a lifeguard on a trace and print the full metric registry \
+             (pipeline counters, window occupancy, per-phase timings)")
+    Term.(const run $ trace_arg $ h_arg $ lifeguard_arg $ json_arg)
 
 let generate_cmd =
-  let run name threads scale seed binary =
-    match Workloads.Registry.find name with
-    | None ->
-      prerr_endline
-        ("unknown workload (try: "
-        ^ String.concat ", " Workloads.Registry.names
-        ^ ")");
-      exit 1
-    | Some profile ->
-      let p =
-        Workloads.Workload.generate_program profile ~threads ~scale ~seed
-      in
-      print_string
-        (if binary then Tracing.Trace_codec.encode_binary p
-         else Tracing.Trace_codec.encode p)
+  let run name threads scale seed binary stats =
+    with_stats stats (fun () ->
+        match Workloads.Registry.find name with
+        | None ->
+          prerr_endline
+            ("unknown workload (try: "
+            ^ String.concat ", " Workloads.Registry.names
+            ^ ")");
+          exit 1
+        | Some profile ->
+          let p =
+            Workloads.Workload.generate_program profile ~threads ~scale ~seed
+          in
+          print_string
+            (if binary then Tracing.Trace_codec.encode_binary p
+             else Tracing.Trace_codec.encode p))
   in
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
@@ -169,7 +371,8 @@ let generate_cmd =
     Arg.(value & flag & info [ "binary" ] ~doc:"Emit the compact binary format.")
   in
   Cmd.v (Cmd.info "generate" ~doc:"Emit a synthetic benchmark trace to stdout")
-    Term.(const run $ name_arg $ threads_arg $ scale2_arg $ seed_arg $ binary_arg)
+    Term.(const run $ name_arg $ threads_arg $ scale2_arg $ seed_arg
+          $ binary_arg $ stats_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -181,5 +384,5 @@ let () =
           [
             table1_cmd; figure11_cmd; figure12_cmd; figure13_cmd;
             sensitivity_cmd; addrcheck_cmd; taintcheck_cmd; initcheck_cmd;
-            generate_cmd;
+            stats_cmd; generate_cmd;
           ]))

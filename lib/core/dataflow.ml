@@ -23,6 +23,17 @@ end
 module Make (P : PROBLEM) = struct
   module Set = P.Set
 
+  (* Telemetry: one instrument per metric, shared by every batch run of
+     this problem.  The streaming driver emits the same names with
+     [driver=streaming] (see {!Scheduler.Make}). *)
+  let obs_labels = [ ("problem", P.name); ("driver", "batch") ]
+  let m_epochs = Obs.Counter.make ~labels:obs_labels "butterfly.epochs_processed"
+  let m_instrs = Obs.Counter.make ~labels:obs_labels "butterfly.pass2_instrs"
+  let sp_pass1 = Obs.Span.make ~labels:obs_labels "butterfly.pass1_summarize.ns"
+  let sp_meet = Obs.Span.make ~labels:obs_labels "butterfly.side_in_meet.ns"
+  let sp_lsos = Obs.Span.make ~labels:obs_labels "butterfly.lsos.ns"
+  let sp_pass2 = Obs.Span.make ~labels:obs_labels "butterfly.pass2_block.ns"
+
   type block_summary = {
     block : Block.t;
     gen : Set.t;
@@ -167,9 +178,11 @@ module Make (P : PROBLEM) = struct
     (* Pass 1: block summaries, in arrival order. *)
     let block_summaries =
       Array.init num_l (fun l ->
-          Array.init threads (fun tid ->
-              summarize (Epochs.block epochs ~epoch:l ~tid)))
+          Obs.Span.time sp_pass1 (fun () ->
+              Array.init threads (fun tid ->
+                  summarize (Epochs.block epochs ~epoch:l ~tid))))
     in
+    Obs.Counter.add m_epochs num_l;
     let epoch_summaries =
       Array.init num_l (fun l ->
           epoch_summary
@@ -197,19 +210,24 @@ module Make (P : PROBLEM) = struct
             Epochs.wings epochs ~epoch:l ~tid
             |> List.map (fun (b : Block.t) -> (row b.epoch).(b.tid))
           in
-          let side_in = side_in ~wings in
+          let side_in = Obs.Span.time sp_meet (fun () -> side_in ~wings) in
           let head = (row (l - 1)).(tid) in
-          let lsos0 = lsos ~sos:sos.(l) ~head ~two_back_row:(row (l - 2)) ~tid in
-          let cur = ref lsos0 in
-          Block.iteri
-            (fun id instr ->
-              let lsos_at = !cur in
-              let in_before = compute_in ~side_in ~lsos_at in
-              f { id; instr; lsos_before = lsos_at; in_before; side_in;
-                  sos = sos.(l) };
-              let g = P.gen id instr and k = P.kill id instr in
-              cur := Set.union g (Set.diff lsos_at k))
-            body
+          let lsos0 =
+            Obs.Span.time sp_lsos (fun () ->
+                lsos ~sos:sos.(l) ~head ~two_back_row:(row (l - 2)) ~tid)
+          in
+          Obs.Counter.add m_instrs (Block.length body);
+          Obs.Span.time sp_pass2 (fun () ->
+              let cur = ref lsos0 in
+              Block.iteri
+                (fun id instr ->
+                  let lsos_at = !cur in
+                  let in_before = compute_in ~side_in ~lsos_at in
+                  f { id; instr; lsos_before = lsos_at; in_before; side_in;
+                      sos = sos.(l) };
+                  let g = P.gen id instr and k = P.kill id instr in
+                  cur := Set.union g (Set.diff lsos_at k))
+                body)
         done
       done);
     { epochs; sos; block_summaries; epoch_summaries }

@@ -1,6 +1,20 @@
 module Make (P : Dataflow.PROBLEM) = struct
   module D = Dataflow.Make (P)
 
+  (* Telemetry: same metric names as the batch driver, distinguished by
+     [driver=streaming]; window accounting is streaming-only. *)
+  let obs_labels = [ ("problem", P.name); ("driver", "streaming") ]
+  let m_epochs = Obs.Counter.make ~labels:obs_labels "butterfly.epochs_processed"
+  let m_instrs = Obs.Counter.make ~labels:obs_labels "butterfly.pass2_instrs"
+  let m_blocks = Obs.Counter.make ~labels:obs_labels "scheduler.blocks_closed"
+  let g_window = Obs.Gauge.make ~labels:obs_labels "scheduler.window_occupancy"
+  let g_window_hwm =
+    Obs.Gauge.make ~labels:obs_labels "scheduler.window_occupancy_hwm"
+  let sp_pass1 = Obs.Span.make ~labels:obs_labels "butterfly.pass1_summarize.ns"
+  let sp_meet = Obs.Span.make ~labels:obs_labels "butterfly.side_in_meet.ns"
+  let sp_lsos = Obs.Span.make ~labels:obs_labels "butterfly.lsos.ns"
+  let sp_pass2 = Obs.Span.make ~labels:obs_labels "butterfly.pass2_block.ns"
+
   type t = {
     threads : int;
     on_instr : D.instr_view -> unit;
@@ -89,32 +103,37 @@ module Make (P : Dataflow.PROBLEM) = struct
           if t' <> tid then wings := row.(t') :: !wings
         done
       done;
-      let side_in = D.side_in ~wings:!wings in
+      let side_in = Obs.Span.time sp_meet (fun () -> D.side_in ~wings:!wings) in
       let head = (summary_row t (p - 1)).(tid) in
       let lsos0 =
-        D.lsos ~sos ~head ~two_back_row:(summary_row t (p - 2)) ~tid
+        Obs.Span.time sp_lsos (fun () ->
+            D.lsos ~sos ~head ~two_back_row:(summary_row t (p - 2)) ~tid)
       in
-      let cur = ref lsos0 in
-      Block.iteri
-        (fun id instr ->
-          let lsos_at = !cur in
-          let in_before =
-            match P.flavour with
-            | `May -> D.Set.union side_in lsos_at
-            | `Must -> D.Set.diff lsos_at side_in
-          in
-          t.on_instr
-            { D.id; instr; lsos_before = lsos_at; in_before; side_in; sos };
-          let g = P.gen id instr and k = P.kill id instr in
-          cur := D.Set.union g (D.Set.diff lsos_at k))
-        body_row.(tid)
+      Obs.Counter.add m_instrs (Block.length body_row.(tid));
+      Obs.Span.time sp_pass2 (fun () ->
+          let cur = ref lsos0 in
+          Block.iteri
+            (fun id instr ->
+              let lsos_at = !cur in
+              let in_before =
+                match P.flavour with
+                | `May -> D.Set.union side_in lsos_at
+                | `Must -> D.Set.diff lsos_at side_in
+              in
+              t.on_instr
+                { D.id; instr; lsos_before = lsos_at; in_before; side_in; sos };
+              let g = P.gen id instr and k = P.kill id instr in
+              cur := D.Set.union g (D.Set.diff lsos_at k))
+            body_row.(tid))
     done;
     (* Shrink the window: the body blocks are done; summary row p-2 has
        served its last purpose (epoch_sum p-1 is cached by sos_at). *)
     ignore (epoch_sum t (max 0 (p - 1)));
     Hashtbl.remove t.blocks p;
     Hashtbl.remove t.summaries (p - 2);
-    t.processed <- p + 1
+    t.processed <- p + 1;
+    Obs.Counter.incr m_epochs;
+    Obs.Gauge.set g_window (float_of_int (Hashtbl.length t.summaries))
 
   let ready t = Array.fold_left min max_int t.completed
 
@@ -136,7 +155,7 @@ module Make (P : Dataflow.PROBLEM) = struct
         Hashtbl.replace t.summaries epoch row;
         row
     in
-    srow.(tid) <- D.summarize block;
+    srow.(tid) <- Obs.Span.time sp_pass1 (fun () -> D.summarize block);
     let brow =
       match Hashtbl.find_opt t.blocks epoch with
       | Some row -> row
@@ -147,7 +166,11 @@ module Make (P : Dataflow.PROBLEM) = struct
     in
     brow.(tid) <- block;
     t.completed.(tid) <- epoch + 1;
-    t.hwm <- max t.hwm (Hashtbl.length t.summaries)
+    t.hwm <- max t.hwm (Hashtbl.length t.summaries);
+    Obs.Counter.incr m_blocks;
+    let occ = float_of_int (Hashtbl.length t.summaries) in
+    Obs.Gauge.set g_window occ;
+    Obs.Gauge.set_max g_window_hwm occ
 
   let feed t tid ev =
     if t.finished then invalid_arg "Scheduler.feed: already finished";

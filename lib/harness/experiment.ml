@@ -27,8 +27,14 @@ type result = {
   app_stall_cycles : int;
 }
 
+let m_runs = Obs.Counter.make "experiment.runs"
+
 let run ?(config = default_config) (profile : Workloads.Workload.profile)
     ~threads ~epoch_size =
+  Obs.Counter.incr m_runs;
+  Obs.Span.time
+    (Obs.Span.make ~labels:[ ("benchmark", profile.name) ] "experiment.run.ns")
+  @@ fun () ->
   let scale = max 1 (config.total_scale / threads) in
   let bundle = profile.generate ~threads ~scale ~seed:config.seed in
   let p = Workloads.Workload.Bundle.program bundle in

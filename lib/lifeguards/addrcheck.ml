@@ -42,6 +42,12 @@ type report = {
   sos : IS.t array;
 }
 
+let obs_labels = [ ("lifeguard", "addrcheck") ]
+let m_checks = Obs.Counter.make ~labels:obs_labels "lifeguard.checks"
+let m_flags = Obs.Counter.make ~labels:obs_labels "lifeguard.flags"
+let g_set_hwm = Obs.Gauge.make ~labels:obs_labels "lifeguard.sos_size_hwm"
+let sp_isolation = Obs.Span.make ~labels:obs_labels "lifeguard.isolation.ns"
+
 let footprint i =
   match Tracing.Instr.alloc_effect i with
   | `Alloc (base, size) | `Free (base, size) -> IS.range base (base + size)
@@ -59,6 +65,9 @@ let access_set block =
     IS.empty block
 
 let run ?(isolation = true) epochs =
+  (* Materialize the check/flag counters so clean runs still report 0. *)
+  Obs.Counter.add m_checks 0;
+  Obs.Counter.add m_flags 0;
   let num_l = Butterfly.Epochs.num_epochs epochs in
   let threads = Butterfly.Epochs.threads epochs in
   (* Pass-1-style summaries (also recomputed inside A.run; cheap). *)
@@ -96,9 +105,10 @@ let run ?(isolation = true) epochs =
       (IS.union (IS.inter s_access !wing_change) (IS.inter !wing_access s_change))
   in
   let violations =
-    Array.init num_l (fun l ->
-        Array.init threads (fun tid ->
-            if isolation then violation l tid else IS.empty))
+    Obs.Span.time sp_isolation (fun () ->
+        Array.init num_l (fun l ->
+            Array.init threads (fun tid ->
+                if isolation then violation l tid else IS.empty)))
   in
   let errors = ref [] in
   let flagged = ref 0 in
@@ -115,6 +125,7 @@ let run ?(isolation = true) epochs =
     bump tid l (fun s -> { s with instrs = s.instrs + 1 });
     if Tracing.Instr.is_memory_event v.instr then (
       incr total;
+      Obs.Counter.incr m_checks;
       bump tid l (fun s -> { s with mem_events = s.mem_events + 1 }));
     let local_errs =
       match Tracing.Instr.alloc_effect v.instr with
@@ -144,6 +155,7 @@ let run ?(isolation = true) epochs =
     if (local_errs <> [] || races) && Tracing.Instr.is_memory_event v.instr
     then (
       incr flagged;
+      Obs.Counter.incr m_flags;
       bump tid l (fun s -> { s with flagged_events = s.flagged_events + 1 }))
   in
   let result = A.run ~on_instr epochs in
@@ -151,10 +163,15 @@ let run ?(isolation = true) epochs =
   for l = 0 to num_l - 1 do
     for tid = 0 to threads - 1 do
       let v = violations.(l).(tid) in
-      if not (IS.is_empty v) then
-        errors := { kind = Metadata_race; addrs = v; where = `Block (l, tid) } :: !errors
+      if not (IS.is_empty v) then (
+        Obs.Counter.incr m_flags;
+        errors := { kind = Metadata_race; addrs = v; where = `Block (l, tid) } :: !errors)
     done
   done;
+  if Obs.enabled () then
+    Array.iter
+      (fun s -> Obs.Gauge.set_max g_set_hwm (float_of_int (IS.cardinal s)))
+      result.A.sos;
   {
     errors = List.rev !errors;
     flagged_accesses = !flagged;

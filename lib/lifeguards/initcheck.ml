@@ -29,7 +29,15 @@ type report = {
   sos : IS.t array;
 }
 
+let obs_labels = [ ("lifeguard", "initcheck") ]
+let m_checks = Obs.Counter.make ~labels:obs_labels "lifeguard.checks"
+let m_flags = Obs.Counter.make ~labels:obs_labels "lifeguard.flags"
+let g_set_hwm = Obs.Gauge.make ~labels:obs_labels "lifeguard.sos_size_hwm"
+
 let run epochs =
+  (* Materialize the check/flag counters so clean runs still report 0. *)
+  Obs.Counter.add m_checks 0;
+  Obs.Counter.add m_flags 0;
   let errors = ref [] in
   let flagged = ref 0 in
   let total = ref 0 in
@@ -38,6 +46,7 @@ let run epochs =
     | [] -> ()
     | rs ->
       incr total;
+      Obs.Counter.incr m_checks;
       let bad =
         List.fold_left
           (fun acc a ->
@@ -46,9 +55,14 @@ let run epochs =
       in
       if not (IS.is_empty bad) then (
         incr flagged;
+        Obs.Counter.incr m_flags;
         errors := { id = v.id; addrs = bad } :: !errors)
   in
   let result = A.run ~on_instr epochs in
+  if Obs.enabled () then
+    Array.iter
+      (fun s -> Obs.Gauge.set_max g_set_hwm (float_of_int (IS.cardinal s)))
+      result.A.sos;
   {
     errors = List.rev !errors;
     flagged_reads = !flagged;

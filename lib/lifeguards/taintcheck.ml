@@ -58,7 +58,21 @@ module Tf_set = Set.Make (struct
   let compare = Id.compare
 end)
 
+let obs_labels = [ ("lifeguard", "taintcheck") ]
+let m_checks = Obs.Counter.make ~labels:obs_labels "lifeguard.checks"
+let m_flags = Obs.Counter.make ~labels:obs_labels "lifeguard.flags"
+let g_set_hwm = Obs.Gauge.make ~labels:obs_labels "lifeguard.sos_size_hwm"
+
+(* Taintcheck does not ride on [Dataflow.Make], so it emits the pipeline
+   counters itself to keep [--stats] reports uniform across lifeguards. *)
+let pipe_labels = [ ("problem", "taintcheck"); ("driver", "batch") ]
+let m_epochs = Obs.Counter.make ~labels:pipe_labels "butterfly.epochs_processed"
+let m_instrs = Obs.Counter.make ~labels:pipe_labels "butterfly.pass2_instrs"
+
 let run ?(sequential = true) ?(two_phase = true) epochs =
+  (* Materialize the check/flag counters so clean runs still report 0. *)
+  Obs.Counter.add m_checks 0;
+  Obs.Counter.add m_flags 0;
   let num_l = Butterfly.Epochs.num_epochs epochs in
   let threads = Butterfly.Epochs.threads epochs in
   let tfs =
@@ -237,7 +251,10 @@ let run ?(sequential = true) ?(two_phase = true) epochs =
           incr n_instrs;
           if Tracing.Instr.is_memory_event instr then incr n_mem;
           (match Tracing.Instr.taint_sink instr with
-          | Some x -> if may_tainted x then errors := { id; sink = x } :: !errors
+          | Some x ->
+            if may_tainted x then (
+              Obs.Counter.incr m_flags;
+              errors := { id; sink = x } :: !errors)
           | None -> ());
           match tf_of_instr id instr with
           | None -> ()
@@ -253,8 +270,13 @@ let run ?(sequential = true) ?(two_phase = true) epochs =
       Hashtbl.iter (fun x r -> Hashtbl.replace lastcheck.(l).(tid) x r) local;
       stats.(tid).(l) <-
         { instrs = !n_instrs; mem_events = !n_mem; checks_resolved = !checks };
+      Obs.Counter.add m_checks !checks;
+      Obs.Counter.add m_instrs !n_instrs;
+      if Obs.enabled () then
+        Obs.Gauge.set_max g_set_hwm (float_of_int (AS.cardinal lsos));
       checks := 0
-    done
+    done;
+    Obs.Counter.incr m_epochs
   done;
   (* Final SOS entries past the last window. *)
   for l = num_l to num_l + 1 do

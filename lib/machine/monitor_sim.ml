@@ -19,6 +19,16 @@ type parallel_result = {
   stall_cycles : int array;
 }
 
+let obs_labels = [ ("sim", "monitor") ]
+let m_stalls = Obs.Counter.make ~labels:obs_labels "monitor_sim.stall_cycles"
+let g_makespan = Obs.Gauge.make ~labels:obs_labels "monitor_sim.makespan_cycles"
+
+let g_queue_hwm =
+  Obs.Gauge.make ~labels:obs_labels "monitor_sim.log_queue_depth_hwm"
+
+let g_timesliced =
+  Obs.Gauge.make ~labels:obs_labels "monitor_sim.timesliced_cycles"
+
 (* Per-core lifeguard schedule: p1(0), p1(1), p2(0), p1(2), p2(1), ...
    pass 2 of epoch e requires pass 1 of epoch e+1 on every thread (the
    sliding window covers epochs e-1..e+1).  The application is coupled to
@@ -57,7 +67,9 @@ let parallel input =
       produce_done.(t) <- actual;
       (* Pass 1 finishes after its own work, and no earlier than the last
          event arrives plus draining the buffered tail. *)
-      let tail = service1 t e * min input.buffer_entries k.instrs in
+      let queued = min input.buffer_entries k.instrs in
+      Obs.Gauge.set_max g_queue_hwm (float_of_int queued);
+      let tail = service1 t e * queued in
       p1_finish.(t).(e) <-
         max (p1_start + k.pass1_cycles + input.epoch_fixed_cycles)
           (actual + tail)
@@ -93,8 +105,11 @@ let parallel input =
   let lifeguard_finish =
     Array.init threads (fun t -> if epochs = 0 then 0 else p2_finish.(t).(epochs - 1))
   in
+  let makespan = Array.fold_left max 0 lifeguard_finish in
+  Obs.Counter.add m_stalls (Array.fold_left ( + ) 0 stalls);
+  Obs.Gauge.set g_makespan (float_of_int makespan);
   {
-    makespan = Array.fold_left max 0 lifeguard_finish;
+    makespan;
     app_finish = Array.copy produce_done;
     lifeguard_finish;
     stall_cycles = stalls;
@@ -106,4 +121,6 @@ type timesliced_input = {
 }
 
 let timesliced input =
-  max input.app_total_cycles input.lifeguard_total_cycles
+  let cycles = max input.app_total_cycles input.lifeguard_total_cycles in
+  Obs.Gauge.set g_timesliced (float_of_int cycles);
+  cycles

@@ -1,0 +1,417 @@
+type labels = (string * string) list
+
+let canon_labels ls = List.sort compare ls
+
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let float_repr f =
+    if not (Float.is_finite f) then "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.9g" f
+
+  let rec write b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (string_of_bool v)
+    | Int v -> Buffer.add_string b (string_of_int v)
+    | Float v -> Buffer.add_string b (float_repr v)
+    | String s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | List vs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          write b v)
+        vs;
+      Buffer.add_char b ']'
+    | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          write b v)
+        kvs;
+      Buffer.add_char b '}'
+
+  let to_string j =
+    let b = Buffer.create 256 in
+    write b j;
+    Buffer.contents b
+
+  let pp ppf j = Format.pp_print_string ppf (to_string j)
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Snapshot = struct
+  type histogram = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    buckets : (float * int) list;
+  }
+
+  type value = Counter of int | Gauge of float | Histogram of histogram
+  type entry = { name : string; labels : labels; value : value }
+  type t = entry list
+
+  let find ?labels t name =
+    List.find_opt
+      (fun e ->
+        e.name = name
+        &&
+        match labels with
+        | None -> true
+        | Some ls -> e.labels = canon_labels ls)
+      t
+    |> Option.map (fun e -> e.value)
+
+  let counter ?labels t name =
+    match find ?labels t name with Some (Counter n) -> n | _ -> 0
+
+  let gauge ?labels t name =
+    match find ?labels t name with
+    | Some (Gauge v) -> v
+    | Some (Counter n) -> float_of_int n
+    | _ -> 0.0
+
+  let json_of_value = function
+    | Counter n -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int n) ]
+    | Gauge v -> Json.Obj [ ("type", Json.String "gauge"); ("value", Json.Float v) ]
+    | Histogram h ->
+      Json.Obj
+        [
+          ("type", Json.String "histogram");
+          ("count", Json.Int h.count);
+          ("sum", Json.Float h.sum);
+          ("min", Json.Float h.min);
+          ("max", Json.Float h.max);
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (ub, n) -> Json.List [ Json.Float ub; Json.Int n ])
+                 h.buckets) );
+        ]
+
+  let to_json t =
+    Json.List
+      (List.map
+         (fun e ->
+           let base =
+             [ ("name", Json.String e.name) ]
+             @ (if e.labels = [] then []
+                else
+                  [
+                    ( "labels",
+                      Json.Obj
+                        (List.map (fun (k, v) -> (k, Json.String v)) e.labels)
+                    );
+                  ])
+           in
+           match json_of_value e.value with
+           | Json.Obj fields -> Json.Obj (base @ fields)
+           | j -> Json.Obj (base @ [ ("value", j) ]))
+         t)
+
+  let dur ns =
+    if ns >= 1e9 then Printf.sprintf "%.3fs" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.3fms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.3fus" (ns /. 1e3)
+    else Printf.sprintf "%.0fns" ns
+
+  let num v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.4g" v
+
+  let pp ppf t =
+    let label_str ls =
+      if ls = [] then ""
+      else
+        "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls) ^ "}"
+    in
+    let value_str name = function
+      | Counter n -> string_of_int n
+      | Gauge v -> num v
+      | Histogram h ->
+        let is_ns =
+          String.length name >= 3
+          && String.sub name (String.length name - 3) 3 = ".ns"
+        in
+        let one v = if is_ns then dur v else num v in
+        if h.count = 0 then "n=0"
+        else
+          Printf.sprintf "n=%d total=%s mean=%s max=%s" h.count (one h.sum)
+            (one (h.sum /. float_of_int h.count))
+            (one h.max)
+    in
+    let rows =
+      List.map
+        (fun e -> (e.name ^ label_str e.labels, value_str e.name e.value))
+        t
+    in
+    let w = List.fold_left (fun m (k, _) -> max m (String.length k)) 0 rows in
+    List.iter
+      (fun (k, v) ->
+        Format.fprintf ppf "%s%s  %s@." k
+          (String.make (w - String.length k) ' ')
+          v)
+      rows
+end
+
+(* ------------------------------------------------------------------ *)
+
+let now_ns = Monotonic_clock.now
+
+(* Observations land in power-of-two buckets: index k holds values in
+   (2^(k-1), 2^k], with everything <= 1 in bucket 0. *)
+let bucket_of v =
+  let rec go k ub = if v <= ub || k >= 62 then k else go (k + 1) (ub *. 2.0) in
+  go 0 1.0
+
+module Sink = struct
+  type cell =
+    | Ccounter of int ref
+    | Cgauge of float ref
+    | Chist of hist_cell
+
+  and hist_cell = {
+    mutable hc_count : int;
+    mutable hc_sum : float;
+    mutable hc_min : float;
+    mutable hc_max : float;
+    hc_buckets : (int, int) Hashtbl.t;
+  }
+
+  type t = {
+    h_add : string -> labels -> int -> unit;
+    h_set : string -> labels -> float -> unit;
+    h_max : string -> labels -> float -> unit;
+    h_obs : string -> labels -> float -> unit;
+    h_snapshot : unit -> Snapshot.t;
+    h_null : bool;
+  }
+
+  let null =
+    {
+      h_add = (fun _ _ _ -> ());
+      h_set = (fun _ _ _ -> ());
+      h_max = (fun _ _ _ -> ());
+      h_obs = (fun _ _ _ -> ());
+      h_snapshot = (fun () -> []);
+      h_null = true;
+    }
+
+  let memory () =
+    let reg : (string * labels, cell) Hashtbl.t = Hashtbl.create 64 in
+    let cell name ls mk =
+      let key = (name, ls) in
+      match Hashtbl.find_opt reg key with
+      | Some c -> c
+      | None ->
+        let c = mk () in
+        Hashtbl.replace reg key c;
+        c
+    in
+    let add name ls n =
+      match cell name ls (fun () -> Ccounter (ref 0)) with
+      | Ccounter r -> r := !r + n
+      | Cgauge _ | Chist _ -> ()
+    in
+    let set name ls v =
+      match cell name ls (fun () -> Cgauge (ref v)) with
+      | Cgauge r -> r := v
+      | Ccounter _ | Chist _ -> ()
+    in
+    let set_max name ls v =
+      match cell name ls (fun () -> Cgauge (ref v)) with
+      | Cgauge r -> if v > !r then r := v
+      | Ccounter _ | Chist _ -> ()
+    in
+    let obs name ls v =
+      match
+        cell name ls (fun () ->
+            Chist
+              {
+                hc_count = 0;
+                hc_sum = 0.0;
+                hc_min = 0.0;
+                hc_max = 0.0;
+                hc_buckets = Hashtbl.create 8;
+              })
+      with
+      | Chist h ->
+        h.hc_min <- (if h.hc_count = 0 then v else Float.min h.hc_min v);
+        h.hc_max <- (if h.hc_count = 0 then v else Float.max h.hc_max v);
+        h.hc_count <- h.hc_count + 1;
+        h.hc_sum <- h.hc_sum +. v;
+        let b = bucket_of v in
+        Hashtbl.replace h.hc_buckets b
+          (1 + Option.value (Hashtbl.find_opt h.hc_buckets b) ~default:0)
+      | Ccounter _ | Cgauge _ -> ()
+    in
+    let snapshot () =
+      Hashtbl.fold
+        (fun (name, labels) c acc ->
+          let value =
+            match c with
+            | Ccounter r -> Snapshot.Counter !r
+            | Cgauge r -> Snapshot.Gauge !r
+            | Chist h ->
+              let buckets =
+                Hashtbl.fold (fun k n acc -> (k, n) :: acc) h.hc_buckets []
+                |> List.sort compare
+                |> List.map (fun (k, n) -> (Float.pow 2.0 (float_of_int k), n))
+              in
+              Snapshot.Histogram
+                {
+                  count = h.hc_count;
+                  sum = h.hc_sum;
+                  min = h.hc_min;
+                  max = h.hc_max;
+                  buckets;
+                }
+          in
+          { Snapshot.name; labels; value } :: acc)
+        reg []
+      |> List.sort (fun (a : Snapshot.entry) b ->
+             compare (a.name, a.labels) (b.name, b.labels))
+    in
+    {
+      h_add = add;
+      h_set = set;
+      h_max = set_max;
+      h_obs = obs;
+      h_snapshot = snapshot;
+      h_null = false;
+    }
+
+  let jsonl ppf =
+    let emit kind name ls v =
+      let j =
+        Json.Obj
+          ([ ("kind", Json.String kind); ("name", Json.String name) ]
+          @ (if ls = [] then []
+             else
+               [
+                 ( "labels",
+                   Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) ls) );
+               ])
+          @ [ ("v", v); ("t_ns", Json.Float (Int64.to_float (now_ns ()))) ])
+      in
+      Format.fprintf ppf "%s@." (Json.to_string j)
+    in
+    {
+      h_add = (fun name ls n -> emit "add" name ls (Json.Int n));
+      h_set = (fun name ls v -> emit "set" name ls (Json.Float v));
+      h_max = (fun name ls v -> emit "set_max" name ls (Json.Float v));
+      h_obs = (fun name ls v -> emit "observe" name ls (Json.Float v));
+      h_snapshot = (fun () -> []);
+      h_null = false;
+    }
+
+  let tee a b =
+    {
+      h_add = (fun n l v -> a.h_add n l v; b.h_add n l v);
+      h_set = (fun n l v -> a.h_set n l v; b.h_set n l v);
+      h_max = (fun n l v -> a.h_max n l v; b.h_max n l v);
+      h_obs = (fun n l v -> a.h_obs n l v; b.h_obs n l v);
+      h_snapshot = (fun () -> a.h_snapshot () @ b.h_snapshot ());
+      h_null = a.h_null && b.h_null;
+    }
+
+  let snapshot t = t.h_snapshot ()
+end
+
+let current = ref Sink.null
+let live = ref false
+
+let set_sink s =
+  current := s;
+  live := not s.Sink.h_null
+
+let sink () = !current
+let enabled () = !live
+
+let with_sink s f =
+  let prev = !current in
+  set_sink s;
+  Fun.protect ~finally:(fun () -> set_sink prev) f
+
+(* ------------------------------------------------------------------ *)
+
+type handle = { name : string; labels : labels }
+
+let handle ?(labels = []) name = { name; labels = canon_labels labels }
+
+module Counter = struct
+  type t = handle
+
+  let make = handle
+  let add c n = if !live then !current.Sink.h_add c.name c.labels n
+  let incr c = add c 1
+end
+
+module Gauge = struct
+  type t = handle
+
+  let make = handle
+  let set g v = if !live then !current.Sink.h_set g.name g.labels v
+  let set_max g v = if !live then !current.Sink.h_max g.name g.labels v
+end
+
+module Histogram = struct
+  type t = handle
+
+  let make = handle
+  let observe h v = if !live then !current.Sink.h_obs h.name h.labels v
+end
+
+module Span = struct
+  type t = handle
+
+  let make = handle
+
+  let time s f =
+    if not !live then f ()
+    else
+      let t0 = now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dt = Int64.to_float (Int64.sub (now_ns ()) t0) in
+          if !live then !current.Sink.h_obs s.name s.labels dt)
+        f
+end

@@ -1,0 +1,148 @@
+(** Telemetry for the butterfly pipeline.
+
+    Counters, gauges, histograms and monotonic-clock spans behind a
+    pluggable {e sink}.  The default sink is {!Sink.null}: every
+    instrument degrades to a single [bool] load, so hot paths can stay
+    instrumented unconditionally.  Installing {!Sink.memory} turns the
+    same instruments into an in-process registry that can be
+    {!Sink.snapshot}ted into a deterministic, serializable report;
+    {!Sink.jsonl} streams every event as one JSON line for offline
+    analysis.
+
+    Metric handles ({!Counter.t} etc.) are cheap immutable records —
+    create them where convenient (module init, [create] functions) and
+    reuse them.  A handle is bound to whatever sink is installed at the
+    moment it is {e used}, not when it is made, so swapping sinks
+    mid-run redirects all existing instruments.
+
+    Naming convention: dot-separated lowercase ([scheduler.blocks_closed]),
+    durations as histograms whose name ends in [.ns].  Dimensions that
+    would otherwise multiply metric names (which lifeguard, which driver)
+    are labels. *)
+
+type labels = (string * string) list
+(** Key/value dimensions attached to a metric.  Order is irrelevant —
+    labels are canonicalized (sorted by key) on handle creation. *)
+
+(** Minimal JSON document model and printer (no external dependency). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact one-line rendering.  Non-finite floats become [null]. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Immutable view of a metric registry at one instant. *)
+module Snapshot : sig
+  type histogram = {
+    count : int;
+    sum : float;
+    min : float;  (** 0 when [count = 0] *)
+    max : float;
+    buckets : (float * int) list;
+        (** [(ub, n)]: [n] observations fell in [(ub/2, ub]]; power-of-two
+            bounds, sorted ascending. *)
+  }
+
+  type value = Counter of int | Gauge of float | Histogram of histogram
+  type entry = { name : string; labels : labels; value : value }
+
+  type t = entry list
+  (** Sorted by [(name, labels)] — snapshots of the same run are
+      structurally comparable. *)
+
+  val find : ?labels:labels -> t -> string -> value option
+  (** First entry with this name (and exactly these labels, if given). *)
+
+  val counter : ?labels:labels -> t -> string -> int
+  (** Counter value, 0 when absent. *)
+
+  val gauge : ?labels:labels -> t -> string -> float
+  (** Gauge value, 0 when absent. *)
+
+  val to_json : t -> Json.t
+  val pp : Format.formatter -> t -> unit
+  (** Human-readable table; [.ns] histograms render as durations. *)
+end
+
+module Sink : sig
+  type t
+
+  val null : t
+  (** Drops everything.  The default; {!enabled} is [false] under it. *)
+
+  val memory : unit -> t
+  (** A fresh in-memory registry aggregating by [(name, labels)]. *)
+
+  val jsonl : Format.formatter -> t
+  (** Streams one JSON object per event ([{"kind","name","labels","v"}]).
+      No aggregation: {!snapshot} is empty. *)
+
+  val tee : t -> t -> t
+  (** Events go to both; snapshots concatenate. *)
+
+  val snapshot : t -> Snapshot.t
+end
+
+val set_sink : Sink.t -> unit
+(** Install [s] globally.  Not thread-safe: install before spawning
+    domains (the instruments themselves are as thread-safe as their
+    sink — {!Sink.memory} tolerates racy increments losing updates). *)
+
+val sink : unit -> Sink.t
+val enabled : unit -> bool
+(** [false] iff the null sink is installed — gate expensive label or
+    value computation on this. *)
+
+val with_sink : Sink.t -> (unit -> 'a) -> 'a
+(** Run with [s] installed, restoring the previous sink afterwards
+    (also on exceptions). *)
+
+val now_ns : unit -> int64
+(** Monotonic clock, nanoseconds. *)
+
+module Counter : sig
+  type t
+
+  val make : ?labels:labels -> string -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+end
+
+module Gauge : sig
+  type t
+
+  val make : ?labels:labels -> string -> t
+  val set : t -> float -> unit
+
+  val set_max : t -> float -> unit
+  (** High-water mark: keeps the maximum of all values ever set. *)
+end
+
+module Histogram : sig
+  type t
+
+  val make : ?labels:labels -> string -> t
+  val observe : t -> float -> unit
+end
+
+module Span : sig
+  type t
+
+  val make : ?labels:labels -> string -> t
+  (** By convention name spans [<what>.ns]. *)
+
+  val time : t -> (unit -> 'a) -> 'a
+  (** Run the thunk, recording its wall-clock duration (ns) into the
+      histogram named [name] — also when the thunk raises.  Under the
+      null sink this is just the call: no clock reads. *)
+end

@@ -1,0 +1,245 @@
+(* The Obs telemetry subsystem: registry semantics, sink swapping,
+   snapshot determinism, JSON serialization — and the pipeline's window
+   accounting: the streaming scheduler's occupancy metrics must agree
+   with its own high-water-mark accessor and with the batch
+   Epochs.of_program pipeline on the same trace. *)
+
+let counter_semantics =
+  Alcotest.test_case "counters aggregate in the memory sink" `Quick (fun () ->
+      let c = Obs.Counter.make "t.count" in
+      let cl = Obs.Counter.make ~labels:[ ("k", "v") ] "t.count" in
+      Obs.Counter.incr c;
+      (* dropped: null sink *)
+      let sink = Obs.Sink.memory () in
+      Obs.with_sink sink (fun () ->
+          Alcotest.(check bool) "enabled under memory sink" true (Obs.enabled ());
+          Obs.Counter.incr c;
+          Obs.Counter.add c 41;
+          Obs.Counter.add cl 7);
+      Alcotest.(check bool) "disabled after restore" false (Obs.enabled ());
+      let snap = Obs.Sink.snapshot sink in
+      Alcotest.(check int) "unlabelled" 42 (Obs.Snapshot.counter snap "t.count");
+      Alcotest.(check int) "labelled is a separate series" 7
+        (Obs.Snapshot.counter ~labels:[ ("k", "v") ] snap "t.count");
+      Alcotest.(check int) "absent counter reads 0" 0
+        (Obs.Snapshot.counter snap "t.missing"))
+
+let gauge_semantics =
+  Alcotest.test_case "gauges: set overwrites, set_max keeps the max" `Quick
+    (fun () ->
+      let g = Obs.Gauge.make "t.gauge" in
+      let hwm = Obs.Gauge.make "t.hwm" in
+      let sink = Obs.Sink.memory () in
+      Obs.with_sink sink (fun () ->
+          Obs.Gauge.set g 5.0;
+          Obs.Gauge.set g 2.0;
+          Obs.Gauge.set_max hwm 5.0;
+          Obs.Gauge.set_max hwm 2.0);
+      let snap = Obs.Sink.snapshot sink in
+      Alcotest.(check (float 0.0)) "set" 2.0 (Obs.Snapshot.gauge snap "t.gauge");
+      Alcotest.(check (float 0.0)) "set_max" 5.0 (Obs.Snapshot.gauge snap "t.hwm"))
+
+let histogram_semantics =
+  Alcotest.test_case "histograms: count/sum/min/max and buckets" `Quick
+    (fun () ->
+      let h = Obs.Histogram.make "t.hist" in
+      let sink = Obs.Sink.memory () in
+      Obs.with_sink sink (fun () ->
+          List.iter (Obs.Histogram.observe h) [ 1.0; 3.0; 100.0; 0.5 ]);
+      match Obs.Snapshot.find (Obs.Sink.snapshot sink) "t.hist" with
+      | Some (Obs.Snapshot.Histogram hs) ->
+        Alcotest.(check int) "count" 4 hs.count;
+        Alcotest.(check (float 1e-9)) "sum" 104.5 hs.sum;
+        Alcotest.(check (float 1e-9)) "min" 0.5 hs.min;
+        Alcotest.(check (float 1e-9)) "max" 100.0 hs.max;
+        Alcotest.(check int) "buckets partition the observations" 4
+          (List.fold_left (fun acc (_, n) -> acc + n) 0 hs.buckets);
+        Testutil.checkb "bucket bounds ascend" true
+          (let bounds = List.map fst hs.buckets in
+           bounds = List.sort compare bounds)
+      | _ -> Alcotest.fail "expected a histogram")
+
+let sink_swapping =
+  Alcotest.test_case "handles follow the installed sink" `Quick (fun () ->
+      let c = Obs.Counter.make "t.swap" in
+      let a = Obs.Sink.memory () and b = Obs.Sink.memory () in
+      Obs.with_sink a (fun () -> Obs.Counter.incr c);
+      Obs.with_sink b (fun () -> Obs.Counter.add c 10);
+      (* nested swap restores the outer sink, also on exceptions *)
+      Obs.with_sink a (fun () ->
+          (try Obs.with_sink b (fun () -> failwith "boom") with Failure _ -> ());
+          Obs.Counter.incr c);
+      Alcotest.(check int) "sink a" 2
+        (Obs.Snapshot.counter (Obs.Sink.snapshot a) "t.swap");
+      Alcotest.(check int) "sink b" 10
+        (Obs.Snapshot.counter (Obs.Sink.snapshot b) "t.swap"))
+
+let tee_sink =
+  Alcotest.test_case "tee duplicates events to both sinks" `Quick (fun () ->
+      let c = Obs.Counter.make "t.tee" in
+      let a = Obs.Sink.memory () and b = Obs.Sink.memory () in
+      Obs.with_sink (Obs.Sink.tee a b) (fun () -> Obs.Counter.add c 3);
+      Alcotest.(check int) "a" 3 (Obs.Snapshot.counter (Obs.Sink.snapshot a) "t.tee");
+      Alcotest.(check int) "b" 3 (Obs.Snapshot.counter (Obs.Sink.snapshot b) "t.tee"))
+
+let snapshot_determinism =
+  Alcotest.test_case "identical runs snapshot identically" `Quick (fun () ->
+      let record () =
+        let sink = Obs.Sink.memory () in
+        Obs.with_sink sink (fun () ->
+            let c = Obs.Counter.make ~labels:[ ("x", "1") ] "t.z" in
+            let c2 = Obs.Counter.make "t.a" in
+            let g = Obs.Gauge.make "t.m" in
+            Obs.Counter.add c 5;
+            Obs.Counter.add c2 2;
+            Obs.Gauge.set_max g 9.0);
+        Obs.Sink.snapshot sink
+      in
+      let s1 = record () and s2 = record () in
+      Testutil.checkb "snapshots equal" true (s1 = s2);
+      let names = List.map (fun (e : Obs.Snapshot.entry) -> e.name) s1 in
+      Testutil.checkb "sorted by name" true (names = List.sort compare names))
+
+let span_timing =
+  Alcotest.test_case "spans record durations, also on exceptions" `Quick
+    (fun () ->
+      let sp = Obs.Span.make "t.span.ns" in
+      let sink = Obs.Sink.memory () in
+      Obs.with_sink sink (fun () ->
+          Obs.Span.time sp (fun () -> ignore (Sys.opaque_identity 42));
+          try Obs.Span.time sp (fun () -> failwith "die") with Failure _ -> ());
+      match Obs.Snapshot.find (Obs.Sink.snapshot sink) "t.span.ns" with
+      | Some (Obs.Snapshot.Histogram hs) ->
+        Alcotest.(check int) "both thunks recorded" 2 hs.count;
+        Testutil.checkb "durations are non-negative" true (hs.min >= 0.0)
+      | _ -> Alcotest.fail "expected a histogram")
+
+let json_output =
+  Alcotest.test_case "snapshot serializes to well-formed JSON" `Quick (fun () ->
+      let sink = Obs.Sink.memory () in
+      Obs.with_sink sink (fun () ->
+          Obs.Counter.add (Obs.Counter.make ~labels:[ ("l", "x\"y") ] "t.j") 1;
+          Obs.Histogram.observe (Obs.Histogram.make "t.h") 2.0);
+      let s = Obs.Json.to_string (Obs.Snapshot.to_json (Obs.Sink.snapshot sink)) in
+      Testutil.checkb "escapes quotes" true
+        (Astring.String.is_infix ~affix:{|x\"y|} s);
+      Testutil.checkb "histogram fields present" true
+        (Astring.String.is_infix ~affix:{|"type":"histogram"|} s);
+      (* Spot-check the tiny emitter against hand-written JSON. *)
+      Alcotest.(check string) "literal rendering"
+        {|{"a":[1,2.5,null,true,"s"],"b":{}}|}
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ( "a",
+                  Obs.Json.List
+                    [
+                      Obs.Json.Int 1; Obs.Json.Float 2.5; Obs.Json.Null;
+                      Obs.Json.Bool true; Obs.Json.String "s";
+                    ] );
+                ("b", Obs.Json.Obj []);
+              ])))
+
+let jsonl_sink =
+  Alcotest.test_case "jsonl sink emits one line per event" `Quick (fun () ->
+      let buf = Buffer.create 256 in
+      let ppf = Format.formatter_of_buffer buf in
+      Obs.with_sink (Obs.Sink.jsonl ppf) (fun () ->
+          let c = Obs.Counter.make "t.l" in
+          Obs.Counter.incr c;
+          Obs.Counter.add c 2;
+          Obs.Gauge.set (Obs.Gauge.make "t.g") 1.5);
+      Format.pp_print_flush ppf ();
+      let lines =
+        String.split_on_char '\n' (Buffer.contents buf)
+        |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check int) "three events, three lines" 3 (List.length lines);
+      List.iter
+        (fun l ->
+          Testutil.checkb "line is a JSON object" true
+            (String.length l > 1 && l.[0] = '{'
+            && l.[String.length l - 1] = '}'))
+        lines)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler window accounting vs the batch pipeline. *)
+
+module RD = Butterfly.Reaching_definitions
+module Sched = Butterfly.Scheduler.Make (RD.Problem)
+
+let sched_labels = [ ("driver", "streaming"); ("problem", "reaching-definitions") ]
+
+let window_accounting =
+  Alcotest.test_case "occupancy metrics agree with the batch pipeline" `Quick
+    (fun () ->
+      let instrs =
+        List.init 600 (fun k ->
+            if k mod 7 = 0 then Tracing.Instr.Read (k mod 13)
+            else Tracing.Instr.Assign_const (k mod 5))
+      in
+      let p =
+        Tracing.Program.of_instrs [ instrs; instrs; instrs ]
+        |> Tracing.Program.with_heartbeats ~every:25
+      in
+      let epochs = Butterfly.Epochs.of_program p in
+      let sink = Obs.Sink.memory () in
+      let s =
+        Obs.with_sink sink (fun () ->
+            let s = Sched.create ~threads:3 ~on_instr:(fun _ -> ()) in
+            (* Round-robin feed: threads advance together. *)
+            let evs =
+              Array.init 3 (fun tid ->
+                  Tracing.Trace.events (Tracing.Program.trace p tid))
+            in
+            for k = 0 to Array.length evs.(0) - 1 do
+              for tid = 0 to 2 do
+                if k < Array.length evs.(tid) then Sched.feed s tid evs.(tid).(k)
+              done
+            done;
+            Sched.finish s;
+            s)
+      in
+      let snap = Obs.Sink.snapshot sink in
+      let counter = Obs.Snapshot.counter ~labels:sched_labels snap in
+      let gauge = Obs.Snapshot.gauge ~labels:sched_labels snap in
+      Alcotest.(check int) "epochs processed = batch epoch count"
+        (Butterfly.Epochs.num_epochs epochs)
+        (counter "butterfly.epochs_processed");
+      Alcotest.(check int) "epochs processed = scheduler accessor"
+        (Sched.epochs_completed s)
+        (counter "butterfly.epochs_processed");
+      Alcotest.(check int) "pass-2 instrs = batch instr count"
+        (Butterfly.Epochs.instr_count epochs)
+        (counter "butterfly.pass2_instrs");
+      Alcotest.(check int) "every block of the grid was closed"
+        (3 * Butterfly.Epochs.num_epochs epochs)
+        (counter "scheduler.blocks_closed");
+      Alcotest.(check (float 0.0)) "occupancy hwm = max_resident_epochs"
+        (float_of_int (Sched.max_resident_epochs s))
+        (gauge "scheduler.window_occupancy_hwm");
+      Testutil.checkb "window stayed bounded" true
+        (gauge "scheduler.window_occupancy_hwm" <= 6.0))
+
+let null_sink_inert =
+  Alcotest.test_case "null sink: pipeline runs emit nothing" `Quick (fun () ->
+      Alcotest.(check bool) "disabled" false (Obs.enabled ());
+      let p =
+        Tracing.Program.of_instrs [ List.init 40 (fun k -> Tracing.Instr.Read k) ]
+        |> Tracing.Program.with_heartbeats ~every:10
+      in
+      ignore (RD.run (Butterfly.Epochs.of_program p));
+      Alcotest.(check int) "null registry snapshots empty" 0
+        (List.length (Obs.Sink.snapshot (Obs.sink ()))))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          counter_semantics; gauge_semantics; histogram_semantics;
+          sink_swapping; tee_sink; snapshot_determinism; span_timing;
+        ] );
+      ("serialization", [ json_output; jsonl_sink ]);
+      ("pipeline", [ window_accounting; null_sink_inert ]);
+    ]
