@@ -22,6 +22,12 @@ let ocean_small = fixture_program "ocean" ~threads:4 ~scale:1500 ~h:128
 let ocean_small_epochs = Butterfly.Epochs.of_program ocean_small
 let fft_small = fixture_program "fft" ~threads:4 ~scale:1500 ~h:128
 
+(* Largest synthetic workload: the sequential-vs-pooled streaming
+   comparison needs enough per-epoch work for fan-out to matter — 8
+   threads of OCEAN churn, whole-run wall clock in whole seconds. *)
+let ocean_large = fixture_program "ocean" ~threads:8 ~scale:1200 ~h:128
+let ocean_large_epochs = Butterfly.Epochs.of_program ocean_large
+
 let exploit_program = (Workloads.Exploit.cross_thread_chain ()).program
 let exploit_epochs = Butterfly.Epochs.of_program exploit_program
 
@@ -84,7 +90,7 @@ let core_tests =
            (let module S = Butterfly.Scheduler.Make
                 (Butterfly.Reaching_definitions.Problem) in
             fun () ->
-              let s = S.create ~threads:3 ~on_instr:(fun _ -> ()) in
+              let s = S.create ~threads:3 ~on_instr:(fun _ -> ()) () in
               for tid = 0 to 2 do
                 S.feed_trace s tid (Tracing.Program.trace exploit_program tid)
               done;
@@ -155,6 +161,26 @@ let figure12_tests =
         (Staged.stage (fun () -> Lifeguards.Addrcheck.run large));
     ]
 
+(* Streaming drivers: the same butterfly pass over the same trace, run on
+   the sequential scheduler and on domain pools of increasing width.  The
+   pools outlive the measurement loop (created once in [main], shut down
+   after), so the numbers compare steady-state dispatch, not domain
+   spawning. *)
+module SRD = Butterfly.Scheduler.Make (Butterfly.Reaching_definitions.Problem)
+
+let streaming_run ?pool () =
+  ignore (SRD.run_epochs ?pool ~on_instr:(fun _ -> ()) ocean_large_epochs)
+
+let streaming_tests pools =
+  Test.make_grouped ~name:"streaming"
+    (Test.make ~name:"sequential" (Staged.stage (fun () -> streaming_run ()))
+    :: List.map
+         (fun (d, pool) ->
+           Test.make
+             ~name:(Printf.sprintf "pooled-%d" d)
+             (Staged.stage (fun () -> streaming_run ~pool ())))
+         pools)
+
 (* Figure 13: precision machinery — the checks that classify events. *)
 let figure13_tests =
   Test.make_grouped ~name:"figure13.precision"
@@ -174,7 +200,7 @@ let figure13_tests =
    measurements it was fitted from. *)
 type measurement = { name : string; runs : int; ns_per_run : float }
 
-let measure_benchmarks () =
+let measure_benchmarks groups =
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.2) () in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -200,7 +226,7 @@ let measure_benchmarks () =
           in
           { name; runs; ns_per_run = est })
         (List.sort compare names))
-    [ core_tests; table1_tests; figure11_tests; figure12_tests; figure13_tests ]
+    groups
   |> List.concat
 
 let print_text measurements =
@@ -237,18 +263,43 @@ let print_json measurements =
 
 let () =
   let json = Array.exists (( = ) "--json") Sys.argv in
-  if json then print_json (measure_benchmarks ())
-  else begin
-    print_endline "=== Bechamel micro-benchmarks (one group per artifact) ===";
-    print_text (measure_benchmarks ());
-    print_endline "";
-    print_endline "=== Regenerated paper artifacts ===";
-    print_endline "";
-    print_string (Harness.Table1.render ());
-    print_endline "";
-    print_string (Harness.Figure11.render (Harness.Figure11.run ()));
-    print_endline "";
-    print_string (Harness.Figure12.render (Harness.Figure12.run ()));
-    print_endline "";
-    print_string (Harness.Figure13.render (Harness.Figure13.run ()))
-  end
+  let streaming_only = Array.exists (( = ) "--streaming-only") Sys.argv in
+  let pools =
+    List.map
+      (fun d ->
+        ( d,
+          Butterfly.Domain_pool.create
+            ~name:(Printf.sprintf "bench-%d" d)
+            ~domains:d () ))
+      [ 2; 4 ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (_, p) -> Butterfly.Domain_pool.shutdown p) pools)
+    (fun () ->
+      let groups =
+        if streaming_only then [ streaming_tests pools ]
+        else
+          [
+            core_tests; table1_tests; figure11_tests; figure12_tests;
+            figure13_tests; streaming_tests pools;
+          ]
+      in
+      if json then print_json (measure_benchmarks groups)
+      else begin
+        print_endline
+          "=== Bechamel micro-benchmarks (one group per artifact) ===";
+        print_text (measure_benchmarks groups);
+        if not streaming_only then begin
+          print_endline "";
+          print_endline "=== Regenerated paper artifacts ===";
+          print_endline "";
+          print_string (Harness.Table1.render ());
+          print_endline "";
+          print_string (Harness.Figure11.render (Harness.Figure11.run ()));
+          print_endline "";
+          print_string (Harness.Figure12.render (Harness.Figure12.run ()));
+          print_endline "";
+          print_string (Harness.Figure13.render (Harness.Figure13.run ()))
+        end
+      end)

@@ -63,7 +63,7 @@ module Window_sched = Butterfly.Scheduler.Make (Window_probe)
 
 let replay_window_metrics p =
   let threads = Tracing.Program.threads p in
-  let s = Window_sched.create ~threads ~on_instr:(fun _ -> ()) in
+  let s = Window_sched.create ~threads ~on_instr:(fun _ -> ()) () in
   (* Round-robin feed: threads advance together, as in a deployment, so
      the occupancy high-water mark reflects the bounded window rather
      than one thread racing ahead of the others. *)
@@ -207,6 +207,13 @@ let h_arg =
        ~doc:"Re-heartbeat the trace with this epoch size (0 keeps existing \
              heartbeats).")
 
+let domains_arg =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+       ~doc:"Run the lifeguard on the pooled streaming scheduler with $(docv) \
+             worker domains (capped at the hardware's recommended domain \
+             count) instead of the sequential batch driver.  The output is \
+             identical in either mode.")
+
 let load_program path h =
   let raw = In_channel.with_open_bin path In_channel.input_all in
   let decoded =
@@ -221,10 +228,12 @@ let load_program path h =
   | Ok p -> if h > 0 then Machine.Heartbeat.insert ~every:h p else p
 
 let addrcheck_cmd =
-  let run path h json stats =
+  let run path h domains json stats =
     with_stats stats (fun () ->
         let p = load_program path h in
-        let r = Lifeguards.Addrcheck.run (Butterfly.Epochs.of_program p) in
+        let r =
+          Lifeguards.Addrcheck.run ?domains (Butterfly.Epochs.of_program p)
+        in
         if stats <> None then replay_window_metrics p;
         if json then
           print_endline
@@ -242,13 +251,15 @@ let addrcheck_cmd =
         end)
   in
   Cmd.v (Cmd.info "addrcheck" ~doc:"Run butterfly AddrCheck on a trace file")
-    Term.(const run $ trace_arg $ h_arg $ json_arg $ stats_arg)
+    Term.(const run $ trace_arg $ h_arg $ domains_arg $ json_arg $ stats_arg)
 
 let initcheck_cmd =
-  let run path h json stats =
+  let run path h domains json stats =
     with_stats stats (fun () ->
         let p = load_program path h in
-        let r = Lifeguards.Initcheck.run (Butterfly.Epochs.of_program p) in
+        let r =
+          Lifeguards.Initcheck.run ?domains (Butterfly.Epochs.of_program p)
+        in
         if stats <> None then replay_window_metrics p;
         if json then
           print_endline
@@ -268,7 +279,7 @@ let initcheck_cmd =
   Cmd.v
     (Cmd.info "initcheck"
        ~doc:"Run butterfly InitCheck (uninitialized reads) on a trace file")
-    Term.(const run $ trace_arg $ h_arg $ json_arg $ stats_arg)
+    Term.(const run $ trace_arg $ h_arg $ domains_arg $ json_arg $ stats_arg)
 
 let taintcheck_cmd =
   let run path h relaxed json stats =
@@ -310,14 +321,14 @@ let taintcheck_cmd =
     Term.(const run $ trace_arg $ h_arg $ relaxed_arg $ json_arg $ stats_arg)
 
 let stats_cmd =
-  let run path h lifeguard json =
+  let run path h domains lifeguard json =
     let sink = Obs.Sink.memory () in
     Obs.with_sink sink (fun () ->
         let p = load_program path h in
         let epochs = Butterfly.Epochs.of_program p in
         (match lifeguard with
-        | `Addrcheck -> ignore (Lifeguards.Addrcheck.run epochs)
-        | `Initcheck -> ignore (Lifeguards.Initcheck.run epochs)
+        | `Addrcheck -> ignore (Lifeguards.Addrcheck.run ?domains epochs)
+        | `Initcheck -> ignore (Lifeguards.Initcheck.run ?domains epochs)
         | `Taintcheck -> ignore (Lifeguards.Taintcheck.run epochs));
         replay_window_metrics p);
     print_snapshot (if json then `Json else `Text) (Obs.Sink.snapshot sink)
@@ -336,7 +347,8 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:"Run a lifeguard on a trace and print the full metric registry \
              (pipeline counters, window occupancy, per-phase timings)")
-    Term.(const run $ trace_arg $ h_arg $ lifeguard_arg $ json_arg)
+    Term.(const run $ trace_arg $ h_arg $ domains_arg $ lifeguard_arg
+          $ json_arg)
 
 let generate_cmd =
   let run name threads scale seed binary stats =

@@ -1,0 +1,78 @@
+(** A reusable fixed-size pool of worker domains.
+
+    OCaml 5 domains are heavyweight (each owns a minor heap and a share of
+    the GC): spawning one per task — or one per application thread, as the
+    first parallel driver did — oversubscribes the machine as soon as the
+    trace has more threads than the host has cores.  This pool spawns a
+    fixed set of workers, capped at {!max_domains} (the runtime's
+    recommended domain count), and multiplexes any number of tasks onto
+    them.
+
+    Scheduling discipline:
+
+    - {b Bounded per-worker queues.}  Each worker owns a FIFO of at most
+      [queue_capacity] tasks.  Tasks are assigned round-robin, so the
+      assignment (and therefore the work each worker performs) is
+      deterministic for a deterministic submission sequence.
+    - {b Backpressure on submit.}  When the target worker's queue is full,
+      {!async} blocks the submitter until the worker drains — a producer
+      can never race unboundedly ahead of the pool.
+    - {b Deterministic result collection.}  {!map_array} returns results
+      positionally: element [i] of the output is [f arr.(i)] no matter
+      which worker ran it or in what order tasks completed.
+
+    Telemetry (under the installed {!Obs} sink, labelled [pool=<name>]):
+    [pool.size] and [pool.utilization] gauges, [pool.queue_depth] and
+    [pool.submit_wait.ns] histograms (queue occupancy at submit, time the
+    submitter spent blocked on backpressure), and a [pool.task.ns] span
+    per executed task.
+
+    Concurrency contract: tasks run on worker domains and must not call
+    {!async}, {!await} or {!map_array} on the pool that runs them (a task
+    waiting for a task queued behind it would deadlock the worker).  All
+    submissions must come from a single coordinating domain at a time —
+    exactly the single-writer discipline the butterfly drivers already
+    follow. *)
+
+type t
+
+val max_domains : unit -> int
+(** Upper bound on pool size: [max 1 (Domain.recommended_domain_count ())]. *)
+
+val create : ?name:string -> ?queue_capacity:int -> domains:int -> unit -> t
+(** [create ~domains ()] spawns [max 1 (min domains (max_domains ()))]
+    worker domains.  [name] labels the pool's telemetry (default ["pool"]);
+    [queue_capacity] bounds each worker's task FIFO (default [64]).
+    Raises [Invalid_argument] if [domains <= 0] or [queue_capacity <= 0]. *)
+
+val size : t -> int
+(** Number of worker domains actually spawned. *)
+
+val name : t -> string
+
+type 'a future
+(** The pending result of an {!async} task. *)
+
+val async : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task on the next worker (round-robin).  Blocks while that
+    worker's queue is full (backpressure).  Raises [Invalid_argument] on a
+    pool that has been {!shutdown}. *)
+
+val await : 'a future -> 'a
+(** Block until the task has run; returns its result or re-raises the
+    exception it terminated with.  Idempotent. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array p f arr] runs [f] over [arr] on the pool and returns the
+    results in input order: deterministic collection regardless of task
+    completion order.  Exceptions re-raise (first index wins). *)
+
+val shutdown : t -> unit
+(** Drain every queue, stop and join all workers.  Idempotent.  Every
+    pool must be shut down before process exit — parked domains would
+    otherwise keep the runtime alive. *)
+
+val with_pool :
+  ?name:string -> ?queue_capacity:int -> domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] with a fresh pool, shutting it down
+    afterwards (also on exceptions). *)

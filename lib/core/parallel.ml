@@ -5,46 +5,51 @@ module Make (P : Dataflow.PROBLEM) = struct
 
   let checks_in_parallel () = !last_domains
 
-  let run ?(map : (D.instr_view -> 'a option) option) epochs =
+  let run ?domains ?(map : (D.instr_view -> 'a option) option) epochs =
     let threads = Epochs.threads epochs in
     let num_l = Epochs.num_epochs epochs in
-    last_domains := threads;
-    (* Pass 1: one domain per application thread summarizes its column. *)
-    let columns =
-      Array.init threads (fun tid ->
-          Domain.spawn (fun () ->
+    let requested = match domains with Some d -> d | None -> threads in
+    Domain_pool.with_pool ~name:("parallel." ^ P.name) ~domains:requested
+      (fun pool ->
+        last_domains := Domain_pool.size pool;
+        let tids = Array.init threads (fun tid -> tid) in
+        (* Pass 1: per-thread columns of block summaries, on the pool. *)
+        let columns =
+          Domain_pool.map_array pool
+            (fun tid ->
               Array.init num_l (fun l ->
-                  D.summarize (Epochs.block epochs ~epoch:l ~tid))))
-      |> Array.map Domain.join
-    in
-    let block_summaries =
-      Array.init num_l (fun l -> Array.init threads (fun tid -> columns.(tid).(l)))
-    in
-    (* Master: epoch summaries and the strongly ordered state. *)
-    let epoch_summaries =
-      Array.init num_l (fun l ->
-          D.epoch_summary
-            ~prev:(if l = 0 then None else Some block_summaries.(l - 1))
-            ~cur:block_summaries.(l))
-    in
-    let sos = Array.make (num_l + 2) D.Set.empty in
-    for l = 2 to num_l + 1 do
-      sos.(l) <-
-        D.sos_next ~sos_prev:sos.(l - 1) ~two_back:epoch_summaries.(l - 2)
-    done;
-    let row l =
-      if l < 0 || l >= num_l then
-        Array.init threads (fun tid -> D.summarize (Block.empty ~epoch:l ~tid))
-      else block_summaries.(l)
-    in
-    (* Pass 2: per-thread domains over read-only summaries and SOS. *)
-    let collected =
-      match map with
-      | None -> []
-      | Some f ->
-        let per_thread =
-          Array.init threads (fun tid ->
-              Domain.spawn (fun () ->
+                  D.summarize (Epochs.block epochs ~epoch:l ~tid)))
+            tids
+        in
+        let block_summaries =
+          Array.init num_l (fun l ->
+              Array.init threads (fun tid -> columns.(tid).(l)))
+        in
+        (* Master: epoch summaries and the strongly ordered state. *)
+        let epoch_summaries =
+          Array.init num_l (fun l ->
+              D.epoch_summary
+                ~prev:(if l = 0 then None else Some block_summaries.(l - 1))
+                ~cur:block_summaries.(l))
+        in
+        let sos = Array.make (num_l + 2) D.Set.empty in
+        for l = 2 to num_l + 1 do
+          sos.(l) <-
+            D.sos_next ~sos_prev:sos.(l - 1) ~two_back:epoch_summaries.(l - 2)
+        done;
+        let row l =
+          if l < 0 || l >= num_l then
+            Array.init threads (fun tid -> D.summarize (Block.empty ~epoch:l ~tid))
+          else block_summaries.(l)
+        in
+        (* Pass 2: per-thread tasks over read-only summaries and SOS. *)
+        let collected =
+          match map with
+          | None -> []
+          | Some f ->
+            let per_thread =
+              Domain_pool.map_array pool
+                (fun tid ->
                   let acc = ref [] in
                   for l = 0 to num_l - 1 do
                     let body = Epochs.block epochs ~epoch:l ~tid in
@@ -83,18 +88,18 @@ module Make (P : Dataflow.PROBLEM) = struct
                         cur := D.Set.union g (D.Set.diff lsos_at k))
                       body
                   done;
-                  List.rev !acc))
-          |> Array.map Domain.join
+                  List.rev !acc)
+                tids
+            in
+            (* Deterministic merge: epoch-major, thread-minor (each per-thread
+               list is already in epoch-then-instruction order). *)
+            let out = ref [] in
+            for l = 0 to num_l - 1 do
+              Array.iter
+                (List.iter (fun (l', x) -> if l' = l then out := x :: !out))
+                per_thread
+            done;
+            List.rev !out
         in
-        (* Deterministic merge: epoch-major, thread-minor (each per-thread
-           list is already in epoch-then-instruction order). *)
-        let out = ref [] in
-        for l = 0 to num_l - 1 do
-          Array.iter
-            (List.iter (fun (l', x) -> if l' = l then out := x :: !out))
-            per_thread
-        done;
-        List.rev !out
-    in
-    ({ D.epochs; sos; block_summaries; epoch_summaries }, collected)
+        ({ D.epochs; sos; block_summaries; epoch_summaries }, collected))
 end

@@ -1,13 +1,18 @@
-(** Parallel execution of a butterfly analysis on OCaml 5 domains.
+(** Parallel execution of a butterfly analysis on a {!Domain_pool}.
 
     The deployment model of the paper runs one lifeguard thread per
     application thread, synchronizing at pass boundaries.  This module
-    realizes that shape in-process: pass 1 (block summarization) runs with
-    one domain per application thread, the master computes epoch summaries
-    and the SOS (it is the designated single writer of Section 5), and
-    pass 2 runs per-thread domains again — each consuming only read-only
-    summaries, so no locking is needed, exactly the paper's "objects are
-    not modified after being released for reading" discipline.
+    realizes that shape in-process on a bounded pool: pass 1 (block
+    summarization) fans one task per application thread out to the pool,
+    the master computes epoch summaries and the SOS (it is the designated
+    single writer of Section 5), and pass 2 fans out per-thread tasks
+    again — each consuming only read-only summaries, so no locking is
+    needed, exactly the paper's "objects are not modified after being
+    released for reading" discipline.
+
+    Unlike the first version of this driver, a 64-thread trace no longer
+    spawns 64 domains: tasks multiplex onto at most
+    {!Domain_pool.max_domains} workers.
 
     Results are deterministic and identical to {!Dataflow.Make}'s batch
     driver (property-tested). *)
@@ -16,16 +21,19 @@ module Make (P : Dataflow.PROBLEM) : sig
   module D : module type of Dataflow.Make (P)
 
   val run :
+    ?domains:int ->
     ?map:(D.instr_view -> 'a option) ->
     Epochs.t ->
     D.result * 'a list
-  (** [run ~map epochs] executes both passes with per-thread parallelism.
-      [map] is applied to every second-pass instruction view {e inside} the
-      worker domains; the [Some] results are returned in deterministic
-      (epoch-major, thread-minor, instruction-order) order.  Omitting [map]
-      collects nothing. *)
+  (** [run ~map epochs] executes both passes on a fresh domain pool sized
+      [min domains (Domain_pool.max_domains ())] ([domains] defaults to
+      the trace's thread count).  [map] is applied to every second-pass
+      instruction view {e inside} the worker tasks; the [Some] results are
+      returned in deterministic (epoch-major, thread-minor,
+      instruction-order) order.  Omitting [map] collects nothing. *)
 
   val checks_in_parallel : unit -> int
-  (** Number of worker domains the last [run] used (for tests: > 1 on a
-      multicore runtime). *)
+  (** Number of worker domains the last [run] used: at most
+      {!Domain_pool.max_domains}, regardless of the trace's thread
+      count. *)
 end

@@ -17,10 +17,13 @@ module Make (P : Dataflow.PROBLEM) = struct
 
   type t = {
     threads : int;
+    pool : Domain_pool.t option;
     on_instr : D.instr_view -> unit;
     buffers : Tracing.Instr.t list array; (* open block per thread, reversed *)
     completed : int array; (* closed blocks per thread *)
     summaries : (int, D.block_summary array) Hashtbl.t; (* epoch -> row *)
+    pending : (int * int, D.block_summary Domain_pool.future) Hashtbl.t;
+        (* pass-1 tasks in flight on the pool, keyed by (epoch, tid) *)
     blocks : (int, Block.t array) Hashtbl.t;
     epoch_sums : (int, D.epoch_summary) Hashtbl.t;
     sos_tbl : (int, D.Set.t) Hashtbl.t;
@@ -30,15 +33,17 @@ module Make (P : Dataflow.PROBLEM) = struct
     mutable finished : bool;
   }
 
-  let create ~threads ~on_instr =
+  let create ?pool ~threads ~on_instr () =
     if threads <= 0 then invalid_arg "Scheduler.create: threads must be > 0";
     let t =
       {
         threads;
+        pool;
         on_instr;
         buffers = Array.make threads [];
         completed = Array.make threads 0;
         summaries = Hashtbl.create 16;
+        pending = Hashtbl.create 16;
         blocks = Hashtbl.create 16;
         epoch_sums = Hashtbl.create 16;
         sos_tbl = Hashtbl.create 16;
@@ -55,11 +60,24 @@ module Make (P : Dataflow.PROBLEM) = struct
   let empty_summary_row t epoch =
     Array.init t.threads (fun tid -> D.summarize (Block.empty ~epoch ~tid))
 
+  (* Commit any in-flight pass-1 results for this row.  Master-side only:
+     rows handed to pool workers are always resolved first. *)
+  let resolve_row t epoch row =
+    if Hashtbl.length t.pending > 0 then
+      for tid = 0 to t.threads - 1 do
+        match Hashtbl.find_opt t.pending (epoch, tid) with
+        | Some fut ->
+          row.(tid) <- Domain_pool.await fut;
+          Hashtbl.remove t.pending (epoch, tid)
+        | None -> ()
+      done;
+    row
+
   let summary_row t epoch =
     if epoch < 0 then empty_summary_row t epoch
     else
       match Hashtbl.find_opt t.summaries epoch with
-      | Some row -> row
+      | Some row -> resolve_row t epoch row
       | None -> empty_summary_row t epoch
 
   (* GEN_l/KILL_l for epoch [e], cached; requires summary rows e-1 and e
@@ -86,6 +104,41 @@ module Make (P : Dataflow.PROBLEM) = struct
     done;
     Hashtbl.find t.sos_tbl l
 
+  (* One thread's share of pass 2 over epoch [p].  [rows.(i)] is the
+     resolved summary row of epoch [p - 2 + i]; with a pool this runs on a
+     worker, so it touches only the read-only arguments (never [t]'s
+     tables) and reports views through [emit]. *)
+  let pass2_thread t ~sos ~rows ~body ~tid ~emit =
+    let wings = ref [] in
+    for i = 3 downto 1 do
+      (* epochs p+1 downto p-1 *)
+      let row : D.block_summary array = rows.(i) in
+      for t' = t.threads - 1 downto 0 do
+        if t' <> tid then wings := row.(t') :: !wings
+      done
+    done;
+    let side_in = Obs.Span.time sp_meet (fun () -> D.side_in ~wings:!wings) in
+    let head = rows.(1).(tid) in
+    let lsos0 =
+      Obs.Span.time sp_lsos (fun () ->
+          D.lsos ~sos ~head ~two_back_row:rows.(0) ~tid)
+    in
+    Obs.Counter.add m_instrs (Block.length body);
+    Obs.Span.time sp_pass2 (fun () ->
+        let cur = ref lsos0 in
+        Block.iteri
+          (fun id instr ->
+            let lsos_at = !cur in
+            let in_before =
+              match P.flavour with
+              | `May -> D.Set.union side_in lsos_at
+              | `Must -> D.Set.diff lsos_at side_in
+            in
+            emit { D.id; instr; lsos_before = lsos_at; in_before; side_in; sos };
+            let g = P.gen id instr and k = P.kill id instr in
+            cur := D.Set.union g (D.Set.diff lsos_at k))
+          body)
+
   (* Second pass over epoch [p]: every thread's epoch-(p+1) summaries are
      available (or the run has finished and missing rows are empty). *)
   let process_epoch t p =
@@ -95,37 +148,28 @@ module Make (P : Dataflow.PROBLEM) = struct
       | Some row -> row
       | None -> Array.init t.threads (fun tid -> Block.empty ~epoch:p ~tid)
     in
-    for tid = 0 to t.threads - 1 do
-      let wings = ref [] in
-      for l' = p + 1 downto p - 1 do
-        let row = summary_row t l' in
-        for t' = t.threads - 1 downto 0 do
-          if t' <> tid then wings := row.(t') :: !wings
-        done
-      done;
-      let side_in = Obs.Span.time sp_meet (fun () -> D.side_in ~wings:!wings) in
-      let head = (summary_row t (p - 1)).(tid) in
-      let lsos0 =
-        Obs.Span.time sp_lsos (fun () ->
-            D.lsos ~sos ~head ~two_back_row:(summary_row t (p - 2)) ~tid)
+    (* Resolve the four rows of the butterfly up front: pool workers must
+       never await or touch the scheduler's tables. *)
+    let rows = Array.init 4 (fun i -> summary_row t (p - 2 + i)) in
+    (match t.pool with
+    | None ->
+      for tid = 0 to t.threads - 1 do
+        pass2_thread t ~sos ~rows ~body:body_row.(tid) ~tid ~emit:t.on_instr
+      done
+    | Some pool ->
+      (* Fan the per-thread work out, then deliver the buffered views in
+         thread order: the observable sequence is byte-identical to the
+         sequential path (epoch-major, thread-minor, instruction order). *)
+      let views =
+        Domain_pool.map_array pool
+          (fun tid ->
+            let acc = ref [] in
+            pass2_thread t ~sos ~rows ~body:body_row.(tid) ~tid
+              ~emit:(fun v -> acc := v :: !acc);
+            List.rev !acc)
+          (Array.init t.threads (fun tid -> tid))
       in
-      Obs.Counter.add m_instrs (Block.length body_row.(tid));
-      Obs.Span.time sp_pass2 (fun () ->
-          let cur = ref lsos0 in
-          Block.iteri
-            (fun id instr ->
-              let lsos_at = !cur in
-              let in_before =
-                match P.flavour with
-                | `May -> D.Set.union side_in lsos_at
-                | `Must -> D.Set.diff lsos_at side_in
-              in
-              t.on_instr
-                { D.id; instr; lsos_before = lsos_at; in_before; side_in; sos };
-              let g = P.gen id instr and k = P.kill id instr in
-              cur := D.Set.union g (D.Set.diff lsos_at k))
-            body_row.(tid))
-    done;
+      Array.iter (fun vs -> List.iter t.on_instr vs) views);
     (* Shrink the window: the body blocks are done; summary row p-2 has
        served its last purpose (epoch_sum p-1 is cached by sos_at). *)
     ignore (epoch_sum t (max 0 (p - 1)));
@@ -155,7 +199,14 @@ module Make (P : Dataflow.PROBLEM) = struct
         Hashtbl.replace t.summaries epoch row;
         row
     in
-    srow.(tid) <- Obs.Span.time sp_pass1 (fun () -> D.summarize block);
+    (match t.pool with
+    | None -> srow.(tid) <- Obs.Span.time sp_pass1 (fun () -> D.summarize block)
+    | Some pool ->
+      (* Pass 1 is per-block-local: it can run on a worker the moment the
+         heartbeat closes the block, while the master keeps ingesting. *)
+      Hashtbl.replace t.pending (epoch, tid)
+        (Domain_pool.async pool (fun () ->
+             Obs.Span.time sp_pass1 (fun () -> D.summarize block))));
     let brow =
       match Hashtbl.find_opt t.blocks epoch with
       | Some row -> row
@@ -205,6 +256,28 @@ module Make (P : Dataflow.PROBLEM) = struct
       done)
 
   let sos t = sos_at t (t.processed + 1)
+
+  let sos_history t =
+    Array.init (t.processed + 2) (fun l -> sos_at t l)
+
   let epochs_completed t = t.processed
   let max_resident_epochs t = t.hwm
+
+  let run_epochs ?pool ~on_instr epochs =
+    let threads = Epochs.threads epochs in
+    let num_l = Epochs.num_epochs epochs in
+    let t = create ?pool ~threads ~on_instr () in
+    for l = 0 to num_l - 1 do
+      for tid = 0 to threads - 1 do
+        let b = Epochs.block epochs ~epoch:l ~tid in
+        Array.iter
+          (fun i -> feed t tid (Tracing.Event.Instr i))
+          b.Block.instrs;
+        (* No heartbeat after the final epoch: [finish] closes it, keeping
+           the epoch count equal to the grid's. *)
+        if l < num_l - 1 then feed t tid Tracing.Event.Heartbeat
+      done
+    done;
+    finish t;
+    t
 end

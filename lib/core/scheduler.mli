@@ -11,15 +11,36 @@
     {!max_resident_epochs} exposes the high-water mark so tests can verify
     boundedness.
 
+    {b Parallel mode.}  Passing a {!Domain_pool.t} to {!create} dispatches
+    the per-block work to the pool, exploiting exactly the structure the
+    paper identifies (§4.3): pass-1 summaries are per-block-local, so each
+    runs on a worker the moment its heartbeat lands, while the master keeps
+    ingesting events; pass-2 per-thread work reads only the (by then
+    frozen) wing summaries and SOS, so one task per thread fans out when a
+    window closes.  The master remains the single writer of SOS and epoch
+    summaries, and re-serializes buffered views so [on_instr] observes the
+    same epoch-major / thread-minor / instruction-order sequence as the
+    sequential path.
+
     The per-instruction views delivered to [on_instr] are identical to the
-    batch driver's (the equivalence is property-tested). *)
+    batch driver's in both modes (the equivalence is property-tested over
+    thousands of random grids; see [test/test_scheduler.ml]). *)
 
 module Make (P : Dataflow.PROBLEM) : sig
   module D : module type of Dataflow.Make (P)
 
   type t
 
-  val create : threads:int -> on_instr:(D.instr_view -> unit) -> t
+  val create :
+    ?pool:Domain_pool.t ->
+    threads:int ->
+    on_instr:(D.instr_view -> unit) ->
+    unit ->
+    t
+  (** With [pool], pass 1 and pass 2 run as pool tasks (see above).  The
+      scheduler does not own the pool: the caller shuts it down.  All
+      [feed]/[finish] calls must come from the same domain that created
+      the scheduler (the master). *)
 
   val feed : t -> Tracing.Tid.t -> Tracing.Event.t -> unit
   (** Deliver the next event of one thread's stream.  Heartbeats close the
@@ -33,8 +54,22 @@ module Make (P : Dataflow.PROBLEM) : sig
   (** End of all streams: closes trailing partial blocks (padding threads
       to a common epoch count) and drains the remaining window.  Idempotent. *)
 
+  val run_epochs :
+    ?pool:Domain_pool.t ->
+    on_instr:(D.instr_view -> unit) ->
+    Epochs.t ->
+    t
+  (** Convenience driver: replays a complete epoch grid through the
+      sliding window (epoch-major feed, one heartbeat per interior block
+      boundary) and {!finish}es.  The resulting view sequence and SOS
+      match the batch driver's on the same grid. *)
+
   val sos : t -> D.Set.t
   (** The most recently committed strongly ordered state. *)
+
+  val sos_history : t -> D.Set.t array
+  (** All SOS levels computed so far, [SOS_0 .. SOS_(processed+1)].  After
+      a full drain this matches the batch driver's [result.sos] array. *)
 
   val epochs_completed : t -> int
   (** Epochs whose second pass has run. *)

@@ -19,6 +19,7 @@ module Problem = struct
 end
 
 module A = Butterfly.Dataflow.Make (Problem)
+module S = Butterfly.Scheduler.Make (Problem)
 
 type error_kind =
   | Unallocated_access
@@ -64,7 +65,7 @@ let access_set block =
       | `None -> IS.union acc (footprint i))
     IS.empty block
 
-let run ?(isolation = true) epochs =
+let run ?(isolation = true) ?domains epochs =
   (* Materialize the check/flag counters so clean runs still report 0. *)
   Obs.Counter.add m_checks 0;
   Obs.Counter.add m_flags 0;
@@ -158,7 +159,18 @@ let run ?(isolation = true) epochs =
       Obs.Counter.incr m_flags;
       bump tid l (fun s -> { s with flagged_events = s.flagged_events + 1 }))
   in
-  let result = A.run ~on_instr epochs in
+  let sos_levels =
+    match domains with
+    | None ->
+      let result = A.run ~on_instr epochs in
+      result.A.sos
+    | Some d ->
+      (* Pooled streaming: the scheduler delivers the exact same view
+         sequence (property-tested), with pass 1/2 on worker domains. *)
+      Butterfly.Domain_pool.with_pool ~name:"addrcheck" ~domains:d (fun pool ->
+          let s = S.run_epochs ~pool ~on_instr epochs in
+          S.sos_history s)
+  in
   (* Report isolation violations at block granularity too. *)
   for l = 0 to num_l - 1 do
     for tid = 0 to threads - 1 do
@@ -171,13 +183,13 @@ let run ?(isolation = true) epochs =
   if Obs.enabled () then
     Array.iter
       (fun s -> Obs.Gauge.set_max g_set_hwm (float_of_int (IS.cardinal s)))
-      result.A.sos;
+      sos_levels;
   {
     errors = List.rev !errors;
     flagged_accesses = !flagged;
     total_accesses = !total;
     block_stats = stats;
-    sos = result.A.sos;
+    sos = sos_levels;
   }
 
 let flagged_addresses r =

@@ -41,12 +41,18 @@ type report = {
   sos : Butterfly.Interval_set.t array;  (** allocated-state SOS per epoch *)
 }
 
-val run : ?isolation:bool -> Butterfly.Epochs.t -> report
+val run : ?isolation:bool -> ?domains:int -> Butterfly.Epochs.t -> report
 (** [isolation] (default [true]) enables the wing-summary isolation check.
     Disabling it is an ablation: local LSOS checks alone miss the
     metadata races of Figure 9 (allocation state changing concurrently
     with an access), reintroducing false negatives — the tests demonstrate
-    exactly which errors it loses. *)
+    exactly which errors it loses.
+
+    [domains] switches the underlying driver from the sequential batch
+    run to the pooled streaming scheduler with a {!Butterfly.Domain_pool}
+    of that many workers (capped at the hardware's recommended domain
+    count).  The report is identical in either mode — the drivers'
+    equivalence is property-tested. *)
 
 val flagged_addresses : report -> Butterfly.Interval_set.t
 val pp_error : Format.formatter -> error -> unit

@@ -19,6 +19,7 @@ module Problem = struct
 end
 
 module A = Butterfly.Dataflow.Make (Problem)
+module S = Butterfly.Scheduler.Make (Problem)
 
 type error = { id : Butterfly.Instr_id.t; addrs : IS.t }
 
@@ -34,7 +35,7 @@ let m_checks = Obs.Counter.make ~labels:obs_labels "lifeguard.checks"
 let m_flags = Obs.Counter.make ~labels:obs_labels "lifeguard.flags"
 let g_set_hwm = Obs.Gauge.make ~labels:obs_labels "lifeguard.sos_size_hwm"
 
-let run epochs =
+let run ?domains epochs =
   (* Materialize the check/flag counters so clean runs still report 0. *)
   Obs.Counter.add m_checks 0;
   Obs.Counter.add m_flags 0;
@@ -58,16 +59,25 @@ let run epochs =
         Obs.Counter.incr m_flags;
         errors := { id = v.id; addrs = bad } :: !errors)
   in
-  let result = A.run ~on_instr epochs in
+  let sos_levels =
+    match domains with
+    | None ->
+      let result = A.run ~on_instr epochs in
+      result.A.sos
+    | Some d ->
+      Butterfly.Domain_pool.with_pool ~name:"initcheck" ~domains:d (fun pool ->
+          let s = S.run_epochs ~pool ~on_instr epochs in
+          S.sos_history s)
+  in
   if Obs.enabled () then
     Array.iter
       (fun s -> Obs.Gauge.set_max g_set_hwm (float_of_int (IS.cardinal s)))
-      result.A.sos;
+      sos_levels;
   {
     errors = List.rev !errors;
     flagged_reads = !flagged;
     total_reads = !total;
-    sos = result.A.sos;
+    sos = sos_levels;
   }
 
 let flagged_addresses r =

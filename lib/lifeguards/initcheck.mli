@@ -25,7 +25,10 @@ type report = {
   sos : Butterfly.Interval_set.t array;  (** definitely-defined SOS per epoch *)
 }
 
-val run : Butterfly.Epochs.t -> report
+val run : ?domains:int -> Butterfly.Epochs.t -> report
+(** [domains] switches the driver from the sequential batch run to the
+    pooled streaming scheduler (see {!Addrcheck.run}); the report is
+    identical in either mode. *)
 
 val flagged_addresses : report -> Butterfly.Interval_set.t
 val pp_error : Format.formatter -> error -> unit

@@ -18,18 +18,23 @@ val addrcheck_zero_false_negatives :
   ?cap:int ->
   ?samples:int ->
   ?seed:int ->
+  ?domains:int ->
   Tracing.Program.t ->
   verdict
 (** Splits the program at its heartbeats, runs butterfly AddrCheck, and
     checks that every address flagged by sequential AddrCheck under any
     enumerated (or sampled, when enumeration exceeds [cap]) valid ordering
-    is also flagged. *)
+    is also flagged.  [domains] runs the butterfly side on the pooled
+    streaming scheduler instead of the batch driver (see
+    {!Addrcheck.run}), so the soundness theorem is checked against the
+    parallel deployment too. *)
 
 val initcheck_zero_false_negatives :
   ?model:Memmodel.Consistency.t ->
   ?cap:int ->
   ?samples:int ->
   ?seed:int ->
+  ?domains:int ->
   Tracing.Program.t ->
   verdict
 (** Same for InitCheck: every byte sequential InitCheck flags as read

@@ -237,6 +237,10 @@ module Sink = struct
 
   let memory () =
     let reg : (string * labels, cell) Hashtbl.t = Hashtbl.create 64 in
+    (* One lock per registry: instruments are hit from pool worker domains
+       (see {!Domain_pool}), and an unsynchronized Hashtbl can corrupt
+       under concurrent resize — not merely lose updates. *)
+    let lock = Mutex.create () in
     let cell name ls mk =
       let key = (name, ls) in
       match Hashtbl.find_opt reg key with
@@ -247,21 +251,25 @@ module Sink = struct
         c
     in
     let add name ls n =
-      match cell name ls (fun () -> Ccounter (ref 0)) with
-      | Ccounter r -> r := !r + n
-      | Cgauge _ | Chist _ -> ()
+      Mutex.protect lock (fun () ->
+          match cell name ls (fun () -> Ccounter (ref 0)) with
+          | Ccounter r -> r := !r + n
+          | Cgauge _ | Chist _ -> ())
     in
     let set name ls v =
-      match cell name ls (fun () -> Cgauge (ref v)) with
-      | Cgauge r -> r := v
-      | Ccounter _ | Chist _ -> ()
+      Mutex.protect lock (fun () ->
+          match cell name ls (fun () -> Cgauge (ref v)) with
+          | Cgauge r -> r := v
+          | Ccounter _ | Chist _ -> ())
     in
     let set_max name ls v =
-      match cell name ls (fun () -> Cgauge (ref v)) with
-      | Cgauge r -> if v > !r then r := v
-      | Ccounter _ | Chist _ -> ()
+      Mutex.protect lock (fun () ->
+          match cell name ls (fun () -> Cgauge (ref v)) with
+          | Cgauge r -> if v > !r then r := v
+          | Ccounter _ | Chist _ -> ())
     in
     let obs name ls v =
+      Mutex.protect lock (fun () ->
       match
         cell name ls (fun () ->
             Chist
@@ -281,9 +289,10 @@ module Sink = struct
         let b = bucket_of v in
         Hashtbl.replace h.hc_buckets b
           (1 + Option.value (Hashtbl.find_opt h.hc_buckets b) ~default:0)
-      | Ccounter _ | Cgauge _ -> ()
+      | Ccounter _ | Cgauge _ -> ())
     in
     let snapshot () =
+      Mutex.protect lock (fun () ->
       Hashtbl.fold
         (fun (name, labels) c acc ->
           let value =
@@ -308,7 +317,7 @@ module Sink = struct
           { Snapshot.name; labels; value } :: acc)
         reg []
       |> List.sort (fun (a : Snapshot.entry) b ->
-             compare (a.name, a.labels) (b.name, b.labels))
+             compare (a.name, a.labels) (b.name, b.labels)))
     in
     {
       h_add = add;
@@ -320,6 +329,7 @@ module Sink = struct
     }
 
   let jsonl ppf =
+    let lock = Mutex.create () in
     let emit kind name ls v =
       let j =
         Json.Obj
@@ -332,7 +342,8 @@ module Sink = struct
                ])
           @ [ ("v", v); ("t_ns", Json.Float (Int64.to_float (now_ns ()))) ])
       in
-      Format.fprintf ppf "%s@." (Json.to_string j)
+      Mutex.protect lock (fun () ->
+          Format.fprintf ppf "%s@." (Json.to_string j))
     in
     {
       h_add = (fun name ls n -> emit "add" name ls (Json.Int n));

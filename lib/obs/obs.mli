@@ -95,8 +95,9 @@ end
 
 val set_sink : Sink.t -> unit
 (** Install [s] globally.  Not thread-safe: install before spawning
-    domains (the instruments themselves are as thread-safe as their
-    sink — {!Sink.memory} tolerates racy increments losing updates). *)
+    domains.  The instruments themselves are domain-safe under
+    {!Sink.memory} and {!Sink.jsonl} (a per-registry mutex serializes
+    updates), so pool workers may emit concurrently. *)
 
 val sink : unit -> Sink.t
 val enabled : unit -> bool

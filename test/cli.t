@@ -1,0 +1,82 @@
+The CLI must keep machine-readable surfaces stable: scripts parse the
+--json reports, and CI diffs the metric registry by name.
+
+Generate a small deterministic trace to work on.
+
+  $ ../bin/butterfly_cli.exe generate ocean --threads 2 --scale 40 --seed 3 > t.trace
+
+AddrCheck emits a one-line JSON report.
+
+  $ ../bin/butterfly_cli.exe addrcheck t.trace -e 8 --json
+  {"lifeguard":"addrcheck","checked":8,"flagged":0,"errors":[]}
+
+The pooled streaming driver (--domains) must report exactly the same.
+
+  $ ../bin/butterfly_cli.exe addrcheck t.trace -e 8 --domains 2 --json
+  {"lifeguard":"addrcheck","checked":8,"flagged":0,"errors":[]}
+
+Same differential for InitCheck, byte-for-byte.
+
+  $ ../bin/butterfly_cli.exe initcheck t.trace -e 8 --json > seq.json
+  $ ../bin/butterfly_cli.exe initcheck t.trace -e 8 --domains 4 --json > pooled.json
+  $ cmp seq.json pooled.json
+
+--stats=json appends a registry snapshot after the normal output.  The
+metric values are timings, so only the (already sorted) name stream is
+pinned here.
+
+  $ ../bin/butterfly_cli.exe addrcheck t.trace -e 8 --stats=json | tail -1 \
+  >   | tr ',' '\n' | grep -o '"name":"[^"]*"' | sort -u
+  "name":"butterfly.epochs_processed"
+  "name":"butterfly.lsos.ns"
+  "name":"butterfly.pass1_summarize.ns"
+  "name":"butterfly.pass2_block.ns"
+  "name":"butterfly.pass2_instrs"
+  "name":"butterfly.side_in_meet.ns"
+  "name":"lifeguard.checks"
+  "name":"lifeguard.flags"
+  "name":"lifeguard.isolation.ns"
+  "name":"lifeguard.sos_size_hwm"
+  "name":"scheduler.blocks_closed"
+  "name":"scheduler.window_occupancy"
+  "name":"scheduler.window_occupancy_hwm"
+
+The stats subcommand prints the full registry, including the streaming
+window replay.
+
+  $ ../bin/butterfly_cli.exe stats t.trace -e 8 --lifeguard initcheck --json \
+  >   | tr ',' '\n' | grep -o '"name":"[^"]*"' | sort -u
+  "name":"butterfly.epochs_processed"
+  "name":"butterfly.lsos.ns"
+  "name":"butterfly.pass1_summarize.ns"
+  "name":"butterfly.pass2_block.ns"
+  "name":"butterfly.pass2_instrs"
+  "name":"butterfly.side_in_meet.ns"
+  "name":"lifeguard.checks"
+  "name":"lifeguard.flags"
+  "name":"lifeguard.sos_size_hwm"
+  "name":"scheduler.blocks_closed"
+  "name":"scheduler.window_occupancy"
+  "name":"scheduler.window_occupancy_hwm"
+
+Under --domains the same run also carries the domain-pool telemetry.
+
+  $ ../bin/butterfly_cli.exe stats t.trace -e 8 --domains 2 --json \
+  >   | tr ',' '\n' | grep -o '"name":"[^"]*"' | sort -u
+  "name":"butterfly.epochs_processed"
+  "name":"butterfly.lsos.ns"
+  "name":"butterfly.pass1_summarize.ns"
+  "name":"butterfly.pass2_block.ns"
+  "name":"butterfly.pass2_instrs"
+  "name":"butterfly.side_in_meet.ns"
+  "name":"lifeguard.checks"
+  "name":"lifeguard.flags"
+  "name":"lifeguard.isolation.ns"
+  "name":"lifeguard.sos_size_hwm"
+  "name":"pool.queue_depth"
+  "name":"pool.size"
+  "name":"pool.task.ns"
+  "name":"pool.utilization"
+  "name":"scheduler.blocks_closed"
+  "name":"scheduler.window_occupancy"
+  "name":"scheduler.window_occupancy_hwm"

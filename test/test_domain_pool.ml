@@ -1,0 +1,110 @@
+(* Domain pool: the bounded worker pool both parallel drivers run on.
+   The contract under test: results come back in submission order no
+   matter which worker ran what, exceptions surface at [await], submit
+   blocks (rather than drops) when a queue fills, and pool width never
+   exceeds the hardware's recommended domain count. *)
+
+module Pool = Butterfly.Domain_pool
+
+let with_pool ?queue_capacity ~domains f =
+  Pool.with_pool ?queue_capacity ~name:"test" ~domains f
+
+let map_array_order =
+  Alcotest.test_case "map_array preserves index order" `Quick (fun () ->
+      with_pool ~domains:4 (fun pool ->
+          let input = Array.init 257 (fun i -> i) in
+          let out = Pool.map_array pool (fun i -> i * i) input in
+          Alcotest.(check (array int))
+            "squares in order"
+            (Array.map (fun i -> i * i) input)
+            out))
+
+let map_array_deterministic =
+  Alcotest.test_case "map_array is deterministic under timing jitter" `Quick
+    (fun () ->
+      (* Jittered task durations shuffle completion order; collection
+         order must not move with it. *)
+      let run () =
+        with_pool ~domains:3 (fun pool ->
+            Pool.map_array pool
+              (fun i ->
+                if i land 3 = 0 then Unix.sleepf 0.0005;
+                i * 2)
+              (Array.init 64 (fun i -> i)))
+      in
+      Alcotest.(check (array int)) "same output" (run ()) (run ()))
+
+let map_array_empty =
+  Alcotest.test_case "map_array on the empty array" `Quick (fun () ->
+      with_pool ~domains:2 (fun pool ->
+          Alcotest.(check (array int))
+            "empty" [||]
+            (Pool.map_array pool (fun i -> i) [||])))
+
+exception Boom of int
+
+let exception_propagation =
+  Alcotest.test_case "task exceptions surface at await" `Quick (fun () ->
+      with_pool ~domains:2 (fun pool ->
+          let ok = Pool.async pool (fun () -> 41 + 1) in
+          let bad = Pool.async pool (fun () -> raise (Boom 7)) in
+          Alcotest.(check int) "healthy future" 42 (Pool.await ok);
+          (match Pool.await bad with
+          | exception Boom 7 -> ()
+          | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+          | _ -> Alcotest.fail "expected Boom");
+          (* The pool survives a failed task. *)
+          Alcotest.(check int) "still alive" 7
+            (Pool.await (Pool.async pool (fun () -> 7)))))
+
+let backpressure =
+  Alcotest.test_case "submit blocks on a full queue, nothing is lost" `Quick
+    (fun () ->
+      (* Capacity 1 and slow tasks force every enqueue after the first
+         into the backpressure path; all results must still arrive. *)
+      with_pool ~queue_capacity:1 ~domains:2 (fun pool ->
+          let n = 50 in
+          let hits = Atomic.make 0 in
+          let out =
+            Pool.map_array pool
+              (fun i ->
+                if i land 7 = 0 then Unix.sleepf 0.001;
+                Atomic.incr hits;
+                i)
+              (Array.init n (fun i -> i))
+          in
+          Alcotest.(check int) "all tasks ran" n (Atomic.get hits);
+          Alcotest.(check (array int)) "in order" (Array.init n (fun i -> i)) out))
+
+let size_capped =
+  Alcotest.test_case "pool size is capped at max_domains" `Quick (fun () ->
+      let cap = Pool.max_domains () in
+      Alcotest.(check bool) "cap is positive" true (cap >= 1);
+      with_pool ~domains:512 (fun pool ->
+          Alcotest.(check bool)
+            "512 requested, capped" true
+            (Pool.size pool <= cap));
+      match with_pool ~domains:0 (fun _ -> ()) with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "expected Invalid_argument for 0 domains")
+
+let shutdown_idempotent =
+  Alcotest.test_case "shutdown is idempotent; submit after raises" `Quick
+    (fun () ->
+      let pool = Pool.create ~name:"test" ~domains:2 () in
+      Alcotest.(check int) "works" 3 (Pool.await (Pool.async pool (fun () -> 3)));
+      Pool.shutdown pool;
+      Pool.shutdown pool;
+      match Pool.async pool (fun () -> 0) with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument after shutdown")
+
+let () =
+  Alcotest.run "domain_pool"
+    [
+      ( "pool",
+        [
+          map_array_order; map_array_deterministic; map_array_empty;
+          exception_propagation; backpressure; size_capped; shutdown_idempotent;
+        ] );
+    ]

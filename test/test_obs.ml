@@ -186,7 +186,7 @@ let window_accounting =
       let sink = Obs.Sink.memory () in
       let s =
         Obs.with_sink sink (fun () ->
-            let s = Sched.create ~threads:3 ~on_instr:(fun _ -> ()) in
+            let s = Sched.create ~threads:3 ~on_instr:(fun _ -> ()) () in
             (* Round-robin feed: threads advance together. *)
             let evs =
               Array.init 3 (fun tid ->

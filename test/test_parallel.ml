@@ -64,13 +64,28 @@ let () =
             arb_program rd_equiv;
           Testutil.qtest ~count:60 "domains == batch (reaching expressions)"
             arb_program re_equiv;
-          Alcotest.test_case "uses one domain per thread" `Quick (fun () ->
+          Alcotest.test_case "domain count is capped at the core count" `Quick
+            (fun () ->
+              (* 64 application threads must NOT spawn 64 domains: the pool
+                 clamps to the hardware's recommended domain count. *)
               let p =
                 Tracing.Program.of_instrs
-                  [ [ Tracing.Instr.Nop ]; [ Tracing.Instr.Nop ];
-                    [ Tracing.Instr.Nop ] ]
+                  (List.init 64 (fun _ -> [ Tracing.Instr.Nop ]))
               in
               ignore (Par_rd.run (Butterfly.Epochs.of_program p));
-              Alcotest.(check int) "domains" 3 (Par_rd.checks_in_parallel ()));
+              Alcotest.(check int)
+                "domains"
+                (min 64 (Butterfly.Domain_pool.max_domains ()))
+                (Par_rd.checks_in_parallel ()));
+          Alcotest.test_case "explicit ~domains request is also capped" `Quick
+            (fun () ->
+              let p =
+                Tracing.Program.of_instrs
+                  [ [ Tracing.Instr.Nop ]; [ Tracing.Instr.Nop ] ]
+              in
+              ignore (Par_rd.run ~domains:128 (Butterfly.Epochs.of_program p));
+              Testutil.checkb "capped" true
+                (Par_rd.checks_in_parallel ()
+                <= Butterfly.Domain_pool.max_domains ()));
         ] );
     ]

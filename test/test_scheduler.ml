@@ -47,7 +47,7 @@ let batch_views_rd program =
 let stream_views_rd order program =
   let acc = ref [] in
   let threads = Tracing.Program.threads program in
-  let s = Sched_rd.create ~threads ~on_instr:(fun v -> acc := key_rd v :: !acc) in
+  let s = Sched_rd.create ~threads ~on_instr:(fun v -> acc := key_rd v :: !acc) () in
   (match order with
   | `Sequential ->
     for tid = 0 to threads - 1 do
@@ -134,7 +134,7 @@ let re_equivalence =
       let acc_s = ref [] in
       let threads = Tracing.Program.threads p in
       let s =
-        Sched_re.create ~threads ~on_instr:(fun v -> acc_s := key_re v :: !acc_s)
+        Sched_re.create ~threads ~on_instr:(fun v -> acc_s := key_re v :: !acc_s) ()
       in
       for tid = 0 to threads - 1 do
         Sched_re.feed_trace s tid (Tracing.Program.trace p tid)
@@ -149,7 +149,7 @@ let bounded_window =
         Tracing.Program.of_instrs [ instrs; instrs ]
         |> Tracing.Program.with_heartbeats ~every:10
       in
-      let s = Sched_rd.create ~threads:2 ~on_instr:(fun _ -> ()) in
+      let s = Sched_rd.create ~threads:2 ~on_instr:(fun _ -> ()) () in
       (* Round-robin so both threads advance together. *)
       let e0 = Tracing.Trace.events (Tracing.Program.trace p 0) in
       let e1 = Tracing.Trace.events (Tracing.Program.trace p 1) in
@@ -166,7 +166,7 @@ let bounded_window =
 
 let misuse =
   Alcotest.test_case "feed after finish raises" `Quick (fun () ->
-      let s = Sched_rd.create ~threads:1 ~on_instr:(fun _ -> ()) in
+      let s = Sched_rd.create ~threads:1 ~on_instr:(fun _ -> ()) () in
       Sched_rd.feed s 0 (Tracing.Event.Instr Tracing.Instr.Nop);
       Sched_rd.finish s;
       (match Sched_rd.feed s 0 Tracing.Event.Heartbeat with
@@ -178,7 +178,7 @@ let misuse =
 let lagging_thread =
   Alcotest.test_case "a lagging thread stalls pass 2 but not pass 1" `Quick
     (fun () ->
-      let s = Sched_rd.create ~threads:2 ~on_instr:(fun _ -> ()) in
+      let s = Sched_rd.create ~threads:2 ~on_instr:(fun _ -> ()) () in
       (* Thread 0 races ahead by many epochs; nothing can be processed
          because thread 1's blocks are missing. *)
       for _ = 1 to 10 do
@@ -193,9 +193,71 @@ let lagging_thread =
       done;
       Testutil.checkb "processing resumed" true (Sched_rd.epochs_completed s >= 8))
 
+(* --- Pooled streaming battery (the tentpole differential test). ---
+
+   The pooled scheduler must deliver byte-identical view sequences and
+   the same SOS history as the batch driver, for a May problem (reaching
+   definitions) and a Must problem (reaching expressions), at every pool
+   width — over ragged grids with empty blocks and threads that quit
+   early. *)
+
+let arb_uneven_grid =
+  Testutil.arb_grid ~n_addrs:3 ~max_threads:4 ~max_epochs:4 ~max_block:3
+    ~uneven:true ()
+
+let pooled_equiv_rd domains g =
+  let epochs = Testutil.epochs_of_grid g in
+  let batch = ref [] in
+  let br = RD.run ~on_instr:(fun v -> batch := key_rd v :: !batch) epochs in
+  let stream = ref [] in
+  let hist =
+    Butterfly.Domain_pool.with_pool ~name:"test-rd" ~domains (fun pool ->
+        let s =
+          Sched_rd.run_epochs ~pool
+            ~on_instr:(fun v -> stream := key_rd v :: !stream)
+            epochs
+        in
+        Sched_rd.sos_history s)
+  in
+  !batch = !stream
+  && Array.length hist = Array.length br.sos
+  && Array.for_all2 Butterfly.Def_set.equal br.sos hist
+
+let pooled_equiv_re domains g =
+  let epochs = Testutil.epochs_of_grid g in
+  let batch = ref [] in
+  let br = RE.run ~on_instr:(fun v -> batch := key_re v :: !batch) epochs in
+  let stream = ref [] in
+  let hist =
+    Butterfly.Domain_pool.with_pool ~name:"test-re" ~domains (fun pool ->
+        let s =
+          Sched_re.run_epochs ~pool
+            ~on_instr:(fun v -> stream := key_re v :: !stream)
+            epochs
+        in
+        Sched_re.sos_history s)
+  in
+  !batch = !stream
+  && Array.length hist = Array.length br.sos
+  && Array.for_all2 Butterfly.Expr_set.equal br.sos hist
+
+let pooled_tests =
+  List.concat_map
+    (fun domains ->
+      [
+        Testutil.qtest ~count:180
+          (Printf.sprintf "pooled == batch (May/RD, %d domains)" domains)
+          arb_uneven_grid (pooled_equiv_rd domains);
+        Testutil.qtest ~count:170
+          (Printf.sprintf "pooled == batch (Must/RE, %d domains)" domains)
+          arb_uneven_grid (pooled_equiv_re domains);
+      ])
+    [ 1; 2; 8 ]
+
 let () =
   Alcotest.run "scheduler"
     [
       ("equivalence", (re_equivalence :: equivalence_tests));
+      ("pooled", pooled_tests);
       ("streaming", [ bounded_window; misuse; lagging_thread ]);
     ]

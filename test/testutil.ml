@@ -1,7 +1,44 @@
 (* Shared helpers for the test suites. *)
 
+(* One seed drives every property in a test binary.  CI pins it with
+   QCHECK_SEED for reproducible runs; otherwise a fresh seed is drawn,
+   and the first failing property prints the env line that replays the
+   whole run. *)
+let qcheck_seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None -> invalid_arg "QCHECK_SEED must be an integer")
+  | None ->
+    Random.self_init ();
+    Random.bits ()
+
+let seed_reported = ref false
+
+let report_seed_once () =
+  if not !seed_reported then begin
+    seed_reported := true;
+    Printf.eprintf "\n[testutil] reproduce with: QCHECK_SEED=%d dune runtest\n%!"
+      qcheck_seed
+  end
+
 let qtest ?(count = 200) name arb prop =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+  (* The wrapper fires before shrinking starts, so the seed is printed
+     even if a later shrink candidate diverges (e.g. raises). *)
+  let prop x =
+    match prop x with
+    | true -> true
+    | false ->
+      report_seed_once ();
+      false
+    | exception e ->
+      report_seed_once ();
+      raise e
+  in
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| qcheck_seed |])
+    (QCheck.Test.make ~name ~count arb prop)
 
 let check = Alcotest.check
 let checkb name expected actual = Alcotest.check Alcotest.bool name expected actual
@@ -93,15 +130,35 @@ let gen_df_instr ~n_addrs : Tracing.Instr.t QCheck.Gen.t =
     ]
 
 let gen_grid ?(n_addrs = 3) ?(max_threads = 3) ?(max_epochs = 3)
-    ?(max_block = 2) () : grid QCheck.Gen.t =
+    ?(max_block = 2) ?(uneven = false) () : grid QCheck.Gen.t =
   let open QCheck.Gen in
   let* threads = int_range 2 max_threads in
   let* epochs = int_range 1 max_epochs in
-  let block = list_size (int_bound max_block) (gen_df_instr ~n_addrs) in
-  let thread = list_repeat epochs (map Array.of_list block) in
+  let block =
+    if uneven then
+      (* Bias towards empty blocks: threads that heartbeat without
+         executing anything stress the padding paths. *)
+      frequency
+        [
+          (1, return [||]);
+          ( 4,
+            map Array.of_list
+              (list_size (int_bound max_block) (gen_df_instr ~n_addrs)) );
+        ]
+    else map Array.of_list (list_size (int_bound max_block) (gen_df_instr ~n_addrs))
+  in
+  let thread =
+    if uneven then
+      (* Ragged grids: threads disagree on how many epochs they saw,
+         including threads with no blocks at all.  [Epochs.of_blocks]
+         pads the missing tail with empty blocks. *)
+      let* mine = int_range 0 epochs in
+      list_repeat mine block
+    else list_repeat epochs block
+  in
   map Array.of_list (list_repeat threads thread)
 
-let arb_grid ?n_addrs ?max_threads ?max_epochs ?max_block () =
+let arb_grid ?n_addrs ?max_threads ?max_epochs ?max_block ?uneven () =
   let print (g : grid) =
     let buf = Buffer.create 256 in
     Array.iteri
@@ -121,4 +178,5 @@ let arb_grid ?n_addrs ?max_threads ?max_epochs ?max_block () =
       g;
     Buffer.contents buf
   in
-  QCheck.make ~print (gen_grid ?n_addrs ?max_threads ?max_epochs ?max_block ())
+  QCheck.make ~print
+    (gen_grid ?n_addrs ?max_threads ?max_epochs ?max_block ?uneven ())
