@@ -181,6 +181,44 @@ let streaming_tests pools =
              (Staged.stage (fun () -> streaming_run ~pool ())))
          pools)
 
+(* TaintCheck drivers: none of the registry workloads emit taint traffic
+   (only the tiny exploit scenarios do), so the sequential-vs-pooled
+   comparison runs over a hand-built fixture — a deterministic mix of
+   sources, sanitizers, inheritance chains and sinks over a small shared
+   address space, big enough per epoch for fan-out to matter. *)
+let taint_program ~threads ~scale ~h =
+  let instrs t =
+    List.init scale (fun k ->
+        let a = ((k * 7) + (t * 13)) mod 24 and b = ((k * 5) + 3) mod 24 in
+        match k mod 12 with
+        | 0 -> Tracing.Instr.Taint_source a
+        | 1 | 2 | 3 -> Tracing.Instr.Assign_unop (b, a)
+        | 4 -> Tracing.Instr.Assign_binop (a, b, (k + 9) mod 24)
+        | 5 -> Tracing.Instr.Untaint b
+        | 6 -> Tracing.Instr.Syscall_arg a
+        | 7 -> Tracing.Instr.Jump_via b
+        | 8 -> Tracing.Instr.Assign_const a
+        | 9 | 10 -> Tracing.Instr.Read a
+        | _ -> Tracing.Instr.Nop)
+  in
+  Tracing.Program.of_instrs (List.init threads instrs)
+  |> Machine.Heartbeat.insert ~every:h
+
+let taint_epochs =
+  Butterfly.Epochs.of_program (taint_program ~threads:4 ~scale:1000 ~h:64)
+
+let taint_run ?pool () = ignore (Lifeguards.Taintcheck.run ?pool taint_epochs)
+
+let taint_tests pools =
+  Test.make_grouped ~name:"taint"
+    (Test.make ~name:"sequential" (Staged.stage (fun () -> taint_run ()))
+    :: List.map
+         (fun (d, pool) ->
+           Test.make
+             ~name:(Printf.sprintf "pooled-%d" d)
+             (Staged.stage (fun () -> taint_run ~pool ())))
+         pools)
+
 (* Figure 13: precision machinery — the checks that classify events. *)
 let figure13_tests =
   Test.make_grouped ~name:"figure13.precision"
@@ -264,6 +302,7 @@ let print_json measurements =
 let () =
   let json = Array.exists (( = ) "--json") Sys.argv in
   let streaming_only = Array.exists (( = ) "--streaming-only") Sys.argv in
+  let taint_only = Array.exists (( = ) "--taint-only") Sys.argv in
   let pools =
     List.map
       (fun d ->
@@ -279,10 +318,11 @@ let () =
     (fun () ->
       let groups =
         if streaming_only then [ streaming_tests pools ]
+        else if taint_only then [ taint_tests pools ]
         else
           [
             core_tests; table1_tests; figure11_tests; figure12_tests;
-            figure13_tests; streaming_tests pools;
+            figure13_tests; streaming_tests pools; taint_tests pools;
           ]
       in
       if json then print_json (measure_benchmarks groups)
@@ -290,7 +330,7 @@ let () =
         print_endline
           "=== Bechamel micro-benchmarks (one group per artifact) ===";
         print_text (measure_benchmarks groups);
-        if not streaming_only then begin
+        if not (streaming_only || taint_only) then begin
           print_endline "";
           print_endline "=== Regenerated paper artifacts ===";
           print_endline "";

@@ -207,8 +207,18 @@ let h_arg =
        ~doc:"Re-heartbeat the trace with this epoch size (0 keeps existing \
              heartbeats).")
 
+(* [--domains 0] (or a negative count) is a usage error, caught at parse
+   time rather than as an [Invalid_argument] escaping from pool creation. *)
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ | None -> Error (`Msg "expected a positive integer")
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let domains_arg =
-  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+  Arg.(value & opt (some positive_int) None & info [ "domains" ] ~docv:"N"
        ~doc:"Run the lifeguard on the pooled streaming scheduler with $(docv) \
              worker domains (capped at the hardware's recommended domain \
              count) instead of the sequential batch driver.  The output is \
@@ -282,11 +292,11 @@ let initcheck_cmd =
     Term.(const run $ trace_arg $ h_arg $ domains_arg $ json_arg $ stats_arg)
 
 let taintcheck_cmd =
-  let run path h relaxed json stats =
+  let run path h relaxed domains json stats =
     with_stats stats (fun () ->
         let p = load_program path h in
         let r =
-          Lifeguards.Taintcheck.run ~sequential:(not relaxed)
+          Lifeguards.Taintcheck.run ~sequential:(not relaxed) ?domains
             (Butterfly.Epochs.of_program p)
         in
         if stats <> None then replay_window_metrics p;
@@ -318,7 +328,8 @@ let taintcheck_cmd =
          ~doc:"Use the relaxed-consistency termination condition.")
   in
   Cmd.v (Cmd.info "taintcheck" ~doc:"Run butterfly TaintCheck on a trace file")
-    Term.(const run $ trace_arg $ h_arg $ relaxed_arg $ json_arg $ stats_arg)
+    Term.(const run $ trace_arg $ h_arg $ relaxed_arg $ domains_arg $ json_arg
+          $ stats_arg)
 
 let stats_cmd =
   let run path h domains lifeguard json =
@@ -329,7 +340,7 @@ let stats_cmd =
         (match lifeguard with
         | `Addrcheck -> ignore (Lifeguards.Addrcheck.run ?domains epochs)
         | `Initcheck -> ignore (Lifeguards.Initcheck.run ?domains epochs)
-        | `Taintcheck -> ignore (Lifeguards.Taintcheck.run epochs));
+        | `Taintcheck -> ignore (Lifeguards.Taintcheck.run ?domains epochs));
         replay_window_metrics p);
     print_snapshot (if json then `Json else `Text) (Obs.Sink.snapshot sink)
   in

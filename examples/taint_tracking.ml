@@ -51,4 +51,18 @@ let () =
       Format.printf "  %-18s SC flags %d sink(s), relaxed flags %d@." s.name
         (List.length sc) (List.length rx);
       assert (List.for_all (fun x -> List.mem x rx) sc))
-    (Workloads.Exploit.all ())
+    (Workloads.Exploit.all ());
+  (* The pooled driver is a drop-in: same scenarios, two worker domains,
+     identical reports. *)
+  Format.printf "=== pooled (2 domains) vs sequential driver ===@.";
+  Butterfly.Domain_pool.with_pool ~name:"example" ~domains:2 (fun pool ->
+      List.iter
+        (fun (s : Workloads.Exploit.scenario) ->
+          let epochs = Butterfly.Epochs.of_program s.program in
+          let seq = Lifeguards.Taintcheck.run epochs in
+          let pooled = Lifeguards.Taintcheck.run ~pool epochs in
+          Format.printf "  %-18s %d error(s), pooled report %s@." s.name
+            (List.length seq.errors)
+            (if seq = pooled then "identical" else "DIVERGED!");
+          assert (seq = pooled))
+        (Workloads.Exploit.all ()))

@@ -281,3 +281,56 @@ module Make (P : Dataflow.PROBLEM) = struct
     finish t;
     t
 end
+
+(* ------------------------------------------------------------------ *)
+
+module Epochwise = struct
+  (* Batch counterpart of the pooled streaming mode above, for analyses
+     that do not fit [Dataflow.PROBLEM] (TaintCheck's transfer-function
+     chase reads the whole window, not a meet-of-summaries).  The shape is
+     the same: per-block tasks are pure, the master is the single writer
+     of cross-block state, and the epoch barrier is what makes the
+     serialization order (epoch-major / thread-minor) deterministic. *)
+
+  let obs_labels = [ ("driver", "epochwise") ]
+  let m_barriers = Obs.Counter.make ~labels:obs_labels "scheduler.epoch_barriers"
+  let sp_fanout = Obs.Span.make ~labels:obs_labels "scheduler.epoch_fanout.ns"
+
+  let map_grid ?pool ~num_epochs ~threads f =
+    if num_epochs < 0 then invalid_arg "Epochwise.map_grid: negative num_epochs";
+    if threads <= 0 then invalid_arg "Epochwise.map_grid: threads must be > 0";
+    match pool with
+    | None ->
+      Array.init num_epochs (fun epoch ->
+          Array.init threads (fun tid -> f ~epoch ~tid))
+    | Some pool ->
+      (* One flat fan-out over the whole grid: every cell is independent,
+         and [Domain_pool.map_array] keeps results positional. *)
+      let flat =
+        Domain_pool.map_array pool
+          (fun k -> f ~epoch:(k / threads) ~tid:(k mod threads))
+          (Array.init (num_epochs * threads) Fun.id)
+      in
+      Array.init num_epochs (fun epoch ->
+          Array.init threads (fun tid -> flat.((epoch * threads) + tid)))
+
+  let run ?pool ~num_epochs ~threads ~prepare ~task ~commit () =
+    if threads <= 0 then invalid_arg "Epochwise.run: threads must be > 0";
+    for epoch = 0 to num_epochs - 1 do
+      prepare epoch;
+      match pool with
+      | None ->
+        for tid = 0 to threads - 1 do
+          commit ~epoch ~tid (task ~epoch ~tid)
+        done
+      | Some pool ->
+        let results =
+          Obs.Span.time sp_fanout (fun () ->
+              Domain_pool.map_array pool
+                (fun tid -> task ~epoch ~tid)
+                (Array.init threads Fun.id))
+        in
+        Obs.Counter.incr m_barriers;
+        Array.iteri (fun tid r -> commit ~epoch ~tid r) results
+    done
+end

@@ -77,3 +77,53 @@ module Make (P : Dataflow.PROBLEM) : sig
   val max_resident_epochs : t -> int
   (** High-water mark of epochs simultaneously buffered. *)
 end
+
+(** Epoch-barrier fan-out for analyses outside {!Dataflow.PROBLEM}.
+
+    {!Make}'s pooled mode covers lifeguards expressible as summaries plus
+    a meet; TaintCheck's window-wide transfer-function chase is not, but
+    it has the same parallel structure: per-block work is pure once its
+    inputs are frozen, and cross-block state has a single writer.  This
+    driver factors that structure out of the lifeguard:
+
+    {ul
+    {- {!Epochwise.map_grid} fans a pure per-block function over the whole
+       grid at once (TaintCheck pass 1: block summarization);}
+    {- {!Epochwise.run} walks epochs in order; per epoch the master runs
+       [prepare], the per-thread [task]s run (on the pool when given,
+       otherwise inline) and block at an epoch barrier, and the master
+       then [commit]s the results in thread order.  Because tasks may only
+       read state committed before the barrier opened, the pooled
+       schedule is observationally identical to the sequential loop.}}
+
+    Telemetry (pooled path only, so sequential runs report identical
+    metric sets to before): [scheduler.epoch_barriers] and
+    [scheduler.epoch_fanout.ns] under [driver=epochwise]. *)
+module Epochwise : sig
+  val map_grid :
+    ?pool:Domain_pool.t ->
+    num_epochs:int ->
+    threads:int ->
+    (epoch:int -> tid:int -> 'a) ->
+    'a array array
+  (** [map_grid ?pool ~num_epochs ~threads f] is the [num_epochs ×
+      threads] grid of [f ~epoch ~tid], indexed [.(epoch).(tid)].  [f]
+      must be pure up to thread-safety: with a pool, calls run
+      concurrently in unspecified order.  Raises [Invalid_argument] if
+      [threads <= 0] or [num_epochs < 0]. *)
+
+  val run :
+    ?pool:Domain_pool.t ->
+    num_epochs:int ->
+    threads:int ->
+    prepare:(int -> unit) ->
+    task:(epoch:int -> tid:int -> 'r) ->
+    commit:(epoch:int -> tid:int -> 'r -> unit) ->
+    unit ->
+    unit
+  (** For each epoch [l] in order: [prepare l] (master), then
+      [task ~epoch:l ~tid] for every thread (pool workers when [pool] is
+      given — they must not write shared state), then, after all of epoch
+      [l]'s tasks return, [commit ~epoch:l ~tid r] in increasing [tid]
+      order (master).  Raises [Invalid_argument] if [threads <= 0]. *)
+end

@@ -75,11 +75,12 @@ let initcheck_zero_false_negatives ?model ?cap ?samples ?seed ?domains p =
   }
 
 let taintcheck_zero_false_negatives ?model ?cap ?samples ?seed
-    ?(sequential = true) ?(two_phase = true) p =
+    ?(sequential = true) ?(two_phase = true) ?domains p =
   let grid = grid_of_program p in
   let vo, os, exhaustive = orderings_of ?model ?cap ?samples ?seed grid in
   let report =
-    Taintcheck.run ~sequential ~two_phase (Butterfly.Epochs.of_blocks grid)
+    Taintcheck.run ~sequential ~two_phase ?domains
+      (Butterfly.Epochs.of_blocks grid)
   in
   let butterfly_sinks = Taintcheck.flagged_sinks report in
   let missed = ref [] in

@@ -47,9 +47,12 @@ val taintcheck_zero_false_negatives :
   ?seed:int ->
   ?sequential:bool ->
   ?two_phase:bool ->
+  ?domains:int ->
   Tracing.Program.t ->
   verdict
 (** Same for TaintCheck: every sink location flagged sequentially under any
     valid ordering must be flagged by butterfly TaintCheck.  When checking
     a relaxed [model], pass [~sequential:false] so the checker uses the
-    relaxed termination condition. *)
+    relaxed termination condition.  [domains] runs the butterfly side on a
+    domain pool (see {!Taintcheck.run}), checking the theorem against the
+    parallel deployment. *)

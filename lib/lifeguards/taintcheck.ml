@@ -63,22 +63,43 @@ let m_checks = Obs.Counter.make ~labels:obs_labels "lifeguard.checks"
 let m_flags = Obs.Counter.make ~labels:obs_labels "lifeguard.flags"
 let g_set_hwm = Obs.Gauge.make ~labels:obs_labels "lifeguard.sos_size_hwm"
 
+(* Checks phase 1 could not prove tainted, forcing the phase-2 chase of
+   Lemma 6.3 — the contended path a coarser phase split would serialize. *)
+let m_phase2 = Obs.Counter.make ~labels:obs_labels "lifeguard.phase2_rechecks"
+
 (* Taintcheck does not ride on [Dataflow.Make], so it emits the pipeline
    counters itself to keep [--stats] reports uniform across lifeguards. *)
 let pipe_labels = [ ("problem", "taintcheck"); ("driver", "batch") ]
 let m_epochs = Obs.Counter.make ~labels:pipe_labels "butterfly.epochs_processed"
 let m_instrs = Obs.Counter.make ~labels:pipe_labels "butterfly.pass2_instrs"
 
-let run ?(sequential = true) ?(two_phase = true) epochs =
+(* Everything pass 2 learns about one body block, produced without touching
+   shared state.  Evaluating block (l,t) reads only inputs frozen before
+   epoch l's barrier opens — the pass-1 transfer functions of the whole
+   grid, LASTCHECK results of epochs <= l-1, and SOS_l — so it can run on a
+   pool worker.  The master commits outcomes epoch-major / thread-minor,
+   which reproduces the sequential error list, LASTCHECK tables, statistics
+   and telemetry byte for byte. *)
+type block_outcome = {
+  bo_errors : error list;  (* in instruction order *)
+  bo_lastcheck : (int, bool) Hashtbl.t;
+  bo_stats : block_stats;
+  bo_lsos_card : int;
+  bo_phase2 : int;
+}
+
+let run_with ~sequential ~two_phase ~pool epochs =
   (* Materialize the check/flag counters so clean runs still report 0. *)
   Obs.Counter.add m_checks 0;
   Obs.Counter.add m_flags 0;
   let num_l = Butterfly.Epochs.num_epochs epochs in
   let threads = Butterfly.Epochs.threads epochs in
+  (* Pass 1 is per-block-local, so the pooled mode fans the whole grid out
+     up front; pass 2 below then sees every wing already summarized. *)
   let tfs =
-    Array.init num_l (fun l ->
-        Array.init threads (fun tid ->
-            summarize_block (Butterfly.Epochs.block epochs ~epoch:l ~tid)))
+    Butterfly.Scheduler.Epochwise.map_grid ?pool ~num_epochs:num_l ~threads
+      (fun ~epoch ~tid ->
+        summarize_block (Butterfly.Epochs.block epochs ~epoch ~tid))
   in
   let tfs_for ~scope ~exclude_tid a =
     List.concat_map
@@ -94,7 +115,8 @@ let run ?(sequential = true) ?(two_phase = true) epochs =
       scope
   in
   (* LASTCHECK results: lastcheck.(l).(t) maps assigned locations to their
-     final resolved taint in block (l,t). *)
+     final resolved taint in block (l,t).  Row l is written only by the
+     master's epoch-l commits; workers evaluating epoch l read rows <= l-1. *)
   let lastcheck =
     Array.init num_l (fun _ -> Array.init threads (fun _ -> Hashtbl.create 16))
   in
@@ -148,146 +170,168 @@ let run ?(sequential = true) ?(two_phase = true) epochs =
     done;
     !acc
   in
+  let advance_sos l =
+    if l >= 2 then
+      sos.(l) <- AS.union (epoch_gen (l - 2)) (AS.diff sos.(l - 1) (epoch_kill (l - 2)))
+  in
+  let eval_block ~epoch:l ~tid =
+    let block = Butterfly.Epochs.block epochs ~epoch:l ~tid in
+    (* LSOS via the May rule, with the resurrection clause. *)
+    let head_gen = gen_block (l - 1) tid and head_kill = kill_block (l - 1) tid in
+    let others_gen_l2 =
+      let acc = ref AS.empty in
+      for t' = 0 to threads - 1 do
+        if t' <> tid then acc := AS.union !acc (gen_block (l - 2) t')
+      done;
+      !acc
+    in
+    let lsos =
+      AS.union head_gen
+        (AS.union
+           (AS.diff sos.(l) head_kill)
+           (AS.inter (AS.inter sos.(l) head_kill) others_gen_l2))
+    in
+    let local : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+    (* A chain's base taint sources: something our block already resolved
+       as tainted (the wing read may interleave after our write), or the
+       strongly-ordered past.  A local untaint does NOT mask the LSOS for
+       wing chains: the wing may read the location before our untaint. *)
+    let base_tainted a =
+      Hashtbl.find_opt local a = Some true || AS.mem a lsos
+    in
+    (* Under sequential consistency a wing chain only uses other threads'
+       transfer functions (the own thread's effects flow through LSOS and
+       [local]); under relaxed models the own thread's independent writes
+       may become visible out of program order (Figure 2), so its
+       transfer functions join the chase and only the per-location
+       termination rules bound it. *)
+    let exclude_tid = if sequential then Some tid else None in
+    (* Two-phase resolution (Lemma 6.3): phase 1 chases transfer
+       functions of epochs l-1 and l; phase 2 of epochs l and l+1, where
+       a parent already proven tainted by phase 1 stays tainted.  Both
+       phases run here, on the worker: phase 2 reads the same frozen
+       inputs as phase 1, and its verdicts feed [local] (hence later
+       instructions of this very block), so deferring it past the epoch
+       barrier would change results, not just scheduling. *)
+    let checks = ref 0 in
+    let phase2 = ref 0 in
+    let phase1_memo : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+    let rec resolve ~scope ~parent_extra a visited sc_pos =
+      List.exists
+        (fun tf ->
+          incr checks;
+          (not (Tf_set.mem tf.tf_id visited))
+          && ((not sequential) || sc_admissible sc_pos tf)
+          &&
+          let visited = Tf_set.add tf.tf_id visited in
+          let sc_pos = if sequential then sc_advance sc_pos tf else sc_pos in
+          match tf.rhs with
+          | Bot -> true
+          | Top -> false
+          | Inherit ps ->
+            List.exists
+              (fun p ->
+                base_tainted p || parent_extra p
+                || resolve ~scope ~parent_extra p visited sc_pos)
+              ps)
+        (tfs_for ~scope ~exclude_tid a)
+    in
+    let phase1 a =
+      match Hashtbl.find_opt phase1_memo a with
+      | Some r -> r
+      | None ->
+        let r =
+          resolve ~scope:[ l - 1; l ]
+            ~parent_extra:(fun _ -> false)
+            a Tf_set.empty Pos_map.empty
+        in
+        Hashtbl.replace phase1_memo a r;
+        r
+    in
+    let wing_may a =
+      if two_phase then
+        phase1 a
+        || (incr phase2;
+            resolve ~scope:[ l; l + 1 ] ~parent_extra:phase1 a Tf_set.empty
+              Pos_map.empty)
+      else
+        (* Ablation: one phase over the whole window.  Still sound, but
+           admits impossible chains such as an epoch l+1 taint feeding an
+           epoch l-1 read (the example of Section 6.2). *)
+        resolve ~scope:[ l - 1; l; l + 1 ]
+          ~parent_extra:(fun _ -> false)
+          a Tf_set.empty Pos_map.empty
+    in
+    let may_tainted a =
+      match Hashtbl.find_opt local a with
+      | Some true -> true
+      | Some false -> wing_may a
+      | None -> AS.mem a lsos || wing_may a
+    in
+    let n_instrs = ref 0 and n_mem = ref 0 in
+    let errs = ref [] in
+    Butterfly.Block.iteri
+      (fun id instr ->
+        incr n_instrs;
+        if Tracing.Instr.is_memory_event instr then incr n_mem;
+        (match Tracing.Instr.taint_sink instr with
+        | Some x -> if may_tainted x then errs := { id; sink = x } :: !errs
+        | None -> ());
+        match tf_of_instr id instr with
+        | None -> ()
+        | Some tf ->
+          let result =
+            match tf.rhs with
+            | Bot -> true
+            | Top -> false
+            | Inherit ps -> List.exists may_tainted ps
+          in
+          Hashtbl.replace local tf.dst result)
+      block;
+    {
+      bo_errors = List.rev !errs;
+      bo_lastcheck = local;
+      bo_stats =
+        { instrs = !n_instrs; mem_events = !n_mem; checks_resolved = !checks };
+      bo_lsos_card = AS.cardinal lsos;
+      bo_phase2 = !phase2;
+    }
+  in
   let errors = ref [] in
   let stats =
     Array.init threads (fun _ ->
         Array.init num_l (fun _ -> { instrs = 0; mem_events = 0; checks_resolved = 0 }))
   in
-  let checks = ref 0 in
-  for l = 0 to num_l - 1 do
-    (* SOS_l is now computable from epochs <= l-2. *)
-    if l >= 2 then
-      sos.(l) <- AS.union (epoch_gen (l - 2)) (AS.diff sos.(l - 1) (epoch_kill (l - 2)));
-    for tid = 0 to threads - 1 do
-      let block = Butterfly.Epochs.block epochs ~epoch:l ~tid in
-      (* LSOS via the May rule, with the resurrection clause. *)
-      let head_gen = gen_block (l - 1) tid and head_kill = kill_block (l - 1) tid in
-      let others_gen_l2 =
-        let acc = ref AS.empty in
-        for t' = 0 to threads - 1 do
-          if t' <> tid then acc := AS.union !acc (gen_block (l - 2) t')
-        done;
-        !acc
-      in
-      let lsos =
-        AS.union head_gen
-          (AS.union
-             (AS.diff sos.(l) head_kill)
-             (AS.inter (AS.inter sos.(l) head_kill) others_gen_l2))
-      in
-      let local : (int, bool) Hashtbl.t = Hashtbl.create 16 in
-      (* A chain's base taint sources: something our block already resolved
-         as tainted (the wing read may interleave after our write), or the
-         strongly-ordered past.  A local untaint does NOT mask the LSOS for
-         wing chains: the wing may read the location before our untaint. *)
-      let base_tainted a =
-        Hashtbl.find_opt local a = Some true || AS.mem a lsos
-      in
-      (* Under sequential consistency a wing chain only uses other threads'
-         transfer functions (the own thread's effects flow through LSOS and
-         [local]); under relaxed models the own thread's independent writes
-         may become visible out of program order (Figure 2), so its
-         transfer functions join the chase and only the per-location
-         termination rules bound it. *)
-      let exclude_tid = if sequential then Some tid else None in
-      (* Two-phase resolution (Lemma 6.3): phase 1 chases transfer
-         functions of epochs l-1 and l; phase 2 of epochs l and l+1, where
-         a parent already proven tainted by phase 1 stays tainted. *)
-      let phase1_memo : (int, bool) Hashtbl.t = Hashtbl.create 16 in
-      let rec resolve ~scope ~parent_extra a visited sc_pos =
-        List.exists
-          (fun tf ->
-            incr checks;
-            (not (Tf_set.mem tf.tf_id visited))
-            && ((not sequential) || sc_admissible sc_pos tf)
-            &&
-            let visited = Tf_set.add tf.tf_id visited in
-            let sc_pos = if sequential then sc_advance sc_pos tf else sc_pos in
-            match tf.rhs with
-            | Bot -> true
-            | Top -> false
-            | Inherit ps ->
-              List.exists
-                (fun p ->
-                  base_tainted p || parent_extra p
-                  || resolve ~scope ~parent_extra p visited sc_pos)
-                ps)
-          (tfs_for ~scope ~exclude_tid a)
-      in
-      let phase1 a =
-        match Hashtbl.find_opt phase1_memo a with
-        | Some r -> r
-        | None ->
-          let r =
-            resolve ~scope:[ l - 1; l ]
-              ~parent_extra:(fun _ -> false)
-              a Tf_set.empty Pos_map.empty
-          in
-          Hashtbl.replace phase1_memo a r;
-          r
-      in
-      let wing_may a =
-        if two_phase then
-          phase1 a
-          || resolve ~scope:[ l; l + 1 ] ~parent_extra:phase1 a Tf_set.empty
-               Pos_map.empty
-        else
-          (* Ablation: one phase over the whole window.  Still sound, but
-             admits impossible chains such as an epoch l+1 taint feeding an
-             epoch l-1 read (the example of Section 6.2). *)
-          resolve ~scope:[ l - 1; l; l + 1 ]
-            ~parent_extra:(fun _ -> false)
-            a Tf_set.empty Pos_map.empty
-      in
-      let may_tainted a =
-        match Hashtbl.find_opt local a with
-        | Some true -> true
-        | Some false -> wing_may a
-        | None -> AS.mem a lsos || wing_may a
-      in
-      let n_instrs = ref 0 and n_mem = ref 0 in
-      Butterfly.Block.iteri
-        (fun id instr ->
-          incr n_instrs;
-          if Tracing.Instr.is_memory_event instr then incr n_mem;
-          (match Tracing.Instr.taint_sink instr with
-          | Some x ->
-            if may_tainted x then (
-              Obs.Counter.incr m_flags;
-              errors := { id; sink = x } :: !errors)
-          | None -> ());
-          match tf_of_instr id instr with
-          | None -> ()
-          | Some tf ->
-            let result =
-              match tf.rhs with
-              | Bot -> true
-              | Top -> false
-              | Inherit ps -> List.exists may_tainted ps
-            in
-            Hashtbl.replace local tf.dst result)
-        block;
-      Hashtbl.iter (fun x r -> Hashtbl.replace lastcheck.(l).(tid) x r) local;
-      stats.(tid).(l) <-
-        { instrs = !n_instrs; mem_events = !n_mem; checks_resolved = !checks };
-      Obs.Counter.add m_checks !checks;
-      Obs.Counter.add m_instrs !n_instrs;
-      if Obs.enabled () then
-        Obs.Gauge.set_max g_set_hwm (float_of_int (AS.cardinal lsos));
-      checks := 0
-    done;
-    Obs.Counter.incr m_epochs
-  done;
+  let commit ~epoch:l ~tid o =
+    errors := List.rev_append o.bo_errors !errors;
+    Hashtbl.iter (fun x r -> Hashtbl.replace lastcheck.(l).(tid) x r) o.bo_lastcheck;
+    stats.(tid).(l) <- o.bo_stats;
+    Obs.Counter.add m_checks o.bo_stats.checks_resolved;
+    Obs.Counter.add m_flags (List.length o.bo_errors);
+    Obs.Counter.add m_phase2 o.bo_phase2;
+    Obs.Counter.add m_instrs o.bo_stats.instrs;
+    if Obs.enabled () then
+      Obs.Gauge.set_max g_set_hwm (float_of_int o.bo_lsos_card);
+    if tid = threads - 1 then Obs.Counter.incr m_epochs
+  in
+  Butterfly.Scheduler.Epochwise.run ?pool ~num_epochs:num_l ~threads
+    ~prepare:advance_sos ~task:eval_block ~commit ();
   (* Final SOS entries past the last window. *)
-  for l = num_l to num_l + 1 do
-    if l >= 2 then
-      sos.(l) <- AS.union (epoch_gen (l - 2)) (AS.diff sos.(l - 1) (epoch_kill (l - 2)))
-  done;
+  advance_sos num_l;
+  advance_sos (num_l + 1);
   {
     errors = List.rev !errors;
     sos_tainted = Array.map AS.elements sos;
     block_stats = stats;
   }
+
+let run ?(sequential = true) ?(two_phase = true) ?domains ?pool epochs =
+  match (pool, domains) with
+  | Some _, _ -> run_with ~sequential ~two_phase ~pool epochs
+  | None, Some d ->
+    Butterfly.Domain_pool.with_pool ~name:"taintcheck" ~domains:d (fun p ->
+        run_with ~sequential ~two_phase ~pool:(Some p) epochs)
+  | None, None -> run_with ~sequential ~two_phase ~pool:None epochs
 
 let flagged_sinks r =
   List.map (fun e -> e.sink) r.errors |> List.sort_uniq Int.compare

@@ -38,12 +38,28 @@ type report = {
   block_stats : block_stats array array;  (** [.(tid).(epoch)] *)
 }
 
-val run : ?sequential:bool -> ?two_phase:bool -> Butterfly.Epochs.t -> report
+val run :
+  ?sequential:bool ->
+  ?two_phase:bool ->
+  ?domains:int ->
+  ?pool:Butterfly.Domain_pool.t ->
+  Butterfly.Epochs.t ->
+  report
 (** [sequential] defaults to [true] (the machine-model assumption of
     Sections 3–4.3); pass [false] for the relaxed-consistency variant.
     [two_phase] (default [true]) enables the false-positive reduction of
     Lemma 6.3; disabling it is the ablation of that design choice — still
-    sound, strictly less precise. *)
+    sound, strictly less precise.
+
+    [pool] runs both butterfly passes on the given domain pool via
+    {!Butterfly.Scheduler.Epochwise}: pass-1 summaries for the whole grid
+    fan out at once, pass-2 block evaluations fan out per epoch behind a
+    barrier, and the master serializes LASTCHECK/SOS commits epoch-major /
+    thread-minor — the report is structurally identical to the sequential
+    run (property-tested in [test/test_taintcheck_parallel.ml]).
+    [domains] is the convenience form: a private pool of that many domains
+    is created for the call and shut down afterwards ([pool] wins if both
+    are given).  Omit both for the sequential driver. *)
 
 val flagged_sinks : report -> Tracing.Addr.t list
 

@@ -80,3 +80,77 @@ Under --domains the same run also carries the domain-pool telemetry.
   "name":"scheduler.blocks_closed"
   "name":"scheduler.window_occupancy"
   "name":"scheduler.window_occupancy_hwm"
+
+TaintCheck rides the epoch-barrier pool driver.  Hand-build a trace with
+a cross-thread taint chain (a wing chase, so checked > 0) and a
+sanitized-then-resurrected location.
+
+  $ cat > taint.trace <<'TRACE'
+  > threads 2
+  > 0 taint 1
+  > 0 heartbeat
+  > 0 assign 4
+  > 0 heartbeat
+  > 0 nop
+  > 1 unop 2 1
+  > 1 jump 2
+  > 1 heartbeat
+  > 1 untaint 1
+  > 1 heartbeat
+  > 1 sysarg 1
+  > TRACE
+
+  $ ../bin/butterfly_cli.exe taintcheck taint.trace -e 0 --domains 2 --json
+  {"lifeguard":"taintcheck","checked":1,"flagged":2,"errors":[{"kind":"tainted_sink","sink":2,"at":{"epoch":0,"tid":1,"index":1}},{"kind":"tainted_sink","sink":1,"at":{"epoch":2,"tid":1,"index":0}}]}
+
+--domains must not change a byte of the report, on the taint trace and
+on a generated one.
+
+  $ ../bin/butterfly_cli.exe taintcheck taint.trace -e 0 --json > tc-seq.json
+  $ ../bin/butterfly_cli.exe taintcheck taint.trace -e 0 --domains 1 --json > tc-d1.json
+  $ ../bin/butterfly_cli.exe taintcheck taint.trace -e 0 --domains 2 --json > tc-d2.json
+  $ cmp tc-seq.json tc-d1.json && cmp tc-d1.json tc-d2.json
+  $ ../bin/butterfly_cli.exe taintcheck t.trace -e 8 --json > tc-gen-seq.json
+  $ ../bin/butterfly_cli.exe taintcheck t.trace -e 8 --domains 4 --json > tc-gen-d4.json
+  $ cmp tc-gen-seq.json tc-gen-d4.json
+
+Pooled --stats=json carries the pool and epoch-barrier telemetry next to
+the lifeguard counters (names only; values are timings).
+
+  $ ../bin/butterfly_cli.exe taintcheck taint.trace -e 0 --domains 2 --stats=json | tail -1 \
+  >   | tr ',' '\n' | grep -o '"name":"[^"]*"' | sort -u
+  "name":"butterfly.epochs_processed"
+  "name":"butterfly.lsos.ns"
+  "name":"butterfly.pass1_summarize.ns"
+  "name":"butterfly.pass2_block.ns"
+  "name":"butterfly.pass2_instrs"
+  "name":"butterfly.side_in_meet.ns"
+  "name":"lifeguard.checks"
+  "name":"lifeguard.flags"
+  "name":"lifeguard.phase2_rechecks"
+  "name":"lifeguard.sos_size_hwm"
+  "name":"pool.queue_depth"
+  "name":"pool.size"
+  "name":"pool.task.ns"
+  "name":"pool.utilization"
+  "name":"scheduler.blocks_closed"
+  "name":"scheduler.epoch_barriers"
+  "name":"scheduler.epoch_fanout.ns"
+  "name":"scheduler.window_occupancy"
+  "name":"scheduler.window_occupancy_hwm"
+
+--domains 0 is a usage error, not a crash.
+
+  $ ../bin/butterfly_cli.exe taintcheck taint.trace --domains 0
+  butterfly_cli: option '--domains': expected a positive integer
+  Usage: butterfly_cli taintcheck [OPTION]… TRACE
+  Try 'butterfly_cli taintcheck --help' or 'butterfly_cli --help' for more information.
+  [124]
+
+A truncated binary trace is a clean CLI error.
+
+  $ ../bin/butterfly_cli.exe generate ocean --threads 2 --scale 40 --seed 3 --binary > t.bin
+  $ head -c 24 t.bin > cut.bin
+  $ ../bin/butterfly_cli.exe taintcheck cut.bin
+  error: truncated input
+  [1]

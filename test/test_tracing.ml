@@ -182,6 +182,62 @@ let fuzz_tests =
         | Ok _ | Error _ -> true);
   ]
 
+(* Taint-instruction traffic through the codec: the parallel TaintCheck
+   work made these variants load-bearing on the CLI path, so they get
+   their own fuzz corpus (text and binary), plus the truncation
+   guarantee [load_program] relies on: a cut trace is a clean [Error],
+   never an escaping exception and never a silent [Ok]. *)
+let gen_taint_program =
+  let open QCheck.Gen in
+  let* threads = int_range 1 4 in
+  let* heartbeat = int_range 1 5 in
+  let thread = list_size (int_bound 20) (Testutil.gen_taint_instr ~n_addrs:256) in
+  let+ iss = list_repeat threads thread in
+  Tracing.Program.of_instrs iss
+  |> Tracing.Program.with_heartbeats ~every:heartbeat
+
+let arb_taint_program =
+  QCheck.make ~print:(fun p -> Tracing.Trace_codec.encode p) gen_taint_program
+
+(* One fixed program exercising every taint-relevant variant. *)
+let taint_exemplar =
+  Tracing.Program.of_instrs
+    [
+      [ I.Taint_source 1; I.Assign_unop (2, 1); I.Syscall_arg 2 ];
+      [ I.Untaint 3; I.Assign_binop (4, 1, 3); I.Jump_via 4; I.Assign_const 1 ];
+    ]
+  |> Tracing.Program.with_heartbeats ~every:2
+
+let taint_codec_tests =
+  [
+    Testutil.qtest ~count:200 "text round-trip (taint variants)"
+      arb_taint_program (fun p ->
+        programs_equal p (Tracing.Trace_codec.roundtrip_exn p));
+    Testutil.qtest ~count:200 "binary round-trip (taint variants)"
+      arb_taint_program (fun p ->
+        programs_equal p (Tracing.Trace_codec.binary_roundtrip_exn p));
+    Alcotest.test_case "every strict binary prefix is a clean error" `Quick
+      (fun () ->
+        (* Success requires consuming the entire buffer, so any strict
+           prefix must surface as [Error] — the contract the CLI's
+           [load_program] error path depends on. *)
+        let b = Tracing.Trace_codec.encode_binary taint_exemplar in
+        for cut = 0 to String.length b - 1 do
+          match Tracing.Trace_codec.decode_binary (String.sub b 0 cut) with
+          | Error m -> Testutil.checkb "non-empty message" true (m <> "")
+          | Ok _ -> Alcotest.failf "prefix of %d bytes decoded Ok" cut
+        done);
+    Testutil.qtest ~count:150 "random truncation is a clean error"
+      arb_taint_program (fun p ->
+        let b = Tracing.Trace_codec.encode_binary p in
+        (* Derive the cut point from the payload so the property stays
+           seed-reproducible. *)
+        let cut = Hashtbl.hash b mod String.length b in
+        match Tracing.Trace_codec.decode_binary (String.sub b 0 cut) with
+        | Error _ -> true
+        | Ok _ -> false);
+  ]
+
 let () =
   Alcotest.run "tracing"
     [
@@ -189,4 +245,5 @@ let () =
       ("trace", trace_tests);
       ("codec", codec_tests);
       ("codec_binary", fuzz_tests);
+      ("codec_taint", taint_codec_tests);
     ]

@@ -129,10 +129,35 @@ let gen_df_instr ~n_addrs : Tracing.Instr.t QCheck.Gen.t =
       (1, return Tracing.Instr.Nop);
     ]
 
-let gen_grid ?(n_addrs = 3) ?(max_threads = 3) ?(max_epochs = 3)
-    ?(max_block = 2) ?(uneven = false) () : grid QCheck.Gen.t =
+(* Taint-flavoured instruction mix: every transfer-function shape
+   TaintCheck distinguishes (source, sanitize, const kill, unary/binary
+   inheritance) plus both sink kinds and taint-neutral noise. *)
+let gen_taint_instr ~n_addrs : Tracing.Instr.t QCheck.Gen.t =
   let open QCheck.Gen in
-  let* threads = int_range 2 max_threads in
+  let addr = gen_addr n_addrs in
+  frequency
+    [
+      (2, map (fun x -> Tracing.Instr.Taint_source x) addr);
+      (2, map (fun x -> Tracing.Instr.Untaint x) addr);
+      (2, map (fun x -> Tracing.Instr.Assign_const x) addr);
+      (3, map2 (fun x a -> Tracing.Instr.Assign_unop (x, a)) addr addr);
+      ( 2,
+        map3 (fun x a b -> Tracing.Instr.Assign_binop (x, a, b)) addr addr addr
+      );
+      (2, map (fun x -> Tracing.Instr.Jump_via x) addr);
+      (2, map (fun x -> Tracing.Instr.Syscall_arg x) addr);
+      (1, map (fun a -> Tracing.Instr.Read a) addr);
+      (1, return Tracing.Instr.Nop);
+    ]
+
+let gen_grid ?(n_addrs = 3) ?(min_threads = 2) ?(max_threads = 3)
+    ?(max_epochs = 3) ?(max_block = 2) ?(uneven = false) ?instr_gen () :
+    grid QCheck.Gen.t =
+  let open QCheck.Gen in
+  let instr =
+    match instr_gen with Some g -> g | None -> gen_df_instr ~n_addrs
+  in
+  let* threads = int_range min_threads max_threads in
   let* epochs = int_range 1 max_epochs in
   let block =
     if uneven then
@@ -141,11 +166,9 @@ let gen_grid ?(n_addrs = 3) ?(max_threads = 3) ?(max_epochs = 3)
       frequency
         [
           (1, return [||]);
-          ( 4,
-            map Array.of_list
-              (list_size (int_bound max_block) (gen_df_instr ~n_addrs)) );
+          (4, map Array.of_list (list_size (int_bound max_block) instr));
         ]
-    else map Array.of_list (list_size (int_bound max_block) (gen_df_instr ~n_addrs))
+    else map Array.of_list (list_size (int_bound max_block) instr)
   in
   let thread =
     if uneven then
@@ -158,7 +181,8 @@ let gen_grid ?(n_addrs = 3) ?(max_threads = 3) ?(max_epochs = 3)
   in
   map Array.of_list (list_repeat threads thread)
 
-let arb_grid ?n_addrs ?max_threads ?max_epochs ?max_block ?uneven () =
+let arb_grid ?n_addrs ?min_threads ?max_threads ?max_epochs ?max_block ?uneven
+    ?instr_gen () =
   let print (g : grid) =
     let buf = Buffer.create 256 in
     Array.iteri
@@ -179,4 +203,5 @@ let arb_grid ?n_addrs ?max_threads ?max_epochs ?max_block ?uneven () =
     Buffer.contents buf
   in
   QCheck.make ~print
-    (gen_grid ?n_addrs ?max_threads ?max_epochs ?max_block ?uneven ())
+    (gen_grid ?n_addrs ?min_threads ?max_threads ?max_epochs ?max_block ?uneven
+       ?instr_gen ())
