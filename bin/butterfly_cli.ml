@@ -361,6 +361,125 @@ let stats_cmd =
     Term.(const run $ trace_arg $ h_arg $ domains_arg $ lifeguard_arg
           $ json_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Differential fuzzing (lib/qa): generated grids through every driver ×
+   domains × memory-model combination plus the valid-ordering oracle,
+   with greedy minimization of any counterexample. *)
+
+let fuzz_cmd =
+  let run lifeguard iterations seed shrink out replay stats =
+    with_stats stats (fun () ->
+        let lifeguards =
+          match lifeguard with
+          | `All -> Qa.Differential.all_lifeguards
+          | `One lg -> [ lg ]
+        in
+        let emit_repro grid =
+          let text = Qa.Grid.encode grid in
+          match out with
+          | Some path ->
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc text);
+            Format.printf "  repro written to %s@." path
+          | None -> Format.printf "  repro trace:@.%s" text
+        in
+        let failed = ref false in
+        (match replay with
+        | Some path ->
+          (* Re-run a serialized counterexample through the same battery. *)
+          let p = load_program path 0 in
+          List.iter
+            (fun lg ->
+              let mismatches = Qa.Engine.check_program lg p in
+              Format.printf "replay %s %s: %d mismatch%s@." path
+                (Qa.Differential.lifeguard_to_string lg)
+                (List.length mismatches)
+                (if List.length mismatches = 1 then "" else "es");
+              if mismatches <> [] then begin
+                failed := true;
+                List.iter
+                  (fun m ->
+                    Format.printf "  %a@." Qa.Differential.pp_mismatch m)
+                  mismatches
+              end)
+            lifeguards
+        | None ->
+          List.iter
+            (fun lg ->
+              let config =
+                { Qa.Engine.default_config with iterations; seed; shrink }
+              in
+              let outcome = Qa.Engine.run ~config lg in
+              match outcome.counterexample with
+              | None ->
+                Format.printf "fuzz %s: %d grids, 0 mismatches@."
+                  (Qa.Differential.lifeguard_to_string lg)
+                  outcome.grids
+              | Some cx ->
+                failed := true;
+                Format.printf
+                  "fuzz %s: counterexample at iteration %d (%d mismatch%s%s)@."
+                  (Qa.Differential.lifeguard_to_string lg)
+                  cx.iteration
+                  (List.length cx.mismatches)
+                  (if List.length cx.mismatches = 1 then "" else "es")
+                  (if shrink then
+                     Printf.sprintf ", shrunk in %d steps" cx.shrink_steps
+                   else "");
+                List.iter
+                  (fun m ->
+                    Format.printf "  %a@." Qa.Differential.pp_mismatch m)
+                  cx.mismatches;
+                emit_repro (Option.value cx.shrunk ~default:cx.grid))
+            lifeguards);
+        if !failed then exit 1)
+  in
+  let lifeguard_arg =
+    let lg =
+      Arg.enum
+        [
+          ("addrcheck", `One Qa.Differential.Addrcheck);
+          ("initcheck", `One Qa.Differential.Initcheck);
+          ("taintcheck", `One Qa.Differential.Taintcheck);
+          ("all", `All);
+        ]
+    in
+    Arg.(value & opt lg `All & info [ "lifeguard" ] ~docv:"LIFEGUARD"
+         ~doc:"Which lifeguard to fuzz: $(b,addrcheck), $(b,initcheck), \
+               $(b,taintcheck) or $(b,all) (default).")
+  in
+  let iterations_arg =
+    Arg.(value & opt positive_int 100 & info [ "iterations" ] ~docv:"N"
+         ~doc:"Grids to generate and check per lifeguard.")
+  in
+  let fuzz_seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ]
+         ~doc:"Campaign seed: the same seed replays the same grids.")
+  in
+  let shrink_arg =
+    Arg.(value & flag & info [ "shrink" ]
+         ~doc:"Minimize the first failing grid (greedy delta debugging) \
+               before reporting it.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+         ~doc:"Write the (shrunk) counterexample trace to $(docv) in \
+               Trace_codec format instead of printing it; replay it with \
+               $(b,fuzz --replay) $(docv).")
+  in
+  let replay_arg =
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"TRACE"
+         ~doc:"Skip generation: run the differential battery on this trace \
+               file (heartbeats in the file delimit the epochs).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differentially fuzz the butterfly lifeguards: random grids \
+             through all driver/domain/memory-model combinations plus the \
+             valid-ordering soundness oracle; exits non-zero on mismatch")
+    Term.(const run $ lifeguard_arg $ iterations_arg $ fuzz_seed_arg
+          $ shrink_arg $ out_arg $ replay_arg $ stats_arg)
+
 let generate_cmd =
   let run name threads scale seed binary stats =
     with_stats stats (fun () ->
@@ -407,5 +526,5 @@ let () =
           [
             table1_cmd; figure11_cmd; figure12_cmd; figure13_cmd;
             sensitivity_cmd; addrcheck_cmd; taintcheck_cmd; initcheck_cmd;
-            stats_cmd; generate_cmd;
+            stats_cmd; generate_cmd; fuzz_cmd;
           ]))

@@ -65,7 +65,7 @@ let access_set block =
       | `None -> IS.union acc (footprint i))
     IS.empty block
 
-let run ?(isolation = true) ?domains epochs =
+let run ?(isolation = true) ?domains ?pool epochs =
   (* Materialize the check/flag counters so clean runs still report 0. *)
   Obs.Counter.add m_checks 0;
   Obs.Counter.add m_flags 0;
@@ -160,11 +160,16 @@ let run ?(isolation = true) ?domains epochs =
       bump tid l (fun s -> { s with flagged_events = s.flagged_events + 1 }))
   in
   let sos_levels =
-    match domains with
-    | None ->
+    match (pool, domains) with
+    | None, None ->
       let result = A.run ~on_instr epochs in
       result.A.sos
-    | Some d ->
+    | Some pool, _ ->
+      (* Caller-owned pool: same pooled streaming driver, shared across
+         runs (the QA fuzz engine reuses one pool for its whole corpus). *)
+      let s = S.run_epochs ~pool ~on_instr epochs in
+      S.sos_history s
+    | None, Some d ->
       (* Pooled streaming: the scheduler delivers the exact same view
          sequence (property-tested), with pass 1/2 on worker domains. *)
       Butterfly.Domain_pool.with_pool ~name:"addrcheck" ~domains:d (fun pool ->

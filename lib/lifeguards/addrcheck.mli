@@ -41,7 +41,12 @@ type report = {
   sos : Butterfly.Interval_set.t array;  (** allocated-state SOS per epoch *)
 }
 
-val run : ?isolation:bool -> ?domains:int -> Butterfly.Epochs.t -> report
+val run :
+  ?isolation:bool ->
+  ?domains:int ->
+  ?pool:Butterfly.Domain_pool.t ->
+  Butterfly.Epochs.t ->
+  report
 (** [isolation] (default [true]) enables the wing-summary isolation check.
     Disabling it is an ablation: local LSOS checks alone miss the
     metadata races of Figure 9 (allocation state changing concurrently
@@ -51,8 +56,11 @@ val run : ?isolation:bool -> ?domains:int -> Butterfly.Epochs.t -> report
     [domains] switches the underlying driver from the sequential batch
     run to the pooled streaming scheduler with a {!Butterfly.Domain_pool}
     of that many workers (capped at the hardware's recommended domain
-    count).  The report is identical in either mode — the drivers'
-    equivalence is property-tested. *)
+    count).  [pool] is the caller-owned form of the same driver — the
+    pool is reused across calls and the caller shuts it down ([pool] wins
+    if both are given, mirroring {!Taintcheck.run}).  The report is
+    identical in every mode — the drivers' equivalence is property-tested
+    and continuously fuzzed ([lib/qa]). *)
 
 val flagged_addresses : report -> Butterfly.Interval_set.t
 val pp_error : Format.formatter -> error -> unit

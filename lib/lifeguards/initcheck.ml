@@ -35,7 +35,7 @@ let m_checks = Obs.Counter.make ~labels:obs_labels "lifeguard.checks"
 let m_flags = Obs.Counter.make ~labels:obs_labels "lifeguard.flags"
 let g_set_hwm = Obs.Gauge.make ~labels:obs_labels "lifeguard.sos_size_hwm"
 
-let run ?domains epochs =
+let run ?domains ?pool epochs =
   (* Materialize the check/flag counters so clean runs still report 0. *)
   Obs.Counter.add m_checks 0;
   Obs.Counter.add m_flags 0;
@@ -60,11 +60,14 @@ let run ?domains epochs =
         errors := { id = v.id; addrs = bad } :: !errors)
   in
   let sos_levels =
-    match domains with
-    | None ->
+    match (pool, domains) with
+    | None, None ->
       let result = A.run ~on_instr epochs in
       result.A.sos
-    | Some d ->
+    | Some pool, _ ->
+      let s = S.run_epochs ~pool ~on_instr epochs in
+      S.sos_history s
+    | None, Some d ->
       Butterfly.Domain_pool.with_pool ~name:"initcheck" ~domains:d (fun pool ->
           let s = S.run_epochs ~pool ~on_instr epochs in
           S.sos_history s)

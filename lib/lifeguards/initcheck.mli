@@ -25,10 +25,11 @@ type report = {
   sos : Butterfly.Interval_set.t array;  (** definitely-defined SOS per epoch *)
 }
 
-val run : ?domains:int -> Butterfly.Epochs.t -> report
+val run :
+  ?domains:int -> ?pool:Butterfly.Domain_pool.t -> Butterfly.Epochs.t -> report
 (** [domains] switches the driver from the sequential batch run to the
-    pooled streaming scheduler (see {!Addrcheck.run}); the report is
-    identical in either mode. *)
+    pooled streaming scheduler, [pool] is the caller-owned form (see
+    {!Addrcheck.run}); the report is identical in every mode. *)
 
 val flagged_addresses : report -> Butterfly.Interval_set.t
 val pp_error : Format.formatter -> error -> unit

@@ -13,13 +13,26 @@ type report = {
   block_stats : block_stats array array;
 }
 
+(* Test-only fault injection.  The QA mutation smoke test flips this to
+   prove the differential fuzz engine detects an unsound meet: dropping a
+   binop's second source makes butterfly TaintCheck miss taint flowing
+   through it, which the sequential oracle (Taintcheck_seq over valid
+   orderings) still reports — a Theorem 6.2 violation the fuzzer must
+   surface.  Never set outside tests. *)
+module Testing = struct
+  let break_binop_meet = ref false
+end
+
 let tf_of_instr id (i : Tracing.Instr.t) =
   match i with
   | Taint_source x -> Some { tf_id = id; dst = x; rhs = Bot }
   | Untaint x | Assign_const x -> Some { tf_id = id; dst = x; rhs = Top }
   | Assign_unop (x, a) -> Some { tf_id = id; dst = x; rhs = Inherit [ a ] }
   | Assign_binop (x, a, b) ->
-    Some { tf_id = id; dst = x; rhs = Inherit (if a = b then [ a ] else [ a; b ]) }
+    let srcs =
+      if !Testing.break_binop_meet || a = b then [ a ] else [ a; b ]
+    in
+    Some { tf_id = id; dst = x; rhs = Inherit srcs }
   | Read _ | Malloc _ | Free _ | Jump_via _ | Syscall_arg _ | Nop -> None
 
 (* Per-block pass-1 summary: transfer functions indexed by destination. *)

@@ -64,3 +64,14 @@ val run :
 val flagged_sinks : report -> Tracing.Addr.t list
 
 val pp_error : Format.formatter -> error -> unit
+
+(**/**)
+
+(** Test-only fault injection, consumed by the QA mutation smoke test
+    ([test/test_qa.ml]): with [break_binop_meet] set, a binop's transfer
+    function drops its second source — an unsound meet that the
+    differential fuzz engine must catch as a Theorem 6.2 violation.
+    Never set this outside tests. *)
+module Testing : sig
+  val break_binop_meet : bool ref
+end

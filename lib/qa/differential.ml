@@ -1,0 +1,187 @@
+module AC = Lifeguards.Addrcheck
+module IC = Lifeguards.Initcheck
+module TC = Lifeguards.Taintcheck
+module IS = Butterfly.Interval_set
+
+type lifeguard = Addrcheck | Initcheck | Taintcheck
+
+let lifeguard_to_string = function
+  | Addrcheck -> "addrcheck"
+  | Initcheck -> "initcheck"
+  | Taintcheck -> "taintcheck"
+
+let all_lifeguards = [ Addrcheck; Initcheck; Taintcheck ]
+
+let profile_of = function
+  | Addrcheck -> Grid_gen.Alloc
+  | Initcheck -> Grid_gen.Init
+  | Taintcheck -> Grid_gen.Taint
+
+type config = {
+  oracle_cap : int;
+  oracle_samples : int;
+  oracle_seed : int;
+  models : Memmodel.Consistency.t list;
+}
+
+let default_config =
+  {
+    oracle_cap = 240;
+    oracle_samples = 24;
+    oracle_seed = 7;
+    models = Memmodel.Consistency.all;
+  }
+
+type mismatch = {
+  lifeguard : lifeguard;
+  subject : string;
+  details : string list;
+}
+
+let pp_mismatch ppf m =
+  Format.fprintf ppf "@[<v2>[%s] %s%a@]"
+    (lifeguard_to_string m.lifeguard)
+    m.subject
+    (fun ppf ds -> List.iter (Format.fprintf ppf "@,%s") ds)
+    m.details
+
+(* ------------------------------------------------------------------ *)
+(* Canonical report fingerprints.  Everything observable goes in: the
+   error list in order, totals, per-block statistics and SOS history.
+   Two drivers agreeing on the fingerprint agree on the whole report. *)
+
+let fp_stats pp_cell ppf grid =
+  Array.iteri
+    (fun t row ->
+      Array.iteri (fun l cell -> Format.fprintf ppf "(%d,%d)%a " t l pp_cell cell) row)
+    grid
+
+let fp_addrcheck (r : AC.report) =
+  Format.asprintf "flagged=%d/%d errors=[%a] sos=[%a] stats=[%a]"
+    r.flagged_accesses r.total_accesses
+    (fun ppf -> List.iter (Format.fprintf ppf "%a; " AC.pp_error))
+    r.errors
+    (fun ppf -> Array.iter (Format.fprintf ppf "%a; " IS.pp))
+    r.sos
+    (fp_stats (fun ppf (s : AC.block_stats) ->
+         Format.fprintf ppf "%d/%d/%d" s.instrs s.mem_events s.flagged_events))
+    r.block_stats
+
+let fp_initcheck (r : IC.report) =
+  Format.asprintf "flagged=%d/%d errors=[%a] sos=[%a]" r.flagged_reads
+    r.total_reads
+    (fun ppf -> List.iter (Format.fprintf ppf "%a; " IC.pp_error))
+    r.errors
+    (fun ppf -> Array.iter (Format.fprintf ppf "%a; " IS.pp))
+    r.sos
+
+let fp_taintcheck (r : TC.report) =
+  Format.asprintf "errors=[%a] sos_tainted=[%a] stats=[%a]"
+    (fun ppf -> List.iter (Format.fprintf ppf "%a; " TC.pp_error))
+    r.errors
+    (fun ppf ->
+      Array.iter (fun xs ->
+          List.iter (Format.fprintf ppf "%d,") xs;
+          Format.fprintf ppf "; "))
+    r.sos_tainted
+    (fp_stats (fun ppf (s : TC.block_stats) ->
+         Format.fprintf ppf "%d/%d/%d" s.instrs s.mem_events s.checks_resolved))
+    r.block_stats
+
+(* ------------------------------------------------------------------ *)
+(* Driver equivalence: every driver's fingerprint must equal the
+   sequential baseline's. *)
+
+let driver_divergences lifeguard ~baseline runs =
+  List.filter_map
+    (fun (label, fp) ->
+      if String.equal fp baseline then None
+      else
+        Some
+          {
+            lifeguard;
+            subject = Printf.sprintf "driver %s diverges from sequential" label;
+            details =
+              [ "sequential: " ^ baseline; label ^ ":  " ^ fp ];
+          })
+    runs
+
+let pool_label p =
+  Printf.sprintf "pooled(%d)" (Butterfly.Domain_pool.size p)
+
+let check_drivers lifeguard pools g =
+  let epochs = Grid.epochs g in
+  match lifeguard with
+  | Addrcheck ->
+    let baseline = fp_addrcheck (AC.run epochs) in
+    driver_divergences lifeguard ~baseline
+      (List.map (fun p -> (pool_label p, fp_addrcheck (AC.run ~pool:p epochs))) pools)
+  | Initcheck ->
+    let baseline = fp_initcheck (IC.run epochs) in
+    driver_divergences lifeguard ~baseline
+      (List.map (fun p -> (pool_label p, fp_initcheck (IC.run ~pool:p epochs))) pools)
+  | Taintcheck ->
+    (* Per analysis variant: the pooled epoch-barrier driver must agree
+       with the sequential loop under every (chase, phase) setting. *)
+    List.concat_map
+      (fun (sequential, two_phase, vlabel) ->
+        let baseline =
+          fp_taintcheck (TC.run ~sequential ~two_phase epochs)
+        in
+        driver_divergences lifeguard ~baseline
+          (List.map
+             (fun p ->
+               ( Printf.sprintf "%s[%s]" (pool_label p) vlabel,
+                 fp_taintcheck (TC.run ~sequential ~two_phase ~pool:p epochs) ))
+             pools))
+      [
+        (true, true, "sc,two-phase");
+        (false, true, "relaxed,two-phase");
+        (true, false, "sc,one-phase");
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Soundness vs the sequential oracle (Theorems 6.1, 6.2): replay valid
+   orderings through the single-trace lifeguard and require the
+   butterfly report to be a superset, per memory model. *)
+
+let check_oracle config lifeguard g =
+  let p = Grid.to_program g in
+  List.filter_map
+    (fun model ->
+      let verdict =
+        match lifeguard with
+        | Addrcheck ->
+          Lifeguards.Oracle.addrcheck_zero_false_negatives ~model
+            ~cap:config.oracle_cap ~samples:config.oracle_samples
+            ~seed:config.oracle_seed p
+        | Initcheck ->
+          Lifeguards.Oracle.initcheck_zero_false_negatives ~model
+            ~cap:config.oracle_cap ~samples:config.oracle_samples
+            ~seed:config.oracle_seed p
+        | Taintcheck ->
+          let sequential =
+            Memmodel.Consistency.equal model Memmodel.Consistency.Sequential
+          in
+          Lifeguards.Oracle.taintcheck_zero_false_negatives ~model ~sequential
+            ~cap:config.oracle_cap ~samples:config.oracle_samples
+            ~seed:config.oracle_seed p
+      in
+      if verdict.sound then None
+      else
+        Some
+          {
+            lifeguard;
+            subject =
+              Printf.sprintf
+                "unsound vs sequential oracle under %s (%d orderings%s): \
+                 butterfly misses findings"
+                (Memmodel.Consistency.to_string model)
+                verdict.orderings_checked
+                (if verdict.exhaustive then ", exhaustive" else ", sampled");
+            details = verdict.missed;
+          })
+    config.models
+
+let check ?(config = default_config) ?(pools = []) lifeguard g =
+  check_drivers lifeguard pools g @ check_oracle config lifeguard g

@@ -1,0 +1,66 @@
+type t = Tracing.Instr.t array list array
+
+let threads = Array.length
+
+let num_epochs g = Array.fold_left (fun m bs -> max m (List.length bs)) 0 g
+
+let instr_count g =
+  Array.fold_left
+    (fun n bs -> List.fold_left (fun n b -> n + Array.length b) n bs)
+    0 g
+
+(* Operand complexity: one unit per operand slot plus the operand's
+   magnitude, so both structural simplifications (binop -> unop -> const)
+   and address lowering (a -> 0) strictly decrease it. *)
+let instr_weight (i : Tracing.Instr.t) =
+  match i with
+  | Assign_const x -> 1 + x
+  | Assign_unop (x, a) -> 2 + x + a
+  | Assign_binop (x, a, b) -> 3 + x + a + b
+  | Read a -> 1 + a
+  | Malloc { base; size } | Free { base; size } -> 2 + base + size
+  | Taint_source x | Untaint x | Jump_via x | Syscall_arg x -> 1 + x
+  | Nop -> 0
+
+let weight g =
+  Array.fold_left
+    (fun n bs ->
+      List.fold_left
+        (fun n b -> Array.fold_left (fun n i -> n + 1 + instr_weight i) n b)
+        n bs)
+    0 g
+
+let normalize g = Array.map (fun bs -> if bs = [] then [ [||] ] else bs) g
+
+let equal a b = normalize a = normalize b
+
+let to_program g =
+  Tracing.Program.make
+    (Array.to_list (Array.map Tracing.Trace.of_blocks g))
+
+let of_program p =
+  Array.init (Tracing.Program.threads p) (fun t ->
+      Tracing.Trace.blocks (Tracing.Program.trace p t))
+
+let encode g = Tracing.Trace_codec.encode (to_program g)
+
+let decode s = Result.map of_program (Tracing.Trace_codec.decode s)
+
+let epochs g = Butterfly.Epochs.of_blocks g
+
+let pp ppf g =
+  Array.iteri
+    (fun t bs ->
+      Format.fprintf ppf "T%d:" t;
+      List.iter
+        (fun b ->
+          Format.fprintf ppf " [";
+          Array.iteri
+            (fun k i ->
+              if k > 0 then Format.fprintf ppf "; ";
+              Format.fprintf ppf "%s" (Tracing.Instr.to_string i))
+            b;
+          Format.fprintf ppf "]")
+        bs;
+      Format.fprintf ppf "@.")
+    g

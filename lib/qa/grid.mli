@@ -1,0 +1,47 @@
+(** Epoch grids as the fuzzer's currency.
+
+    A grid is the raw form of an epoch-structured execution: per thread,
+    the list of blocks it executed, possibly ragged (threads disagreeing
+    on how many epochs they saw — the heartbeat-skew shapes the
+    generators produce and {!Butterfly.Epochs.of_blocks} pads).  This
+    module gives grids a size order for the shrinker and a faithful
+    round-trip through {!Tracing.Trace_codec}, so any counterexample the
+    fuzzer minimizes is a file that replays. *)
+
+type t = Tracing.Instr.t array list array
+(** [g.(tid)] is thread [tid]'s block list, epoch order. *)
+
+val threads : t -> int
+val num_epochs : t -> int
+(** Maximum block-list length over the threads. *)
+
+val instr_count : t -> int
+
+val weight : t -> int
+(** Strictly positive measure of operand complexity (operand counts plus
+    address magnitudes).  Every simplification the shrinker may apply
+    strictly decreases [(instr_count, weight)] lexicographically, which is
+    its termination argument. *)
+
+val normalize : t -> t
+(** Canonical form under codec round-trips: a thread with zero blocks
+    becomes a thread with one empty block (an empty trace decodes as one
+    empty block). *)
+
+val equal : t -> t -> bool
+(** Structural equality of normalized grids. *)
+
+val to_program : t -> Tracing.Program.t
+(** One trace per thread, a heartbeat between consecutive blocks —
+    [Tracing.Trace.blocks] recovers exactly the (normalized) grid. *)
+
+val of_program : Tracing.Program.t -> t
+
+val encode : t -> string
+(** Text {!Tracing.Trace_codec} form of {!to_program}: the replayable
+    counterexample artifact. *)
+
+val decode : string -> (t, string) result
+
+val epochs : t -> Butterfly.Epochs.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,117 @@
+type profile = Alloc | Init | Taint | Mixed
+
+let profile_to_string = function
+  | Alloc -> "alloc"
+  | Init -> "init"
+  | Taint -> "taint"
+  | Mixed -> "mixed"
+
+type shape = {
+  min_threads : int;
+  max_threads : int;
+  max_epochs : int;
+  max_block : int;
+  n_addrs : int;
+  ragged : bool;
+}
+
+let default_shape =
+  {
+    min_threads = 1;
+    max_threads = 3;
+    max_epochs = 3;
+    max_block = 3;
+    n_addrs = 4;
+    ragged = true;
+  }
+
+(* Weighted choice: pick among [(weight, thunk)] pairs. *)
+let frequency rng choices =
+  let total = List.fold_left (fun n (w, _) -> n + w) 0 choices in
+  let k = Random.State.int rng total in
+  let rec pick k = function
+    | [] -> assert false
+    | (w, f) :: rest -> if k < w then f () else pick (k - w) rest
+  in
+  pick k choices
+
+let addr ~n_addrs rng = Random.State.int rng n_addrs
+
+(* Allocation traffic keeps bases and sizes tiny and overlapping so
+   double-allocs, frees of live neighbours and metadata races actually
+   happen within a three-epoch window. *)
+let alloc_instr ~n_addrs rng : Tracing.Instr.t =
+  let a () = addr ~n_addrs rng in
+  let base () = 2 * Random.State.int rng (max 1 (n_addrs / 2)) in
+  let size () = 1 + Random.State.int rng 2 in
+  frequency rng
+    [
+      (3, fun () -> Tracing.Instr.Malloc { base = base (); size = size () });
+      (3, fun () -> Tracing.Instr.Free { base = base (); size = size () });
+      (3, fun () -> Tracing.Instr.Read (a ()));
+      (2, fun () -> Tracing.Instr.Assign_const (a ()));
+      (2, fun () -> Tracing.Instr.Assign_unop (a (), a ()));
+      (1, fun () -> Tracing.Instr.Nop);
+    ]
+
+let init_instr ~n_addrs rng : Tracing.Instr.t =
+  let a () = addr ~n_addrs rng in
+  frequency rng
+    [
+      (3, fun () -> Tracing.Instr.Assign_const (a ()));
+      (3, fun () -> Tracing.Instr.Assign_unop (a (), a ()));
+      (2, fun () -> Tracing.Instr.Assign_binop (a (), a (), a ()));
+      (3, fun () -> Tracing.Instr.Read (a ()));
+      (1, fun () -> Tracing.Instr.Malloc { base = a (); size = 1 });
+      (1, fun () -> Tracing.Instr.Free { base = a (); size = 1 });
+      (1, fun () -> Tracing.Instr.Nop);
+    ]
+
+let taint_instr ~n_addrs rng : Tracing.Instr.t =
+  let a () = addr ~n_addrs rng in
+  frequency rng
+    [
+      (2, fun () -> Tracing.Instr.Taint_source (a ()));
+      (2, fun () -> Tracing.Instr.Untaint (a ()));
+      (2, fun () -> Tracing.Instr.Assign_const (a ()));
+      (3, fun () -> Tracing.Instr.Assign_unop (a (), a ()));
+      (3, fun () -> Tracing.Instr.Assign_binop (a (), a (), a ()));
+      (2, fun () -> Tracing.Instr.Jump_via (a ()));
+      (2, fun () -> Tracing.Instr.Syscall_arg (a ()));
+      (1, fun () -> Tracing.Instr.Read (a ()));
+      (1, fun () -> Tracing.Instr.Nop);
+    ]
+
+let instr profile ~n_addrs rng =
+  match profile with
+  | Alloc -> alloc_instr ~n_addrs rng
+  | Init -> init_instr ~n_addrs rng
+  | Taint -> taint_instr ~n_addrs rng
+  | Mixed ->
+    frequency rng
+      [
+        (1, fun () -> alloc_instr ~n_addrs rng);
+        (1, fun () -> init_instr ~n_addrs rng);
+        (1, fun () -> taint_instr ~n_addrs rng);
+      ]
+
+let grid ?(shape = default_shape) profile rng : Grid.t =
+  let threads =
+    shape.min_threads
+    + Random.State.int rng (shape.max_threads - shape.min_threads + 1)
+  in
+  let epochs = 1 + Random.State.int rng shape.max_epochs in
+  let block () =
+    (* Bias towards empty blocks under raggedness: a thread that receives
+       a heartbeat without having executed anything since the last one. *)
+    let len =
+      if shape.ragged && Random.State.int rng 5 = 0 then 0
+      else Random.State.int rng (shape.max_block + 1)
+    in
+    Array.init len (fun _ -> instr profile ~n_addrs:shape.n_addrs rng)
+  in
+  Array.init threads (fun _ ->
+      let mine =
+        if shape.ragged then Random.State.int rng (epochs + 1) else epochs
+      in
+      List.init mine (fun _ -> block ()))

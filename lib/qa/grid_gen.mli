@@ -1,0 +1,35 @@
+(** Seeded grid generators for the differential fuzzer.
+
+    Pure functions of a {!Random.State.t}: one integer seed reproduces a
+    whole fuzzing campaign.  The shapes are deliberately adversarial for
+    the butterfly drivers — ragged epoch counts (threads that heartbeat
+    early, late, or never), empty blocks (heartbeats with no work, i.e.
+    skewed heartbeat delivery), and tiny address universes so that
+    cross-thread conflicts, metadata races and taint chains are dense. *)
+
+type profile =
+  | Alloc  (** malloc/free/access traffic — AddrCheck's vocabulary *)
+  | Init  (** write-before-read traffic — InitCheck's vocabulary *)
+  | Taint  (** sources, sanitizers, inheritance, sinks — TaintCheck's *)
+  | Mixed  (** everything at once *)
+
+val profile_to_string : profile -> string
+
+type shape = {
+  min_threads : int;
+  max_threads : int;
+  max_epochs : int;  (** per-thread block-list length, 1..max *)
+  max_block : int;  (** instructions per block, 0..max *)
+  n_addrs : int;  (** address universe [0, n_addrs) *)
+  ragged : bool;
+      (** threads independently draw their epoch count (0..epochs) and may
+          emit empty blocks — the heartbeat-skew knob *)
+}
+
+val default_shape : shape
+(** 1–3 threads, ≤3 epochs, ≤3 instructions per block, 4 addresses,
+    ragged.  Small enough that the oracle's valid-ordering enumeration
+    stays feasible on every generated grid. *)
+
+val instr : profile -> n_addrs:int -> Random.State.t -> Tracing.Instr.t
+val grid : ?shape:shape -> profile -> Random.State.t -> Grid.t

@@ -1,0 +1,109 @@
+let m_steps = Obs.Counter.make "qa.shrink_steps"
+
+(* --- Candidate enumeration.  Coarse to fine; each candidate strictly
+   decreases (instr_count, weight), the termination measure. --- *)
+
+let drop_epoch (g : Grid.t) l : Grid.t =
+  Array.map (fun bs -> List.filteri (fun k _ -> k <> l) bs) g
+
+let drop_thread (g : Grid.t) t : Grid.t =
+  Array.of_list
+    (List.filteri (fun k _ -> k <> t) (Array.to_list g))
+
+let drop_instr (g : Grid.t) ~tid ~block ~index : Grid.t =
+  Array.mapi
+    (fun t bs ->
+      if t <> tid then bs
+      else
+        List.mapi
+          (fun k b ->
+            if k <> block then b
+            else
+              Array.of_list
+                (List.filteri (fun i _ -> i <> index) (Array.to_list b)))
+          bs)
+    g
+
+let replace_instr (g : Grid.t) ~tid ~block ~index instr : Grid.t =
+  Array.mapi
+    (fun t bs ->
+      if t <> tid then bs
+      else
+        List.mapi
+          (fun k b ->
+            if k <> block then b
+            else Array.mapi (fun i old -> if i = index then instr else old) b)
+          bs)
+    g
+
+(* Strictly weight-decreasing one-step simplifications of an instruction
+   (see Grid.weight): structural reductions first, then operand lowering. *)
+let simplify_instr (i : Tracing.Instr.t) : Tracing.Instr.t list =
+  let open Tracing.Instr in
+  match i with
+  | Assign_binop (x, a, b) -> [ Assign_unop (x, a); Assign_unop (x, b) ]
+  | Assign_unop (x, a) ->
+    [ Assign_const x ]
+    @ (if x > 0 then [ Assign_unop (0, a) ] else [])
+    @ if a > 0 then [ Assign_unop (x, 0) ] else []
+  | Assign_const x -> if x > 0 then [ Assign_const 0 ] else []
+  | Read a -> if a > 0 then [ Read 0 ] else []
+  | Malloc { base; size } ->
+    (if size > 1 then [ Malloc { base; size = 1 } ] else [])
+    @ if base > 0 then [ Malloc { base = 0; size } ] else []
+  | Free { base; size } ->
+    (if size > 1 then [ Free { base; size = 1 } ] else [])
+    @ if base > 0 then [ Free { base = 0; size } ] else []
+  | Taint_source x -> if x > 0 then [ Taint_source 0 ] else []
+  | Untaint x -> if x > 0 then [ Untaint 0 ] else []
+  | Jump_via x -> if x > 0 then [ Jump_via 0 ] else []
+  | Syscall_arg x -> if x > 0 then [ Syscall_arg 0 ] else []
+  | Nop -> []
+
+(* All one-step reductions of [g], coarsest first, lazily (a Seq so the
+   greedy search stops evaluating [fails] at the first accepted one). *)
+let candidates (g : Grid.t) : Grid.t Seq.t =
+  let epochs () =
+    Seq.init (Grid.num_epochs g) (fun k -> Grid.num_epochs g - 1 - k)
+    |> Seq.map (drop_epoch g)
+  in
+  let threads () =
+    if Grid.threads g <= 1 then Seq.empty
+    else
+      Seq.init (Grid.threads g) (fun k -> Grid.threads g - 1 - k)
+      |> Seq.map (drop_thread g)
+  in
+  let per_instr f =
+    Array.to_seqi g
+    |> Seq.concat_map (fun (tid, bs) ->
+           List.to_seq bs
+           |> Seq.mapi (fun block b -> (block, b))
+           |> Seq.concat_map (fun (block, b) ->
+                  Array.to_seqi b
+                  |> Seq.concat_map (fun (index, i) -> f ~tid ~block ~index i)))
+  in
+  let instr_drops () =
+    per_instr (fun ~tid ~block ~index _ ->
+        Seq.return (drop_instr g ~tid ~block ~index))
+  in
+  let simplifications () =
+    per_instr (fun ~tid ~block ~index i ->
+        List.to_seq (simplify_instr i)
+        |> Seq.map (replace_instr g ~tid ~block ~index))
+  in
+  Seq.concat
+    (List.to_seq [ epochs (); threads (); instr_drops (); simplifications () ])
+
+let shrink ?(max_steps = 10_000) ~fails g0 =
+  if not (fails g0) then
+    invalid_arg "Shrinker.shrink: the input grid does not fail";
+  let rec go g steps =
+    if steps >= max_steps then (g, steps)
+    else
+      match Seq.find fails (candidates g) with
+      | None -> (g, steps)
+      | Some g' ->
+        Obs.Counter.incr m_steps;
+        go g' (steps + 1)
+  in
+  go g0 0

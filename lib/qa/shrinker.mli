@@ -1,0 +1,30 @@
+(** Greedy delta-debugging minimizer for failing grids.
+
+    Given a grid on which [fails] holds, repeatedly tries reductions in
+    coarse-to-fine order — drop a whole epoch, drop a whole thread, drop a
+    single instruction, simplify one instruction's operands (binop →
+    unop → constant, addresses and allocation sizes towards their minima)
+    — keeping a candidate only when [fails] still holds on it.
+
+    Guarantees (property-tested in [test/test_qa.ml]):
+    {ul
+    {- the result still satisfies [fails];}
+    {- the result is never larger than the input: every accepted step
+       strictly decreases [(Grid.instr_count, Grid.weight)]
+       lexicographically, which also bounds the number of steps;}
+    {- the result is well-formed: it round-trips through
+       {!Tracing.Trace_codec} (via {!Grid.encode}/{!Grid.decode}).}}
+
+    [fails] is treated as a black box and must be exception-free (the
+    fuzz engine wraps the differential battery so that a crashing
+    candidate counts as not failing, keeping the shrink anchored to the
+    original kind of counterexample).
+
+    Each accepted reduction bumps the [qa.shrink_steps] counter. *)
+
+val shrink :
+  ?max_steps:int -> fails:(Grid.t -> bool) -> Grid.t -> Grid.t * int
+(** [shrink ~fails g] is [(g', steps)] with [steps] accepted reductions.
+    [max_steps] (default [10_000]) is a safety bound only — termination
+    does not depend on it.  Raises [Invalid_argument] if [fails g] does
+    not hold on the input. *)

@@ -44,6 +44,15 @@ let blocks t =
   acc := Array.of_list (List.rev !cur) :: !acc;
   List.rev !acc
 
+let of_blocks bs =
+  let buf = ref [] in
+  List.iteri
+    (fun k b ->
+      if k > 0 then buf := Event.Heartbeat :: !buf;
+      Array.iter (fun i -> buf := Event.Instr i :: !buf) b)
+    bs;
+  Array.of_list (List.rev !buf)
+
 let append = Array.append
 
 let pp ppf t =

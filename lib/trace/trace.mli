@@ -27,5 +27,11 @@ val blocks : t -> Instr.t array list
     order.  A trace with [k] heartbeats yields [k+1] blocks (possibly
     empty). *)
 
+val of_blocks : Instr.t array list -> t
+(** Inverse of {!blocks}: the events of the given blocks with a heartbeat
+    between consecutive blocks ([n] blocks yield [n-1] heartbeats; the
+    empty list yields the empty trace, which {!blocks} reads back as one
+    empty block). *)
+
 val append : t -> t -> t
 val pp : Format.formatter -> t -> unit

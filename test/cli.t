@@ -139,13 +139,72 @@ the lifeguard counters (names only; values are timings).
   "name":"scheduler.window_occupancy"
   "name":"scheduler.window_occupancy_hwm"
 
---domains 0 is a usage error, not a crash.
+--domains 0 is a usage error, not a crash — on every lifeguard, so the
+validation cannot drift between subcommands again.
 
   $ ../bin/butterfly_cli.exe taintcheck taint.trace --domains 0
   butterfly_cli: option '--domains': expected a positive integer
   Usage: butterfly_cli taintcheck [OPTION]… TRACE
   Try 'butterfly_cli taintcheck --help' or 'butterfly_cli --help' for more information.
   [124]
+
+  $ ../bin/butterfly_cli.exe addrcheck t.trace --domains 0
+  butterfly_cli: option '--domains': expected a positive integer
+  Usage: butterfly_cli addrcheck [OPTION]… TRACE
+  Try 'butterfly_cli addrcheck --help' or 'butterfly_cli --help' for more information.
+  [124]
+
+  $ ../bin/butterfly_cli.exe initcheck t.trace --domains 0
+  butterfly_cli: option '--domains': expected a positive integer
+  Usage: butterfly_cli initcheck [OPTION]… TRACE
+  Try 'butterfly_cli initcheck --help' or 'butterfly_cli --help' for more information.
+  [124]
+
+Negative counts are rejected the same way (cmdliner needs "--" is not
+involved: the option parser sees the value directly).
+
+  $ ../bin/butterfly_cli.exe addrcheck t.trace --domains=-2
+  butterfly_cli: option '--domains': expected a positive integer
+  Usage: butterfly_cli addrcheck [OPTION]… TRACE
+  Try 'butterfly_cli addrcheck --help' or 'butterfly_cli --help' for more information.
+  [124]
+
+The differential fuzzer (lib/qa): seeded campaigns are deterministic and
+quiet on a healthy tree.  Each grid runs through every driver x domains
+combination plus the valid-ordering soundness oracle.
+
+  $ ../bin/butterfly_cli.exe fuzz --lifeguard taintcheck --iterations 25 --seed 42
+  fuzz taintcheck: 25 grids, 0 mismatches
+
+  $ ../bin/butterfly_cli.exe fuzz --lifeguard addrcheck --iterations 10 --seed 7
+  fuzz addrcheck: 10 grids, 0 mismatches
+
+  $ ../bin/butterfly_cli.exe fuzz --lifeguard initcheck --iterations 10 --seed 7 --shrink
+  fuzz initcheck: 10 grids, 0 mismatches
+
+--iterations 0 is rejected by the same positive-int validator as
+--domains.
+
+  $ ../bin/butterfly_cli.exe fuzz --iterations 0
+  butterfly_cli: option '--iterations': expected a positive integer
+  Usage: butterfly_cli fuzz [OPTION]…
+  Try 'butterfly_cli fuzz --help' or 'butterfly_cli --help' for more information.
+  [124]
+
+fuzz --replay runs the battery on a serialized trace — the replay path a
+shrunk counterexample file goes through.
+
+  $ ../bin/butterfly_cli.exe fuzz --replay taint.trace --lifeguard taintcheck
+  replay taint.trace taintcheck: 0 mismatches
+
+The fuzz run emits its qa.* telemetry under --stats (names only; values
+are counters and timings).
+
+  $ ../bin/butterfly_cli.exe fuzz --lifeguard initcheck --iterations 2 --seed 7 --stats=json | tail -1 \
+  >   | tr ',' '\n' | grep -o '"name":"qa[^"]*"' | sort -u
+  "name":"qa.check.ns"
+  "name":"qa.grids"
+  "name":"qa.mismatches"
 
 A truncated binary trace is a clean CLI error.
 

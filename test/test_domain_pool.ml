@@ -41,6 +41,23 @@ let map_array_empty =
             "empty" [||]
             (Pool.map_array pool (fun i -> i) [||])))
 
+let single_worker =
+  Alcotest.test_case "pool of size 1 serializes but completes everything"
+    `Quick (fun () ->
+      with_pool ~domains:1 (fun pool ->
+          Alcotest.(check int) "size" 1 (Pool.size pool);
+          let input = Array.init 100 (fun i -> i) in
+          Alcotest.(check (array int))
+            "map_array in order"
+            (Array.map (fun i -> i + 1) input)
+            (Pool.map_array pool (fun i -> i + 1) input);
+          (* Interleaved async/await cycles on the single worker: each
+             future must resolve even though every task shares one queue. *)
+          for k = 0 to 9 do
+            Alcotest.(check int) "async round" (k * 3)
+              (Pool.await (Pool.async pool (fun () -> k * 3)))
+          done))
+
 exception Boom of int
 
 let exception_propagation =
@@ -56,6 +73,39 @@ let exception_propagation =
           (* The pool survives a failed task. *)
           Alcotest.(check int) "still alive" 7
             (Pool.await (Pool.async pool (fun () -> 7)))))
+
+let exception_in_map_array =
+  Alcotest.test_case "map_array re-raises and leaves the pool reusable"
+    `Quick (fun () ->
+      with_pool ~domains:2 (fun pool ->
+          (match
+             Pool.map_array pool
+               (fun i -> if i = 5 then raise (Boom i) else i)
+               (Array.init 16 (fun i -> i))
+           with
+          | exception Boom 5 -> ()
+          | exception e ->
+            Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+          | _ -> Alcotest.fail "expected Boom");
+          (* Every task of the failed batch has drained; the pool keeps
+             serving both entry points afterwards. *)
+          Alcotest.(check (array int))
+            "pool reusable for map_array" [| 0; 2; 4 |]
+            (Pool.map_array pool (fun i -> 2 * i) [| 0; 1; 2 |]);
+          Alcotest.(check int) "pool reusable for async" 9
+            (Pool.await (Pool.async pool (fun () -> 9)))))
+
+let exception_on_single_worker =
+  Alcotest.test_case "a failed task does not wedge a size-1 pool" `Quick
+    (fun () ->
+      with_pool ~domains:1 (fun pool ->
+          (match Pool.await (Pool.async pool (fun () -> raise (Boom 1))) with
+          | exception Boom 1 -> ()
+          | exception e ->
+            Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+          | _ -> Alcotest.fail "expected Boom");
+          Alcotest.(check int) "still serving" 4
+            (Pool.await (Pool.async pool (fun () -> 4)))))
 
 let backpressure =
   Alcotest.test_case "submit blocks on a full queue, nothing is lost" `Quick
@@ -95,9 +145,26 @@ let shutdown_idempotent =
       Alcotest.(check int) "works" 3 (Pool.await (Pool.async pool (fun () -> 3)));
       Pool.shutdown pool;
       Pool.shutdown pool;
-      match Pool.async pool (fun () -> 0) with
+      (match Pool.async pool (fun () -> 0) with
       | exception Invalid_argument _ -> ()
-      | _ -> Alcotest.fail "expected Invalid_argument after shutdown")
+      | _ -> Alcotest.fail "expected Invalid_argument after shutdown");
+      (* Same for the batch entry point: tasks submitted after teardown
+         must be rejected, not silently dropped. *)
+      (match Pool.map_array pool (fun i -> i) [| 1; 2; 3 |] with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument after shutdown");
+      (* The empty batch submits nothing, so it is the one map_array call
+         that still succeeds on a dead pool. *)
+      Alcotest.(check (array int))
+        "empty map_array is submission-free" [||]
+        (Pool.map_array pool (fun i -> i) [||]);
+      (* Futures resolved before teardown remain readable after it. *)
+      let pool2 = Pool.create ~name:"test" ~domains:1 () in
+      let fut = Pool.async pool2 (fun () -> 11) in
+      Alcotest.(check int) "resolve before shutdown" 11 (Pool.await fut);
+      Pool.shutdown pool2;
+      Alcotest.(check int) "await is idempotent after teardown" 11
+        (Pool.await fut))
 
 let () =
   Alcotest.run "domain_pool"
@@ -105,6 +172,8 @@ let () =
       ( "pool",
         [
           map_array_order; map_array_deterministic; map_array_empty;
-          exception_propagation; backpressure; size_capped; shutdown_idempotent;
+          single_worker; exception_propagation; exception_in_map_array;
+          exception_on_single_worker; backpressure; size_capped;
+          shutdown_idempotent;
         ] );
     ]
