@@ -224,11 +224,67 @@ let domains_arg =
              count) instead of the sequential batch driver.  The output is \
              identical in either mode.")
 
+(* Checkpoint/restore plumbing (lib/recovery), shared by the three
+   lifeguard subcommands. *)
+
+let ckpt_every_arg =
+  Arg.(value & opt (some positive_int) None
+       & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Snapshot the analysis state every $(docv) epochs (default 1 \
+                 when only $(b,--checkpoint-out) is given).  Requires \
+                 $(b,--checkpoint-out).")
+
+let ckpt_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint-out" ] ~docv:"FILE"
+           ~doc:"Checkpoint snapshot file, atomically overwritten at each \
+                 checkpoint; resume with $(b,--resume) $(docv).")
+
+let resume_arg =
+  Arg.(value & opt (some string) None
+       & info [ "resume" ] ~docv:"FILE"
+           ~doc:"Resume the analysis from a checkpoint snapshot written by \
+                 $(b,--checkpoint-out), feeding only the remaining epochs of \
+                 TRACE.  The report is identical to an uninterrupted run.")
+
+let checkpointing_of every out =
+  match (every, out) with
+  | None, None -> None
+  | Some _, None ->
+    prerr_endline "error: --checkpoint-every requires --checkpoint-out";
+    exit 2
+  | every, Some path ->
+    Some { Recovery.Runner.every = Option.value every ~default:1; path }
+
+let with_pool_opt domains f =
+  match domains with
+  | None -> f None
+  | Some n ->
+    Butterfly.Domain_pool.with_pool ~name:"cli" ~domains:n (fun p -> f (Some p))
+
+(* Route a lifeguard run through [Recovery.Runner] when any checkpoint or
+   resume flag is present; the plain batch driver otherwise. *)
+let run_with_recovery ~batch ~fresh ~resumed ~domains ~checkpoint ~resume
+    epochs =
+  match (resume, checkpoint) with
+  | None, None -> batch ~domains epochs
+  | resume, checkpoint ->
+    with_pool_opt domains (fun pool ->
+        match resume with
+        | None -> fresh ?pool ?checkpoint epochs
+        | Some path -> (
+          match resumed ?pool ?checkpoint ~path epochs with
+          | Ok r -> r
+          | Error m ->
+            prerr_endline ("error: " ^ m);
+            exit 2))
+
 let load_program path h =
   let raw = In_channel.with_open_bin path In_channel.input_all in
   let decoded =
-    if String.length raw >= 5 && String.sub raw 0 5 = "BFLY1" then
-      Tracing.Trace_codec.decode_binary raw
+    let m = Tracing.Trace_codec.binary_magic in
+    if String.length raw >= String.length m && String.sub raw 0 (String.length m) = m
+    then Tracing.Trace_codec.decode_binary raw
     else Tracing.Trace_codec.decode raw
   in
   match decoded with
@@ -238,11 +294,17 @@ let load_program path h =
   | Ok p -> if h > 0 then Machine.Heartbeat.insert ~every:h p else p
 
 let addrcheck_cmd =
-  let run path h domains json stats =
+  let run path h domains every out resume json stats =
     with_stats stats (fun () ->
         let p = load_program path h in
         let r =
-          Lifeguards.Addrcheck.run ?domains (Butterfly.Epochs.of_program p)
+          run_with_recovery
+            ~batch:(fun ~domains epochs -> Lifeguards.Addrcheck.run ?domains epochs)
+            ~fresh:(fun ?pool ?checkpoint epochs ->
+              Recovery.Runner.run_addrcheck ?pool ?checkpoint epochs)
+            ~resumed:Recovery.Runner.resume_addrcheck ~domains
+            ~checkpoint:(checkpointing_of every out) ~resume
+            (Butterfly.Epochs.of_program p)
         in
         if stats <> None then replay_window_metrics p;
         if json then
@@ -261,14 +323,21 @@ let addrcheck_cmd =
         end)
   in
   Cmd.v (Cmd.info "addrcheck" ~doc:"Run butterfly AddrCheck on a trace file")
-    Term.(const run $ trace_arg $ h_arg $ domains_arg $ json_arg $ stats_arg)
+    Term.(const run $ trace_arg $ h_arg $ domains_arg $ ckpt_every_arg
+          $ ckpt_out_arg $ resume_arg $ json_arg $ stats_arg)
 
 let initcheck_cmd =
-  let run path h domains json stats =
+  let run path h domains every out resume json stats =
     with_stats stats (fun () ->
         let p = load_program path h in
         let r =
-          Lifeguards.Initcheck.run ?domains (Butterfly.Epochs.of_program p)
+          run_with_recovery
+            ~batch:(fun ~domains epochs -> Lifeguards.Initcheck.run ?domains epochs)
+            ~fresh:(fun ?pool ?checkpoint epochs ->
+              Recovery.Runner.run_initcheck ?pool ?checkpoint epochs)
+            ~resumed:Recovery.Runner.resume_initcheck ~domains
+            ~checkpoint:(checkpointing_of every out) ~resume
+            (Butterfly.Epochs.of_program p)
         in
         if stats <> None then replay_window_metrics p;
         if json then
@@ -289,14 +358,23 @@ let initcheck_cmd =
   Cmd.v
     (Cmd.info "initcheck"
        ~doc:"Run butterfly InitCheck (uninitialized reads) on a trace file")
-    Term.(const run $ trace_arg $ h_arg $ domains_arg $ json_arg $ stats_arg)
+    Term.(const run $ trace_arg $ h_arg $ domains_arg $ ckpt_every_arg
+          $ ckpt_out_arg $ resume_arg $ json_arg $ stats_arg)
 
 let taintcheck_cmd =
-  let run path h relaxed domains json stats =
+  let run path h relaxed domains every out resume json stats =
     with_stats stats (fun () ->
         let p = load_program path h in
         let r =
-          Lifeguards.Taintcheck.run ~sequential:(not relaxed) ?domains
+          run_with_recovery
+            ~batch:(fun ~domains epochs ->
+              Lifeguards.Taintcheck.run ~sequential:(not relaxed) ?domains
+                epochs)
+            ~fresh:(fun ?pool ?checkpoint epochs ->
+              Recovery.Runner.run_taintcheck ?pool ~sequential:(not relaxed)
+                ?checkpoint epochs)
+            ~resumed:Recovery.Runner.resume_taintcheck ~domains
+            ~checkpoint:(checkpointing_of every out) ~resume
             (Butterfly.Epochs.of_program p)
         in
         if stats <> None then replay_window_metrics p;
@@ -328,8 +406,8 @@ let taintcheck_cmd =
          ~doc:"Use the relaxed-consistency termination condition.")
   in
   Cmd.v (Cmd.info "taintcheck" ~doc:"Run butterfly TaintCheck on a trace file")
-    Term.(const run $ trace_arg $ h_arg $ relaxed_arg $ domains_arg $ json_arg
-          $ stats_arg)
+    Term.(const run $ trace_arg $ h_arg $ relaxed_arg $ domains_arg
+          $ ckpt_every_arg $ ckpt_out_arg $ resume_arg $ json_arg $ stats_arg)
 
 let stats_cmd =
   let run path h domains lifeguard json =
@@ -367,7 +445,7 @@ let stats_cmd =
    with greedy minimization of any counterexample. *)
 
 let fuzz_cmd =
-  let run lifeguard iterations seed shrink out replay stats =
+  let run lifeguard iterations seed shrink crash_at out replay stats =
     with_stats stats (fun () ->
         let lifeguards =
           match lifeguard with
@@ -407,7 +485,12 @@ let fuzz_cmd =
           List.iter
             (fun lg ->
               let config =
-                { Qa.Engine.default_config with iterations; seed; shrink }
+                let crash =
+                  Option.map
+                    (fun crash_at -> { Qa.Engine.crash_at; every = 1 })
+                    crash_at
+                in
+                { Qa.Engine.default_config with iterations; seed; shrink; crash }
               in
               let outcome = Qa.Engine.run ~config lg in
               match outcome.counterexample with
@@ -472,13 +555,36 @@ let fuzz_cmd =
          ~doc:"Skip generation: run the differential battery on this trace \
                file (heartbeats in the file delimit the epochs).")
   in
+  let crash_at_arg =
+    let crash_conv =
+      let parse s =
+        if String.equal s "random" then Ok None
+        else
+          match int_of_string_opt s with
+          | Some n when n >= 0 -> Ok (Some n)
+          | Some _ | None ->
+            Error (`Msg "expected 'random' or a non-negative epoch number")
+      in
+      let print ppf = function
+        | None -> Format.pp_print_string ppf "random"
+        | Some n -> Format.pp_print_int ppf n
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(value & opt (some crash_conv) None & info [ "crash-at" ] ~docv:"EPOCH"
+         ~doc:"Also exercise checkpoint/restore on every generated grid: \
+               checkpoint each epoch, kill the run at $(docv) ($(b,random) \
+               draws a seeded epoch per iteration), resume from the latest \
+               snapshot and require a byte-identical report.  Ignored with \
+               $(b,--replay).")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Differentially fuzz the butterfly lifeguards: random grids \
              through all driver/domain/memory-model combinations plus the \
              valid-ordering soundness oracle; exits non-zero on mismatch")
     Term.(const run $ lifeguard_arg $ iterations_arg $ fuzz_seed_arg
-          $ shrink_arg $ out_arg $ replay_arg $ stats_arg)
+          $ shrink_arg $ crash_at_arg $ out_arg $ replay_arg $ stats_arg)
 
 let generate_cmd =
   let run name threads scale seed binary stats =

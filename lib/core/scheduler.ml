@@ -263,6 +263,156 @@ module Make (P : Dataflow.PROBLEM) = struct
   let epochs_completed t = t.processed
   let max_resident_epochs t = t.hwm
 
+  (* ---------------- Checkpointing ----------------
+
+     A scheduler is durable state plus transient plumbing.  The durable
+     part is exactly the bounded sliding window: open buffers, closed-block
+     counts, the resident summary/block/epoch-summary rows, the SOS levels
+     computed so far and the cursor counters.  The transient part (pool,
+     in-flight pass-1 futures, the [on_instr] sink) is re-supplied on
+     restore — after quiescing, the pending table is empty by
+     construction, so it never needs representing. *)
+
+  type set_codec = {
+    put_set : Tracing.Binio.W.t -> D.Set.t -> unit;
+    get_set : Tracing.Binio.R.t -> D.Set.t;
+  }
+
+  let sorted_entries tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+  let encode_state ~set t =
+    (* Resolve every in-flight pass-1 future: workers' results become
+       master-side rows, so the snapshot is self-contained. *)
+    Hashtbl.iter (fun epoch row -> ignore (resolve_row t epoch row)) t.summaries;
+    let module W = Tracing.Binio.W in
+    let w = W.create () in
+    let put_instrs w instrs = W.array w Tracing.Trace_codec.put_instr instrs in
+    let put_summary w (s : D.block_summary) =
+      put_instrs w s.D.block.Block.instrs;
+      set.put_set w s.D.gen;
+      set.put_set w s.D.kill;
+      set.put_set w s.D.gen_union;
+      set.put_set w s.D.kill_union
+    in
+    W.varint w t.threads;
+    Array.iter (fun b -> W.list w Tracing.Trace_codec.put_instr b) t.buffers;
+    Array.iter (fun c -> W.varint w c) t.completed;
+    W.list w
+      (fun w (epoch, row) ->
+        W.varint w epoch;
+        W.array w put_summary row)
+      (sorted_entries t.summaries);
+    W.list w
+      (fun w (epoch, row) ->
+        W.varint w epoch;
+        W.array w (fun w (b : Block.t) -> put_instrs w b.Block.instrs) row)
+      (sorted_entries t.blocks);
+    W.list w
+      (fun w (epoch, (s : D.epoch_summary)) ->
+        W.varint w epoch;
+        set.put_set w s.D.gen_l;
+        set.put_set w s.D.kill_l)
+      (sorted_entries t.epoch_sums);
+    W.list w
+      (fun w (l, s) ->
+        W.varint w l;
+        set.put_set w s)
+      (sorted_entries t.sos_tbl);
+    W.varint w t.sos_filled;
+    W.varint w t.processed;
+    W.varint w t.hwm;
+    W.bool w t.finished;
+    W.contents w
+
+  let decode_state ~set ?pool ~on_instr s =
+    let module R = Tracing.Binio.R in
+    let r = R.of_string s in
+    let get_instrs r = R.array r Tracing.Trace_codec.read_instr in
+    let threads = R.varint r in
+    if threads <= 0 then raise (R.Corrupt "scheduler state: bad thread count");
+    let buffers =
+      Array.init threads (fun _ -> R.list r Tracing.Trace_codec.read_instr)
+    in
+    let completed = Array.init threads (fun _ -> R.varint r) in
+    let tbl_of entries =
+      let tbl = Hashtbl.create 16 in
+      List.iter (fun (k, v) -> Hashtbl.replace tbl k v) entries;
+      tbl
+    in
+    let summaries =
+      tbl_of
+        (R.list r (fun r ->
+             let epoch = R.varint r in
+             let row =
+               R.array r (fun r ->
+                   let instrs = get_instrs r in
+                   let gen = set.get_set r in
+                   let kill = set.get_set r in
+                   let gen_union = set.get_set r in
+                   let kill_union = set.get_set r in
+                   (instrs, gen, kill, gen_union, kill_union))
+             in
+             if Array.length row <> threads then
+               raise (R.Corrupt "scheduler state: ragged summary row");
+             ( epoch,
+               Array.mapi
+                 (fun tid (instrs, gen, kill, gen_union, kill_union) ->
+                   {
+                     D.block = Block.make ~epoch ~tid instrs;
+                     gen;
+                     kill;
+                     gen_union;
+                     kill_union;
+                   })
+                 row )))
+    in
+    let blocks =
+      tbl_of
+        (R.list r (fun r ->
+             let epoch = R.varint r in
+             let row = R.array r get_instrs in
+             if Array.length row <> threads then
+               raise (R.Corrupt "scheduler state: ragged block row");
+             (epoch, Array.mapi (fun tid instrs -> Block.make ~epoch ~tid instrs) row)))
+    in
+    let epoch_sums =
+      tbl_of
+        (R.list r (fun r ->
+             let epoch = R.varint r in
+             let gen_l = set.get_set r in
+             let kill_l = set.get_set r in
+             (epoch, { D.gen_l; kill_l })))
+    in
+    let sos_tbl =
+      tbl_of
+        (R.list r (fun r ->
+             let l = R.varint r in
+             (l, set.get_set r)))
+    in
+    let sos_filled = R.varint r in
+    let processed = R.varint r in
+    let hwm = R.varint r in
+    let finished = R.bool r in
+    R.expect_end r;
+    {
+      threads;
+      pool;
+      on_instr;
+      buffers;
+      completed;
+      summaries;
+      pending = Hashtbl.create 16;
+      blocks;
+      epoch_sums;
+      sos_tbl;
+      sos_filled;
+      processed;
+      hwm;
+      finished;
+    }
+
   let run_epochs ?pool ~on_instr epochs =
     let threads = Epochs.threads epochs in
     let num_l = Epochs.num_epochs epochs in

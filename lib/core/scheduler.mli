@@ -76,6 +76,38 @@ module Make (P : Dataflow.PROBLEM) : sig
 
   val max_resident_epochs : t -> int
   (** High-water mark of epochs simultaneously buffered. *)
+
+  (** {2 Checkpointing}
+
+      The durable state of a scheduler is exactly its bounded sliding
+      window — open per-thread buffers, closed-block counts, the resident
+      summary/block/epoch-summary rows, the SOS levels and the cursor
+      counters.  {!encode_state} serializes it (resolving any in-flight
+      pooled pass-1 work first, so snapshots are self-contained);
+      {!decode_state} rebuilds a live scheduler that continues exactly
+      where the snapshot left off: feeding the remaining events produces
+      the same [on_instr] view sequence and SOS history as an
+      uninterrupted run (property-tested in [test/test_recovery.ml]).
+      The fact-set representation is problem-specific, so the caller
+      supplies its codec; the payload carries no framing — wrap it in a
+      {!Tracing.Binio.frame} (as [lib/recovery] does) before persisting. *)
+
+  type set_codec = {
+    put_set : Tracing.Binio.W.t -> D.Set.t -> unit;
+    get_set : Tracing.Binio.R.t -> D.Set.t;
+  }
+
+  val encode_state : set:set_codec -> t -> string
+
+  val decode_state :
+    set:set_codec ->
+    ?pool:Domain_pool.t ->
+    on_instr:(D.instr_view -> unit) ->
+    string ->
+    t
+  (** Raises {!Tracing.Binio.R.Corrupt} on a malformed payload.  [pool]
+      and [on_instr] are the transient plumbing re-supplied on restore;
+      they play the same roles as in {!create}. *)
 end
 
 (** Epoch-barrier fan-out for analyses outside {!Dataflow.PROBLEM}.

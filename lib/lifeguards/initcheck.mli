@@ -33,3 +33,37 @@ val run :
 
 val flagged_addresses : report -> Butterfly.Interval_set.t
 val pp_error : Format.formatter -> error -> unit
+
+val fingerprint : report -> string
+(** Canonical one-line digest of a report (counts, every error, the full
+    SOS history).  Two reports fingerprint equal iff they are
+    semantically identical — the equality used by the resume-equivalence
+    and differential test suites. *)
+
+(** Checkpointable epoch-incremental engine.
+
+    Feed whole epoch rows one at a time; between any two rows the engine
+    can be serialized with {!Resumable.encode} and later revived with
+    {!Resumable.decode}, and the resumed run's {!Resumable.finish} report
+    is byte-identical to an uninterrupted run's (see [test_recovery]).
+    The payload is raw — [lib/recovery] wraps it in a versioned,
+    CRC-guarded envelope. *)
+module Resumable : sig
+  type state
+
+  val create : ?pool:Butterfly.Domain_pool.t -> threads:int -> unit -> state
+
+  val feed_epoch : state -> Tracing.Instr.t array array -> unit
+  (** One epoch row, indexed by tid; width must equal [threads]. *)
+
+  val epochs_fed : state -> int
+
+  val finish : state -> report
+  (** Close the final epoch and produce the report.  The state must not
+      be used afterwards. *)
+
+  val encode : state -> string
+
+  val decode : ?pool:Butterfly.Domain_pool.t -> string -> (state, string) result
+  (** [Error _] on any malformed payload (never raises). *)
+end

@@ -185,3 +185,36 @@ let check_oracle config lifeguard g =
 
 let check ?(config = default_config) ?(pools = []) lifeguard g =
   check_drivers lifeguard pools g @ check_oracle config lifeguard g
+
+let snapshot_tag = function
+  | Addrcheck -> Recovery.Snapshot.Addrcheck
+  | Initcheck -> Recovery.Snapshot.Initcheck
+  | Taintcheck -> Recovery.Snapshot.Taintcheck
+
+let check_recovery ?pool ?(every = 1) ?crash_at ?(seed = 0) lifeguard g =
+  let path = Filename.temp_file "bfly-ckpt" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  match
+    Recovery.Crash_sim.run ?pool ?crash_at ~seed ~every ~path
+      (snapshot_tag lifeguard) (Grid.epochs g)
+  with
+  | Error m ->
+    [ { lifeguard; subject = "crash-recovery: resume failed"; details = [ m ] } ]
+  | Ok o when not o.Recovery.Crash_sim.equal ->
+    [
+      {
+        lifeguard;
+        subject =
+          Printf.sprintf
+            "crash-recovery: crash at epoch %d, resumed from snapshot at %d"
+            o.Recovery.Crash_sim.crash_epoch o.Recovery.Crash_sim.resumed_from;
+        details =
+          [
+            "straight: " ^ o.Recovery.Crash_sim.straight_fp;
+            "resumed:  " ^ o.Recovery.Crash_sim.resumed_fp;
+          ];
+      };
+    ]
+  | Ok _ -> []

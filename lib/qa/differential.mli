@@ -61,3 +61,18 @@ val check :
     pools reused across calls (the fuzz engine shares two across its
     whole corpus); when omitted, only the sequential driver runs and the
     battery degrades to the oracle checks. *)
+
+val check_recovery :
+  ?pool:Butterfly.Domain_pool.t ->
+  ?every:int ->
+  ?crash_at:int ->
+  ?seed:int ->
+  lifeguard ->
+  Grid.t ->
+  mismatch list
+(** Crash-recovery check ({!Recovery.Crash_sim}): run the grid with a
+    checkpoint every [every] epochs (default 1), kill the run at
+    [crash_at] — or at a [seed]-determined epoch — resume from the
+    surviving snapshot, and compare fingerprints with an uninterrupted
+    run.  The snapshot lives in a temp file, removed afterwards.  A
+    mismatch here is a checkpoint/restore bug. *)

@@ -1,9 +1,12 @@
+type crash = { crash_at : int option; every : int }
+
 type config = {
   iterations : int;
   seed : int;
   shrink : bool;
   shape : Grid_gen.shape;
   diff : Differential.config;
+  crash : crash option;
 }
 
 let default_config =
@@ -13,6 +16,7 @@ let default_config =
     shrink = true;
     shape = Grid_gen.default_shape;
     diff = Differential.default_config;
+    crash = None;
   }
 
 type counterexample = {
@@ -53,15 +57,28 @@ let run ?pools ?(config = default_config) lifeguard =
   with_default_pools pools @@ fun pools ->
   let rng = Random.State.make [| config.seed; 0x9a5eed |] in
   let profile = Differential.profile_of lifeguard in
-  let check g =
-    Differential.check ~config:config.diff ~pools lifeguard g
+  let check ~crash_seed g =
+    let base = Differential.check ~config:config.diff ~pools lifeguard g in
+    match config.crash with
+    | None -> base
+    | Some c ->
+      (* The most concurrent pool on offer exercises pooled resume. *)
+      let pool =
+        match List.rev pools with [] -> None | p :: _ -> Some p
+      in
+      base
+      @ Differential.check_recovery ?pool ~every:c.every ?crash_at:c.crash_at
+          ~seed:crash_seed lifeguard g
   in
   let rec loop i =
     if i >= config.iterations then { lifeguard; grids = i; counterexample = None }
     else begin
       let g = Grid_gen.grid ~shape:config.shape profile rng in
+      (* Derived, not drawn from [rng]: the grid stream stays identical
+         whether or not the crash checks are enabled. *)
+      let crash_seed = (config.seed * 1_000_003) + i in
       Obs.Counter.incr m_grids;
-      match Obs.Span.time sp_check (fun () -> check g) with
+      match Obs.Span.time sp_check (fun () -> check ~crash_seed g) with
       | [] -> loop (i + 1)
       | mismatches ->
         Obs.Counter.add m_mismatches (List.length mismatches);
@@ -71,7 +88,7 @@ let run ?pools ?(config = default_config) lifeguard =
             (* A candidate that crashes the battery is a different bug:
                treat it as not failing so the minimization stays anchored
                to the mismatch actually found. *)
-            let fails g' = match check g' with [] -> false | _ -> true | exception _ -> false in
+            let fails g' = match check ~crash_seed g' with [] -> false | _ -> true | exception _ -> false in
             let g', steps =
               Obs.Span.time sp_shrink (fun () -> Shrinker.shrink ~fails g)
             in

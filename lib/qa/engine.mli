@@ -13,17 +13,25 @@
     reductions, unlabelled — emitted by {!Shrinker}), and the
     [qa.check.ns] / [qa.shrink.ns] spans. *)
 
+type crash = {
+  crash_at : int option;
+      (** kill at this epoch, or [None] for a per-iteration seeded one *)
+  every : int;  (** checkpoint interval while the doomed run lives *)
+}
+
 type config = {
   iterations : int;
   seed : int;
   shrink : bool;  (** minimize the first failing grid *)
   shape : Grid_gen.shape;
   diff : Differential.config;
+  crash : crash option;
+      (** also run {!Differential.check_recovery} on every grid *)
 }
 
 val default_config : config
 (** 100 iterations, seed 1, shrinking on, {!Grid_gen.default_shape},
-    {!Differential.default_config}. *)
+    {!Differential.default_config}, crash checks off. *)
 
 type counterexample = {
   iteration : int;  (** 0-based iteration that produced it *)

@@ -1,0 +1,60 @@
+module W = Tracing.Binio.W
+module R = Tracing.Binio.R
+
+type lifeguard = Addrcheck | Initcheck | Taintcheck
+
+let lifeguard_to_string = function
+  | Addrcheck -> "addrcheck"
+  | Initcheck -> "initcheck"
+  | Taintcheck -> "taintcheck"
+
+type meta = { lifeguard : lifeguard; next_epoch : int; threads : int }
+
+let magic = "BFLYCKPT"
+let version = 1
+
+let encode meta payload =
+  let w = W.create () in
+  W.u8 w
+    (match meta.lifeguard with
+    | Addrcheck -> 0
+    | Initcheck -> 1
+    | Taintcheck -> 2);
+  W.varint w meta.next_epoch;
+  W.varint w meta.threads;
+  W.string w payload;
+  Tracing.Binio.frame ~magic ~version (W.contents w)
+
+let decode s =
+  match Tracing.Binio.unframe ~magic ~version s with
+  | Error _ as e -> e
+  | Ok body -> (
+    match
+      let r = R.of_string body in
+      let lifeguard =
+        match R.u8 r with
+        | 0 -> Addrcheck
+        | 1 -> Initcheck
+        | 2 -> Taintcheck
+        | t -> raise (R.Corrupt (Printf.sprintf "bad lifeguard tag %d" t))
+      in
+      let next_epoch = R.varint r in
+      let threads = R.varint r in
+      let payload = R.string r in
+      R.expect_end r;
+      ({ lifeguard; next_epoch; threads }, payload)
+    with
+    | result -> Ok result
+    | exception R.Corrupt m -> Error ("corrupt checkpoint metadata: " ^ m))
+
+let write_file ~path meta payload =
+  let data = encode meta payload in
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc data);
+  Sys.rename tmp path;
+  String.length data
+
+let read_file ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | data -> decode data
+  | exception Sys_error m -> Error (Printf.sprintf "cannot read checkpoint %s: %s" path m)

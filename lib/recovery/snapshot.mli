@@ -1,0 +1,42 @@
+(** Durable checkpoint snapshots.
+
+    A snapshot is the envelope every checkpoint travels in on disk:
+    {!Tracing.Binio.frame} (magic, format-version byte, CRC32 trailer)
+    around a small metadata header and the lifeguard engine's raw state
+    payload ([Resumable.encode]).  The metadata is what restore needs to
+    {e refuse} early with a precise message — resuming AddrCheck state
+    into TaintCheck, or a 4-thread checkpoint against a 2-thread trace —
+    before the payload is even parsed.
+
+    Writes are atomic (temp file + rename): a crash mid-checkpoint leaves
+    the previous snapshot intact, never a torn file. *)
+
+type lifeguard = Addrcheck | Initcheck | Taintcheck
+
+val lifeguard_to_string : lifeguard -> string
+
+type meta = {
+  lifeguard : lifeguard;
+  next_epoch : int;  (** epochs already folded in; resume feeds from here *)
+  threads : int;
+}
+
+val magic : string
+(** ["BFLYCKPT"]. *)
+
+val version : int
+
+val encode : meta -> string -> string
+(** [encode meta payload] is the complete framed snapshot. *)
+
+val decode : string -> (meta * string, string) result
+(** Errors (stable): the {!Tracing.Binio.unframe} messages for a damaged
+    envelope, or ["corrupt checkpoint metadata: _"] for a valid envelope
+    with an unreadable header. *)
+
+val write_file : path:string -> meta -> string -> int
+(** Atomically persist a snapshot; returns the byte size written. *)
+
+val read_file : path:string -> (meta * string, string) result
+(** [Error _] also covers an unreadable/missing file
+    (["cannot read checkpoint _: _"]). *)

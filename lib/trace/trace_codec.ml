@@ -154,131 +154,131 @@ let roundtrip_exn p =
   | Error m -> failwith ("Trace_codec.roundtrip_exn: " ^ m)
 
 (* ------------------------------------------------------------------ *)
-(* Binary format. *)
+(* Binary format.
 
-let magic = "BFLY1"
+   Current layout (format version 2) is a {!Binio} envelope: magic
+   "BFLY", one version byte, the payload (varint thread count, then per
+   thread a varint event count followed by events), and a CRC32 trailer.
+   The legacy version-1 layout — the literal prefix "BFLY1" with the
+   same payload and no checksum — is still decoded for old trace files,
+   but never emitted. *)
 
-let put_varint buf n =
-  if n < 0 then invalid_arg "Trace_codec.encode_binary: negative operand";
-  let n = ref n in
-  let continue = ref true in
-  while !continue do
-    let b = !n land 0x7f in
-    n := !n lsr 7;
-    if !n = 0 then (
-      Buffer.add_char buf (Char.chr b);
-      continue := false)
-    else Buffer.add_char buf (Char.chr (b lor 0x80))
-  done
+let binary_magic = "BFLY"
+let binary_version = 2
+let legacy_magic = "BFLY1"
 
-let opcode = function
-  | Event.Heartbeat -> 0
-  | Event.Instr i -> (
-    match i with
-    | Instr.Nop -> 1
-    | Instr.Assign_const _ -> 2
-    | Instr.Assign_unop _ -> 3
-    | Instr.Assign_binop _ -> 4
-    | Instr.Read _ -> 5
-    | Instr.Malloc _ -> 6
-    | Instr.Free _ -> 7
-    | Instr.Taint_source _ -> 8
-    | Instr.Untaint _ -> 9
-    | Instr.Jump_via _ -> 10
-    | Instr.Syscall_arg _ -> 11)
+let instr_opcode = function
+  | Instr.Nop -> 1
+  | Instr.Assign_const _ -> 2
+  | Instr.Assign_unop _ -> 3
+  | Instr.Assign_binop _ -> 4
+  | Instr.Read _ -> 5
+  | Instr.Malloc _ -> 6
+  | Instr.Free _ -> 7
+  | Instr.Taint_source _ -> 8
+  | Instr.Untaint _ -> 9
+  | Instr.Jump_via _ -> 10
+  | Instr.Syscall_arg _ -> 11
 
-let put_event buf e =
-  Buffer.add_char buf (Char.chr (opcode e));
-  match e with
-  | Event.Heartbeat -> ()
-  | Event.Instr i -> (
-    match i with
-    | Instr.Nop -> ()
-    | Instr.Assign_const x | Instr.Read x | Instr.Taint_source x
-    | Instr.Untaint x | Instr.Jump_via x | Instr.Syscall_arg x ->
-      put_varint buf x
-    | Instr.Assign_unop (x, a) ->
-      put_varint buf x;
-      put_varint buf a
-    | Instr.Assign_binop (x, a, b) ->
-      put_varint buf x;
-      put_varint buf a;
-      put_varint buf b
-    | Instr.Malloc { base; size } | Instr.Free { base; size } ->
-      put_varint buf base;
-      put_varint buf size)
+let put_instr w i =
+  Binio.W.u8 w (instr_opcode i);
+  match i with
+  | Instr.Nop -> ()
+  | Instr.Assign_const x | Instr.Read x | Instr.Taint_source x
+  | Instr.Untaint x | Instr.Jump_via x | Instr.Syscall_arg x ->
+    Binio.W.varint w x
+  | Instr.Assign_unop (x, a) ->
+    Binio.W.varint w x;
+    Binio.W.varint w a
+  | Instr.Assign_binop (x, a, b) ->
+    Binio.W.varint w x;
+    Binio.W.varint w a;
+    Binio.W.varint w b
+  | Instr.Malloc { base; size } | Instr.Free { base; size } ->
+    Binio.W.varint w base;
+    Binio.W.varint w size
 
-let encode_binary p =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf magic;
-  put_varint buf (Program.threads p);
+let put_event w = function
+  | Event.Heartbeat -> Binio.W.u8 w 0
+  | Event.Instr i -> put_instr w i
+
+let instr_of_opcode r op =
+  let varint () = Binio.R.varint r in
+  match op with
+  | 1 -> Instr.Nop
+  | 2 -> Instr.Assign_const (varint ())
+  | 3 ->
+    let x = varint () in
+    Instr.Assign_unop (x, varint ())
+  | 4 ->
+    let x = varint () in
+    let a = varint () in
+    Instr.Assign_binop (x, a, varint ())
+  | 5 -> Instr.Read (varint ())
+  | 6 ->
+    let base = varint () in
+    Instr.Malloc { base; size = varint () }
+  | 7 ->
+    let base = varint () in
+    Instr.Free { base; size = varint () }
+  | 8 -> Instr.Taint_source (varint ())
+  | 9 -> Instr.Untaint (varint ())
+  | 10 -> Instr.Jump_via (varint ())
+  | 11 -> Instr.Syscall_arg (varint ())
+  | op -> raise (Binio.R.Corrupt (Printf.sprintf "unknown opcode %d" op))
+
+let read_instr r =
+  match Binio.R.u8 r with
+  | 0 -> raise (Binio.R.Corrupt "heartbeat opcode where an instruction was expected")
+  | op -> instr_of_opcode r op
+
+let read_event r =
+  match Binio.R.u8 r with
+  | 0 -> Event.Heartbeat
+  | op -> Event.Instr (instr_of_opcode r op)
+
+let put_payload w p =
+  Binio.W.varint w (Program.threads p);
   for t = 0 to Program.threads p - 1 do
     let events = Trace.events (Program.trace p t) in
-    put_varint buf (Array.length events);
-    Array.iter (put_event buf) events
-  done;
-  Buffer.contents buf
+    Binio.W.array w put_event events
+  done
 
-exception Malformed of string
+let encode_binary p =
+  let w = Binio.W.create () in
+  put_payload w p;
+  Binio.frame ~magic:binary_magic ~version:binary_version (Binio.W.contents w)
+
+let read_payload r =
+  let threads = Binio.R.varint r in
+  if threads <= 0 || threads > 4096 then
+    raise (Binio.R.Corrupt "bad thread count");
+  let ts =
+    List.init threads (fun _ ->
+        let n = Binio.R.varint r in
+        if n > 100_000_000 then raise (Binio.R.Corrupt "bad event count");
+        Trace.of_events (List.init n (fun _ -> read_event r)))
+  in
+  Binio.R.expect_end r;
+  Program.make ts
 
 let decode_binary s =
-  let pos = ref 0 in
-  let len = String.length s in
-  let byte () =
-    if !pos >= len then raise (Malformed "truncated input");
-    let b = Char.code s.[!pos] in
-    incr pos;
-    b
-  in
-  let varint () =
-    let rec go shift acc =
-      if shift > 56 then raise (Malformed "varint too long");
-      let b = byte () in
-      let acc = acc lor ((b land 0x7f) lsl shift) in
-      if b land 0x80 <> 0 then go (shift + 7) acc else acc
-    in
-    go 0 0
-  in
-  let event () =
-    match byte () with
-    | 0 -> Event.Heartbeat
-    | 1 -> Event.Instr Instr.Nop
-    | 2 -> Event.Instr (Instr.Assign_const (varint ()))
-    | 3 ->
-      let x = varint () in
-      Event.Instr (Instr.Assign_unop (x, varint ()))
-    | 4 ->
-      let x = varint () in
-      let a = varint () in
-      Event.Instr (Instr.Assign_binop (x, a, varint ()))
-    | 5 -> Event.Instr (Instr.Read (varint ()))
-    | 6 ->
-      let base = varint () in
-      Event.Instr (Instr.Malloc { base; size = varint () })
-    | 7 ->
-      let base = varint () in
-      Event.Instr (Instr.Free { base; size = varint () })
-    | 8 -> Event.Instr (Instr.Taint_source (varint ()))
-    | 9 -> Event.Instr (Instr.Untaint (varint ()))
-    | 10 -> Event.Instr (Instr.Jump_via (varint ()))
-    | 11 -> Event.Instr (Instr.Syscall_arg (varint ()))
-    | op -> raise (Malformed (Printf.sprintf "unknown opcode %d" op))
-  in
-  try
-    if len < String.length magic || String.sub s 0 (String.length magic) <> magic
-    then Error "bad magic"
-    else (
-      pos := String.length magic;
-      let threads = varint () in
-      if threads <= 0 || threads > 4096 then raise (Malformed "bad thread count");
-      let ts =
-        List.init threads (fun _ ->
-            let n = varint () in
-            if n < 0 || n > 100_000_000 then raise (Malformed "bad event count");
-            Trace.of_events (List.init n (fun _ -> event ())))
-      in
-      if !pos <> len then Error "trailing bytes" else Ok (Program.make ts))
-  with Malformed m -> Error m
+  let mlen = String.length legacy_magic in
+  if String.length s >= mlen && String.sub s 0 mlen = legacy_magic then
+    (* Legacy unchecksummed traces: payload starts right after "BFLY1". *)
+    match
+      read_payload
+        (Binio.R.of_string (String.sub s mlen (String.length s - mlen)))
+    with
+    | p -> Ok p
+    | exception Binio.R.Corrupt m -> Error m
+  else
+    match Binio.unframe ~magic:binary_magic ~version:binary_version s with
+    | Error _ as e -> e
+    | Ok payload -> (
+      match read_payload (Binio.R.of_string payload) with
+      | p -> Ok p
+      | exception Binio.R.Corrupt m -> Error m)
 
 let binary_roundtrip_exn p =
   match decode_binary (encode_binary p) with

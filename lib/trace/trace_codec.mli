@@ -36,10 +36,30 @@ val roundtrip_exn : Program.t -> Program.t
 (** {1 Binary format}
 
     A compact varint-encoded format for large traces (the text format costs
-    ~20 bytes/event; the binary one 2–6).  Layout: magic ["BFLY1"], varint
-    thread count, then per thread a varint event count followed by events
-    (opcode byte + varint operands). *)
+    ~20 bytes/event; the binary one 2–6).  Since format version 2 the
+    encoding travels in a {!Binio} envelope — magic ["BFLY"], a version
+    byte, the payload (varint thread count, then per thread a varint event
+    count followed by events: opcode byte + varint operands) and a CRC32
+    trailer — so truncation, bit flips and version skew are rejected with
+    stable error messages instead of being misparsed.  Legacy version-1
+    traces (prefix ["BFLY1"], no checksum) are still decoded. *)
+
+val binary_magic : string
+val binary_version : int
 
 val encode_binary : Program.t -> string
 val decode_binary : string -> (Program.t, string) result
 val binary_roundtrip_exn : Program.t -> Program.t
+
+(** {1 Event-level binary codec}
+
+    The per-event encoding of the binary format, exposed for other
+    persisted payloads that embed instructions — the checkpoint snapshots
+    of [lib/recovery] reuse it for serialized blocks. *)
+
+val put_instr : Binio.W.t -> Instr.t -> unit
+val read_instr : Binio.R.t -> Instr.t
+(** Raises {!Binio.R.Corrupt} on a malformed or heartbeat opcode. *)
+
+val put_event : Binio.W.t -> Event.t -> unit
+val read_event : Binio.R.t -> Event.t

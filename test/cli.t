@@ -211,5 +211,5 @@ A truncated binary trace is a clean CLI error.
   $ ../bin/butterfly_cli.exe generate ocean --threads 2 --scale 40 --seed 3 --binary > t.bin
   $ head -c 24 t.bin > cut.bin
   $ ../bin/butterfly_cli.exe taintcheck cut.bin
-  error: truncated input
+  error: CRC mismatch: stored 01010120, computed 85c90367
   [1]
