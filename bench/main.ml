@@ -219,6 +219,33 @@ let taint_tests pools =
              (Staged.stage (fun () -> taint_run ~pool ())))
          pools)
 
+(* Obs null path: the instrument calls the scheduler hot path makes,
+   measured under the default null sink — the tax every run pays whether
+   or not telemetry is being collected.  The allocation guard lives in
+   test_obs (null_sink_allocation_free); this group tracks the cycles. *)
+let obs_counter = Obs.Counter.make "bench.obs.counter"
+let obs_gauge = Obs.Gauge.make "bench.obs.gauge"
+let obs_hist = Obs.Histogram.make "bench.obs.hist"
+
+let obs_tests =
+  Test.make_grouped ~name:"obs.null-sink"
+    [
+      Test.make ~name:"counter.incr-1k"
+        (Staged.stage (fun () ->
+             for _ = 1 to 1000 do Obs.Counter.incr obs_counter done));
+      Test.make ~name:"gauge.set-1k"
+        (Staged.stage (fun () ->
+             for _ = 1 to 1000 do Obs.Gauge.set obs_gauge 0.5 done));
+      Test.make ~name:"histogram.observe-1k"
+        (Staged.stage (fun () ->
+             for _ = 1 to 1000 do Obs.Histogram.observe obs_hist 1.5 done));
+      Test.make ~name:"scope.with_scope-1k"
+        (Staged.stage (fun () ->
+             for k = 1 to 1000 do
+               Obs.Scope.with_scope ~epoch:k ~tid:0 ~phase:"pass2" ignore
+             done));
+    ]
+
 (* Figure 13: precision machinery — the checks that classify events. *)
 let figure13_tests =
   Test.make_grouped ~name:"figure13.precision"
@@ -321,8 +348,9 @@ let () =
         else if taint_only then [ taint_tests pools ]
         else
           [
-            core_tests; table1_tests; figure11_tests; figure12_tests;
-            figure13_tests; streaming_tests pools; taint_tests pools;
+            core_tests; obs_tests; table1_tests; figure11_tests;
+            figure12_tests; figure13_tests; streaming_tests pools;
+            taint_tests pools;
           ]
       in
       if json then print_json (measure_benchmarks groups)

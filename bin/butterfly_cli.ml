@@ -21,13 +21,15 @@ let config_of scale seed =
    report after the normal output. *)
 
 let stats_arg =
-  let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+  let fmt =
+    Arg.enum [ ("text", `Text); ("json", `Json); ("prometheus", `Prometheus) ]
+  in
   Arg.(value
        & opt ~vopt:(Some `Text) (some fmt) None
        & info [ "stats" ] ~docv:"FORMAT"
            ~doc:"Append a structured telemetry report (metric registry \
                  snapshot) after normal output; FORMAT is $(b,text) \
-                 (default) or $(b,json).")
+                 (default), $(b,json) or $(b,prometheus).")
 
 let print_snapshot fmt snap =
   match fmt with
@@ -35,14 +37,45 @@ let print_snapshot fmt snap =
     Format.printf "@.--- run report ---@.";
     Format.printf "%a" Obs.Snapshot.pp snap
   | `Json -> print_endline (Obs.Json.to_string (Obs.Snapshot.to_json snap))
+  | `Prometheus -> print_string (Obs.Snapshot.to_prometheus snap)
 
-let with_stats stats f =
-  match stats with
-  | None -> f ()
-  | Some fmt ->
-    let sink = Obs.Sink.memory () in
-    let r = Obs.with_sink sink f in
-    print_snapshot fmt (Obs.Sink.snapshot sink);
+let obs_jsonl_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "obs-jsonl" ] ~docv:"FILE"
+           ~doc:"Also stream every telemetry event to $(docv) as JSON lines \
+                 (timestamped, scope-tagged); feed the file to $(b,viz \
+                 --dashboard) to render it.")
+
+let with_stats ?obs_jsonl stats f =
+  match (stats, obs_jsonl) with
+  | None, None -> f ()
+  | _ ->
+    let mem = if stats = None then None else Some (Obs.Sink.memory ()) in
+    let with_jsonl k =
+      match obs_jsonl with
+      | None -> k None
+      | Some path ->
+        Out_channel.with_open_bin path (fun oc ->
+            let ppf = Format.formatter_of_out_channel oc in
+            let r = k (Some (Obs.Sink.jsonl ppf)) in
+            Format.pp_print_flush ppf ();
+            r)
+    in
+    let r =
+      with_jsonl (fun jsonl ->
+          let sink =
+            match (mem, jsonl) with
+            | Some m, Some j -> Obs.Sink.tee m j
+            | Some m, None -> m
+            | None, Some j -> j
+            | None, None -> assert false
+          in
+          Obs.with_sink sink f)
+    in
+    (match (stats, mem) with
+    | Some fmt, Some m -> print_snapshot fmt (Obs.Sink.snapshot m)
+    | _ -> ());
     r
 
 (* Streaming window replay: drives the trace through the sliding-window
@@ -294,8 +327,8 @@ let load_program path h =
   | Ok p -> if h > 0 then Machine.Heartbeat.insert ~every:h p else p
 
 let addrcheck_cmd =
-  let run path h domains every out resume json stats =
-    with_stats stats (fun () ->
+  let run path h domains every out resume json stats obs_jsonl =
+    with_stats ?obs_jsonl stats (fun () ->
         let p = load_program path h in
         let r =
           run_with_recovery
@@ -324,11 +357,11 @@ let addrcheck_cmd =
   in
   Cmd.v (Cmd.info "addrcheck" ~doc:"Run butterfly AddrCheck on a trace file")
     Term.(const run $ trace_arg $ h_arg $ domains_arg $ ckpt_every_arg
-          $ ckpt_out_arg $ resume_arg $ json_arg $ stats_arg)
+          $ ckpt_out_arg $ resume_arg $ json_arg $ stats_arg $ obs_jsonl_arg)
 
 let initcheck_cmd =
-  let run path h domains every out resume json stats =
-    with_stats stats (fun () ->
+  let run path h domains every out resume json stats obs_jsonl =
+    with_stats ?obs_jsonl stats (fun () ->
         let p = load_program path h in
         let r =
           run_with_recovery
@@ -359,11 +392,11 @@ let initcheck_cmd =
     (Cmd.info "initcheck"
        ~doc:"Run butterfly InitCheck (uninitialized reads) on a trace file")
     Term.(const run $ trace_arg $ h_arg $ domains_arg $ ckpt_every_arg
-          $ ckpt_out_arg $ resume_arg $ json_arg $ stats_arg)
+          $ ckpt_out_arg $ resume_arg $ json_arg $ stats_arg $ obs_jsonl_arg)
 
 let taintcheck_cmd =
-  let run path h relaxed domains every out resume json stats =
-    with_stats stats (fun () ->
+  let run path h relaxed domains every out resume json stats obs_jsonl =
+    with_stats ?obs_jsonl stats (fun () ->
         let p = load_program path h in
         let r =
           run_with_recovery
@@ -407,20 +440,41 @@ let taintcheck_cmd =
   in
   Cmd.v (Cmd.info "taintcheck" ~doc:"Run butterfly TaintCheck on a trace file")
     Term.(const run $ trace_arg $ h_arg $ relaxed_arg $ domains_arg
-          $ ckpt_every_arg $ ckpt_out_arg $ resume_arg $ json_arg $ stats_arg)
+          $ ckpt_every_arg $ ckpt_out_arg $ resume_arg $ json_arg $ stats_arg
+          $ obs_jsonl_arg)
 
 let stats_cmd =
-  let run path h domains lifeguard json =
+  let run path h domains lifeguard json prometheus obs_jsonl =
     let sink = Obs.Sink.memory () in
-    Obs.with_sink sink (fun () ->
-        let p = load_program path h in
-        let epochs = Butterfly.Epochs.of_program p in
-        (match lifeguard with
-        | `Addrcheck -> ignore (Lifeguards.Addrcheck.run ?domains epochs)
-        | `Initcheck -> ignore (Lifeguards.Initcheck.run ?domains epochs)
-        | `Taintcheck -> ignore (Lifeguards.Taintcheck.run ?domains epochs));
-        replay_window_metrics p);
-    print_snapshot (if json then `Json else `Text) (Obs.Sink.snapshot sink)
+    let with_jsonl k =
+      match obs_jsonl with
+      | None -> k sink
+      | Some jpath ->
+        Out_channel.with_open_bin jpath (fun oc ->
+            let ppf = Format.formatter_of_out_channel oc in
+            let r = k (Obs.Sink.tee sink (Obs.Sink.jsonl ppf)) in
+            Format.pp_print_flush ppf ();
+            r)
+    in
+    with_jsonl (fun s ->
+        Obs.with_sink s (fun () ->
+            let p = load_program path h in
+            let epochs = Butterfly.Epochs.of_program p in
+            (match lifeguard with
+            | `Addrcheck -> ignore (Lifeguards.Addrcheck.run ?domains epochs)
+            | `Initcheck -> ignore (Lifeguards.Initcheck.run ?domains epochs)
+            | `Taintcheck -> ignore (Lifeguards.Taintcheck.run ?domains epochs));
+            replay_window_metrics p));
+    print_snapshot
+      (if prometheus then `Prometheus else if json then `Json else `Text)
+      (Obs.Sink.snapshot sink)
+  in
+  let prometheus_arg =
+    Arg.(value & flag
+         & info [ "prometheus" ]
+             ~doc:"Print the registry in Prometheus text exposition format \
+                   (0.0.4) instead of the table — the /metrics surface a \
+                   scraper would collect.")
   in
   let lifeguard_arg =
     let lg =
@@ -437,7 +491,7 @@ let stats_cmd =
        ~doc:"Run a lifeguard on a trace and print the full metric registry \
              (pipeline counters, window occupancy, per-phase timings)")
     Term.(const run $ trace_arg $ h_arg $ domains_arg $ lifeguard_arg
-          $ json_arg)
+          $ json_arg $ prometheus_arg $ obs_jsonl_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Differential fuzzing (lib/qa): generated grids through every driver ×
@@ -445,8 +499,8 @@ let stats_cmd =
    with greedy minimization of any counterexample. *)
 
 let fuzz_cmd =
-  let run lifeguard iterations seed shrink crash_at out replay stats =
-    with_stats stats (fun () ->
+  let run lifeguard iterations seed shrink crash_at out replay stats obs_jsonl =
+    with_stats ?obs_jsonl stats (fun () ->
         let lifeguards =
           match lifeguard with
           | `All -> Qa.Differential.all_lifeguards
@@ -584,7 +638,115 @@ let fuzz_cmd =
              through all driver/domain/memory-model combinations plus the \
              valid-ordering soundness oracle; exits non-zero on mismatch")
     Term.(const run $ lifeguard_arg $ iterations_arg $ fuzz_seed_arg
-          $ shrink_arg $ crash_at_arg $ out_arg $ replay_arg $ stats_arg)
+          $ shrink_arg $ crash_at_arg $ out_arg $ replay_arg $ stats_arg
+          $ obs_jsonl_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Introspection: dependence-graph / timeline rendering and the obs
+   dashboard (lib/viz). *)
+
+let viz_cmd =
+  let run trace h focus dot graph_json dashboard obs title refresh =
+    let write target s =
+      match target with
+      | "-" -> print_string s
+      | path ->
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc s)
+    in
+    let want_graph = dot <> None || graph_json <> None in
+    if (not want_graph) && dashboard = None then begin
+      prerr_endline
+        "error: nothing to do (pass --dot, --graph-json or --dashboard)";
+      exit 2
+    end;
+    (if want_graph then
+       match trace with
+       | None ->
+         prerr_endline "error: --dot/--graph-json need a TRACE argument";
+         exit 2
+       | Some path ->
+         let p = load_program path h in
+         let g = Viz.Butterfly_graph.of_epochs (Butterfly.Epochs.of_program p) in
+         let g =
+           match focus with
+           | None -> g
+           | Some l ->
+             if l < 0 || l >= g.Viz.Butterfly_graph.num_epochs then begin
+               Printf.eprintf "error: --focus %d out of range (%d epochs)\n" l
+                 g.Viz.Butterfly_graph.num_epochs;
+               exit 2
+             end;
+             Viz.Butterfly_graph.restrict g ~epoch:l
+         in
+         Option.iter (fun t -> write t (Viz.Butterfly_graph.to_dot g)) dot;
+         Option.iter
+           (fun t ->
+             write t
+               (Obs.Json.to_string (Viz.Butterfly_graph.to_json g) ^ "\n"))
+           graph_json);
+    match dashboard with
+    | None -> ()
+    | Some target -> (
+      match obs with
+      | None ->
+        prerr_endline "error: --dashboard requires --obs EVENTS.jsonl";
+        exit 2
+      | Some path ->
+        let contents = In_channel.with_open_bin path In_channel.input_all in
+        let events, bad = Viz.Dashboard.parse_events contents in
+        if bad > 0 then
+          Printf.eprintf "warning: skipped %d malformed event line%s\n%!" bad
+            (if bad = 1 then "" else "s");
+        write target (Viz.Dashboard.render ?title ?refresh events))
+  in
+  let trace_opt_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"TRACE"
+         ~doc:"Trace file (Trace_codec format); required for $(b,--dot) / \
+               $(b,--graph-json).")
+  in
+  let focus_arg =
+    Arg.(value & opt (some int) None & info [ "focus" ] ~docv:"EPOCH"
+         ~doc:"Restrict the graph to the butterflies of one body epoch — \
+               the classic wings/head/SOS picture instead of the whole grid.")
+  in
+  let dot_arg =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+         ~doc:"Write the dependence graph as Graphviz DOT to $(docv) \
+               ($(b,-) for stdout).")
+  in
+  let graph_json_arg =
+    Arg.(value & opt (some string) None & info [ "graph-json" ] ~docv:"FILE"
+         ~doc:"Write the dependence graph and epoch timeline as JSON to \
+               $(docv) ($(b,-) for stdout).")
+  in
+  let dashboard_arg =
+    Arg.(value & opt (some string) None & info [ "dashboard" ] ~docv:"FILE"
+         ~doc:"Render a self-contained HTML dashboard (inline SVG, no \
+               scripts, no network) to $(docv) ($(b,-) for stdout) from the \
+               obs JSONL stream given with $(b,--obs).")
+  in
+  let obs_arg =
+    Arg.(value & opt (some file) None & info [ "obs" ] ~docv:"EVENTS"
+         ~doc:"Obs JSONL event stream (written by $(b,--obs-jsonl)) backing \
+               $(b,--dashboard).")
+  in
+  let title_arg =
+    Arg.(value & opt (some string) None & info [ "title" ] ~docv:"TITLE"
+         ~doc:"Dashboard page title.")
+  in
+  let refresh_arg =
+    Arg.(value & opt (some positive_int) None & info [ "refresh" ] ~docv:"SECONDS"
+         ~doc:"Add a meta-refresh so a browser re-reads the dashboard every \
+               $(docv) seconds — live view of a stream being appended to.")
+  in
+  Cmd.v
+    (Cmd.info "viz"
+       ~doc:"Render butterfly introspection artifacts: the per-block \
+             dependence graph (wings, head, SOS chain) as DOT/JSON, and an \
+             HTML dashboard over a structured telemetry stream")
+    Term.(const run $ trace_opt_arg $ h_arg $ focus_arg $ dot_arg
+          $ graph_json_arg $ dashboard_arg $ obs_arg $ title_arg $ refresh_arg)
 
 let generate_cmd =
   let run name threads scale seed binary stats =
@@ -632,5 +794,5 @@ let () =
           [
             table1_cmd; figure11_cmd; figure12_cmd; figure13_cmd;
             sensitivity_cmd; addrcheck_cmd; taintcheck_cmd; initcheck_cmd;
-            stats_cmd; generate_cmd; fuzz_cmd;
+            stats_cmd; viz_cmd; generate_cmd; fuzz_cmd;
           ]))

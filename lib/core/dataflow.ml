@@ -178,9 +178,10 @@ module Make (P : PROBLEM) = struct
     (* Pass 1: block summaries, in arrival order. *)
     let block_summaries =
       Array.init num_l (fun l ->
-          Obs.Span.time sp_pass1 (fun () ->
-              Array.init threads (fun tid ->
-                  summarize (Epochs.block epochs ~epoch:l ~tid))))
+          Obs.Scope.with_scope ~epoch:l ~phase:"pass1" (fun () ->
+              Obs.Span.time sp_pass1 (fun () ->
+                  Array.init threads (fun tid ->
+                      summarize (Epochs.block epochs ~epoch:l ~tid)))))
     in
     Obs.Counter.add m_epochs num_l;
     let epoch_summaries =
@@ -205,29 +206,30 @@ module Make (P : PROBLEM) = struct
     | Some f ->
       for l = 0 to num_l - 1 do
         for tid = 0 to threads - 1 do
-          let body = Epochs.block epochs ~epoch:l ~tid in
-          let wings =
-            Epochs.wings epochs ~epoch:l ~tid
-            |> List.map (fun (b : Block.t) -> (row b.epoch).(b.tid))
-          in
-          let side_in = Obs.Span.time sp_meet (fun () -> side_in ~wings) in
-          let head = (row (l - 1)).(tid) in
-          let lsos0 =
-            Obs.Span.time sp_lsos (fun () ->
-                lsos ~sos:sos.(l) ~head ~two_back_row:(row (l - 2)) ~tid)
-          in
-          Obs.Counter.add m_instrs (Block.length body);
-          Obs.Span.time sp_pass2 (fun () ->
-              let cur = ref lsos0 in
-              Block.iteri
-                (fun id instr ->
-                  let lsos_at = !cur in
-                  let in_before = compute_in ~side_in ~lsos_at in
-                  f { id; instr; lsos_before = lsos_at; in_before; side_in;
-                      sos = sos.(l) };
-                  let g = P.gen id instr and k = P.kill id instr in
-                  cur := Set.union g (Set.diff lsos_at k))
-                body)
+          Obs.Scope.with_scope ~epoch:l ~tid ~phase:"pass2" (fun () ->
+              let body = Epochs.block epochs ~epoch:l ~tid in
+              let wings =
+                Epochs.wings epochs ~epoch:l ~tid
+                |> List.map (fun (b : Block.t) -> (row b.epoch).(b.tid))
+              in
+              let side_in = Obs.Span.time sp_meet (fun () -> side_in ~wings) in
+              let head = (row (l - 1)).(tid) in
+              let lsos0 =
+                Obs.Span.time sp_lsos (fun () ->
+                    lsos ~sos:sos.(l) ~head ~two_back_row:(row (l - 2)) ~tid)
+              in
+              Obs.Counter.add m_instrs (Block.length body);
+              Obs.Span.time sp_pass2 (fun () ->
+                  let cur = ref lsos0 in
+                  Block.iteri
+                    (fun id instr ->
+                      let lsos_at = !cur in
+                      let in_before = compute_in ~side_in ~lsos_at in
+                      f { id; instr; lsos_before = lsos_at; in_before; side_in;
+                          sos = sos.(l) };
+                      let g = P.gen id instr and k = P.kill id instr in
+                      cur := Set.union g (Set.diff lsos_at k))
+                    body))
         done
       done);
     { epochs; sos; block_summaries; epoch_summaries }

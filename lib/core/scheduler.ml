@@ -154,7 +154,8 @@ module Make (P : Dataflow.PROBLEM) = struct
     (match t.pool with
     | None ->
       for tid = 0 to t.threads - 1 do
-        pass2_thread t ~sos ~rows ~body:body_row.(tid) ~tid ~emit:t.on_instr
+        Obs.Scope.with_scope ~epoch:p ~tid ~phase:"pass2" (fun () ->
+            pass2_thread t ~sos ~rows ~body:body_row.(tid) ~tid ~emit:t.on_instr)
       done
     | Some pool ->
       (* Fan the per-thread work out, then deliver the buffered views in
@@ -163,21 +164,25 @@ module Make (P : Dataflow.PROBLEM) = struct
       let views =
         Domain_pool.map_array pool
           (fun tid ->
-            let acc = ref [] in
-            pass2_thread t ~sos ~rows ~body:body_row.(tid) ~tid
-              ~emit:(fun v -> acc := v :: !acc);
-            List.rev !acc)
+            Obs.Scope.with_scope ~epoch:p ~tid ~phase:"pass2" (fun () ->
+                let acc = ref [] in
+                pass2_thread t ~sos ~rows ~body:body_row.(tid) ~tid
+                  ~emit:(fun v -> acc := v :: !acc);
+                List.rev !acc))
           (Array.init t.threads (fun tid -> tid))
       in
-      Array.iter (fun vs -> List.iter t.on_instr vs) views);
+      Obs.Scope.with_scope ~epoch:p ~phase:"deliver" (fun () ->
+          Array.iter (fun vs -> List.iter t.on_instr vs) views));
     (* Shrink the window: the body blocks are done; summary row p-2 has
        served its last purpose (epoch_sum p-1 is cached by sos_at). *)
     ignore (epoch_sum t (max 0 (p - 1)));
     Hashtbl.remove t.blocks p;
     Hashtbl.remove t.summaries (p - 2);
     t.processed <- p + 1;
-    Obs.Counter.incr m_epochs;
-    Obs.Gauge.set g_window (float_of_int (Hashtbl.length t.summaries))
+    if Obs.enabled () then begin
+      Obs.Counter.incr m_epochs;
+      Obs.Gauge.set g_window (float_of_int (Hashtbl.length t.summaries))
+    end
 
   let ready t = Array.fold_left min max_int t.completed
 
@@ -200,13 +205,17 @@ module Make (P : Dataflow.PROBLEM) = struct
         row
     in
     (match t.pool with
-    | None -> srow.(tid) <- Obs.Span.time sp_pass1 (fun () -> D.summarize block)
+    | None ->
+      srow.(tid) <-
+        Obs.Scope.with_scope ~epoch ~tid ~phase:"pass1" (fun () ->
+            Obs.Span.time sp_pass1 (fun () -> D.summarize block))
     | Some pool ->
       (* Pass 1 is per-block-local: it can run on a worker the moment the
          heartbeat closes the block, while the master keeps ingesting. *)
       Hashtbl.replace t.pending (epoch, tid)
         (Domain_pool.async pool (fun () ->
-             Obs.Span.time sp_pass1 (fun () -> D.summarize block))));
+             Obs.Scope.with_scope ~epoch ~tid ~phase:"pass1" (fun () ->
+                 Obs.Span.time sp_pass1 (fun () -> D.summarize block)))));
     let brow =
       match Hashtbl.find_opt t.blocks epoch with
       | Some row -> row
@@ -218,10 +227,13 @@ module Make (P : Dataflow.PROBLEM) = struct
     brow.(tid) <- block;
     t.completed.(tid) <- epoch + 1;
     t.hwm <- max t.hwm (Hashtbl.length t.summaries);
-    Obs.Counter.incr m_blocks;
-    let occ = float_of_int (Hashtbl.length t.summaries) in
-    Obs.Gauge.set g_window occ;
-    Obs.Gauge.set_max g_window_hwm occ
+    (* Gated so the null-sink hot path never boxes the float. *)
+    if Obs.enabled () then begin
+      Obs.Counter.incr m_blocks;
+      let occ = float_of_int (Hashtbl.length t.summaries) in
+      Obs.Gauge.set g_window occ;
+      Obs.Gauge.set_max g_window_hwm occ
+    end
 
   let feed t tid ev =
     if t.finished then invalid_arg "Scheduler.feed: already finished";
@@ -449,6 +461,9 @@ module Epochwise = struct
   let map_grid ?pool ~num_epochs ~threads f =
     if num_epochs < 0 then invalid_arg "Epochwise.map_grid: negative num_epochs";
     if threads <= 0 then invalid_arg "Epochwise.map_grid: threads must be > 0";
+    let f ~epoch ~tid =
+      Obs.Scope.with_scope ~epoch ~tid (fun () -> f ~epoch ~tid)
+    in
     match pool with
     | None ->
       Array.init num_epochs (fun epoch ->
@@ -466,6 +481,9 @@ module Epochwise = struct
 
   let run ?pool ~num_epochs ~threads ~prepare ~task ~commit () =
     if threads <= 0 then invalid_arg "Epochwise.run: threads must be > 0";
+    let task ~epoch ~tid =
+      Obs.Scope.with_scope ~epoch ~tid (fun () -> task ~epoch ~tid)
+    in
     for epoch = 0 to num_epochs - 1 do
       prepare epoch;
       match pool with

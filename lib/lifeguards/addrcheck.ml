@@ -150,10 +150,11 @@ let run ?(isolation = true) ?domains ?pool epochs =
       (IS.union (IS.inter s_access !wing_change) (IS.inter !wing_access s_change))
   in
   let violations =
-    Obs.Span.time sp_isolation (fun () ->
-        Array.init num_l (fun l ->
-            Array.init threads (fun tid ->
-                if isolation then violation l tid else IS.empty)))
+    Obs.Scope.with_scope ~phase:"isolation" (fun () ->
+        Obs.Span.time sp_isolation (fun () ->
+            Array.init num_l (fun l ->
+                Array.init threads (fun tid ->
+                    if isolation then violation l tid else IS.empty))))
   in
   let errors = ref [] in
   let flagged = ref 0 in
@@ -287,6 +288,7 @@ module Resumable = struct
       let v =
         if not isolation then Array.make threads IS.empty
         else
+          Obs.Scope.with_scope ~epoch:l ~phase:"isolation" @@ fun () ->
           Obs.Span.time sp_isolation (fun () ->
               let sc l' t' =
                 match Hashtbl.find_opt facts l' with

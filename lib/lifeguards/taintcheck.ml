@@ -321,7 +321,8 @@ let run_with ~sequential ~two_phase ~pool epochs =
   let tfs =
     Butterfly.Scheduler.Epochwise.map_grid ?pool ~num_epochs:num_l ~threads
       (fun ~epoch ~tid ->
-        summarize_block (Butterfly.Epochs.block epochs ~epoch ~tid))
+        Obs.Scope.with_scope ~phase:"pass1" (fun () ->
+            summarize_block (Butterfly.Epochs.block epochs ~epoch ~tid)))
   in
   (* LASTCHECK results: lastcheck.(l).(t) maps assigned locations to their
      final resolved taint in block (l,t).  Row l is written only by the
@@ -351,18 +352,22 @@ let run_with ~sequential ~two_phase ~pool epochs =
     errors := List.rev_append o.bo_errors !errors;
     Hashtbl.iter (fun x r -> Hashtbl.replace lastcheck.(l).(tid) x r) o.bo_lastcheck;
     stats.(tid).(l) <- o.bo_stats;
-    Obs.Counter.add m_checks o.bo_stats.checks_resolved;
-    Obs.Counter.add m_flags (List.length o.bo_errors);
-    Obs.Counter.add m_phase2 o.bo_phase2;
-    Obs.Counter.add m_instrs o.bo_stats.instrs;
-    if Obs.enabled () then
-      Obs.Gauge.set_max g_set_hwm (float_of_int o.bo_lsos_card);
-    if tid = threads - 1 then Obs.Counter.incr m_epochs
+    (* The master commits on behalf of block (l,tid): scope the counter
+       deltas so a jsonl stream attributes them to their epoch. *)
+    Obs.Scope.with_scope ~epoch:l ~tid ~phase:"commit" (fun () ->
+        Obs.Counter.add m_checks o.bo_stats.checks_resolved;
+        Obs.Counter.add m_flags (List.length o.bo_errors);
+        Obs.Counter.add m_phase2 o.bo_phase2;
+        Obs.Counter.add m_instrs o.bo_stats.instrs;
+        if Obs.enabled () then
+          Obs.Gauge.set_max g_set_hwm (float_of_int o.bo_lsos_card);
+        if tid = threads - 1 then Obs.Counter.incr m_epochs)
   in
   Butterfly.Scheduler.Epochwise.run ?pool ~num_epochs:num_l ~threads
     ~prepare:advance_sos
     ~task:(fun ~epoch ~tid ->
-      eval_block c ~epoch ~tid (Butterfly.Epochs.block epochs ~epoch ~tid))
+      Obs.Scope.with_scope ~phase:"pass2" (fun () ->
+          eval_block c ~epoch ~tid (Butterfly.Epochs.block epochs ~epoch ~tid)))
     ~commit ();
   (* Final SOS entries past the last window. *)
   advance_sos num_l;
@@ -502,13 +507,14 @@ module Resumable = struct
         s
     in
     srow.(tid) <- o.bo_stats;
-    Obs.Counter.add m_checks o.bo_stats.checks_resolved;
-    Obs.Counter.add m_flags (List.length o.bo_errors);
-    Obs.Counter.add m_phase2 o.bo_phase2;
-    Obs.Counter.add m_instrs o.bo_stats.instrs;
-    if Obs.enabled () then
-      Obs.Gauge.set_max g_set_hwm (float_of_int o.bo_lsos_card);
-    if tid = st.threads - 1 then Obs.Counter.incr m_epochs
+    Obs.Scope.with_scope ~epoch:l ~tid ~phase:"commit" (fun () ->
+        Obs.Counter.add m_checks o.bo_stats.checks_resolved;
+        Obs.Counter.add m_flags (List.length o.bo_errors);
+        Obs.Counter.add m_phase2 o.bo_phase2;
+        Obs.Counter.add m_instrs o.bo_stats.instrs;
+        if Obs.enabled () then
+          Obs.Gauge.set_max g_set_hwm (float_of_int o.bo_lsos_card);
+        if tid = st.threads - 1 then Obs.Counter.incr m_epochs)
 
   (* Process epoch [st.processed]: the same prepare/task/commit sequence
      as [Epochwise.run], one epoch at a time, then retire the rows the
@@ -519,7 +525,9 @@ module Resumable = struct
     let c = ctx st in
     let row = Hashtbl.find st.rows l in
     let task tid =
-      eval_block c ~epoch:l ~tid (Butterfly.Block.make ~epoch:l ~tid row.(tid))
+      Obs.Scope.with_scope ~epoch:l ~tid ~phase:"pass2" (fun () ->
+          eval_block c ~epoch:l ~tid
+            (Butterfly.Block.make ~epoch:l ~tid row.(tid)))
     in
     (match st.pool with
     | None ->
@@ -550,7 +558,8 @@ module Resumable = struct
     Hashtbl.replace st.tfs epoch
       (Array.mapi
          (fun tid instrs ->
-           summarize_block (Butterfly.Block.make ~epoch ~tid instrs))
+           Obs.Scope.with_scope ~epoch ~tid ~phase:"pass1" (fun () ->
+               summarize_block (Butterfly.Block.make ~epoch ~tid instrs)))
          row);
     st.epochs_fed <- epoch + 1;
     while st.processed <= st.epochs_fed - 2 do

@@ -71,6 +71,177 @@ module Json = struct
     Buffer.contents b
 
   let pp ppf j = Format.pp_print_string ppf (to_string j)
+
+  (* Recursive-descent parser, the inverse of [write].  Kept dependency-free
+     for the same reason as the printer: obs must not tax the build. *)
+  exception Parse of int * string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse (!pos, msg)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if peek () = Some c then incr pos
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal lit v =
+      let k = String.length lit in
+      if !pos + k <= n && String.sub s !pos k = lit then (
+        pos := !pos + k;
+        v)
+      else fail ("expected " ^ lit)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' ->
+            incr pos;
+            Buffer.contents b
+          | '\\' ->
+            incr pos;
+            if !pos >= n then fail "unterminated escape";
+            (match s.[!pos] with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'n' -> Buffer.add_char b '\n'
+            | 'r' -> Buffer.add_char b '\r'
+            | 't' -> Buffer.add_char b '\t'
+            | 'u' ->
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              let code =
+                match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+                | Some c -> c
+                | None -> fail "bad \\u escape"
+              in
+              (* UTF-8 encode the code point (surrogate pairs untreated:
+                 each half round-trips as its own 3-byte sequence). *)
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else if code < 0x800 then (
+                Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F))))
+              else (
+                Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F))));
+              pos := !pos + 4
+            | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+            incr pos;
+            go ()
+          | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+      in
+      go ()
+    in
+    let digits () =
+      while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+        incr pos
+      done
+    in
+    let parse_number () =
+      let start = !pos in
+      if peek () = Some '-' then incr pos;
+      digits ();
+      let is_float = ref false in
+      if peek () = Some '.' then (
+        is_float := true;
+        incr pos;
+        digits ());
+      (match peek () with
+      | Some ('e' | 'E') ->
+        is_float := true;
+        incr pos;
+        (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+        digits ()
+      | _ -> ());
+      let text = String.sub s start (!pos - start) in
+      if text = "" || text = "-" then fail "bad number";
+      if !is_float then Float (float_of_string text)
+      else
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> Float (float_of_string text)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> String (parse_string ())
+      | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then (
+          incr pos;
+          Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              incr pos;
+              members ((k, v) :: acc)
+            | Some '}' ->
+              incr pos;
+              Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+      | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then (
+          incr pos;
+          List [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              incr pos;
+              elements (v :: acc)
+            | Some ']' ->
+              incr pos;
+              List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing input after document";
+      v
+    with
+    | v -> Ok v
+    | exception Parse (p, m) -> Error (Printf.sprintf "byte %d: %s" p m)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -146,6 +317,93 @@ module Snapshot = struct
            | j -> Json.Obj (base @ [ ("value", j) ]))
          t)
 
+  (* Prometheus text exposition.  Dots (the repo naming convention)
+     become underscores; everything else obs names use is already legal. *)
+  let prom_name name =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      name
+
+  let prom_escape v =
+    let b = Buffer.create (String.length v) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      v;
+    Buffer.contents b
+
+  let prom_num v =
+    if Float.is_nan v then "NaN"
+    else if v = Float.infinity then "+Inf"
+    else if v = Float.neg_infinity then "-Inf"
+    else if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.9g" v
+
+  let prom_labels ls =
+    if ls = [] then ""
+    else
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> prom_name k ^ "=\"" ^ prom_escape v ^ "\"") ls)
+      ^ "}"
+
+  let to_prometheus t =
+    let b = Buffer.create 1024 in
+    let typed : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        let name = prom_name e.name in
+        let kind =
+          match e.value with
+          | Counter _ -> "counter"
+          | Gauge _ -> "gauge"
+          | Histogram _ -> "histogram"
+        in
+        if not (Hashtbl.mem typed name) then begin
+          Hashtbl.add typed name ();
+          Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+        end;
+        match e.value with
+        | Counter n ->
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %d\n" name (prom_labels e.labels) n)
+        | Gauge v ->
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %s\n" name (prom_labels e.labels) (prom_num v))
+        | Histogram h ->
+          (* Buckets are disjoint [(ub, n in (ub/2, ub]])], ascending, and
+             partition the observations — the running sum is exactly the
+             cumulative [le] series Prometheus expects. *)
+          let cum = ref 0 in
+          List.iter
+            (fun (ub, n) ->
+              cum := !cum + n;
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%s %d\n" name
+                   (prom_labels (e.labels @ [ ("le", prom_num ub) ]))
+                   !cum))
+            h.buckets;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket%s %d\n" name
+               (prom_labels (e.labels @ [ ("le", "+Inf") ]))
+               h.count);
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum%s %s\n" name (prom_labels e.labels)
+               (prom_num h.sum));
+          Buffer.add_string b
+            (Printf.sprintf "%s_count%s %d\n" name (prom_labels e.labels)
+               h.count))
+      t;
+    Buffer.contents b
+
   let dur ns =
     if ns >= 1e9 then Printf.sprintf "%.3fs" (ns /. 1e9)
     else if ns >= 1e6 then Printf.sprintf "%.3fms" (ns /. 1e6)
@@ -195,6 +453,36 @@ end
 (* ------------------------------------------------------------------ *)
 
 let now_ns = Monotonic_clock.now
+
+(* [live] is false iff the null sink is installed; declared ahead of
+   [Sink] so [Scope] (below) can degrade to a bare call under it. *)
+let live = ref false
+
+module Scope = struct
+  type t = { epoch : int option; tid : int option; phase : string option }
+
+  let none = { epoch = None; tid = None; phase = None }
+
+  (* Domain-local: pool workers layer scopes over their own tasks without
+     racing the master or each other. *)
+  let key = Domain.DLS.new_key (fun () -> none)
+  let current () = Domain.DLS.get key
+
+  let with_scope ?epoch ?tid ?phase f =
+    if not !live then f ()
+    else begin
+      let prev = Domain.DLS.get key in
+      let merged =
+        {
+          epoch = (match epoch with Some _ -> epoch | None -> prev.epoch);
+          tid = (match tid with Some _ -> tid | None -> prev.tid);
+          phase = (match phase with Some _ -> phase | None -> prev.phase);
+        }
+      in
+      Domain.DLS.set key merged;
+      Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f
+    end
+end
 
 (* Observations land in power-of-two buckets: index k holds values in
    (2^(k-1), 2^k], with everything <= 1 in bucket 0. *)
@@ -330,6 +618,25 @@ module Sink = struct
 
   let jsonl ppf =
     let lock = Mutex.create () in
+    let scope_fields () =
+      let s = Scope.current () in
+      if s = Scope.none then []
+      else
+        [
+          ( "scope",
+            Json.Obj
+              ((match s.Scope.epoch with
+               | Some e -> [ ("epoch", Json.Int e) ]
+               | None -> [])
+              @ (match s.Scope.tid with
+                | Some t -> [ ("tid", Json.Int t) ]
+                | None -> [])
+              @
+              match s.Scope.phase with
+              | Some p -> [ ("phase", Json.String p) ]
+              | None -> []) );
+        ]
+    in
     let emit kind name ls v =
       let j =
         Json.Obj
@@ -340,7 +647,8 @@ module Sink = struct
                  ( "labels",
                    Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) ls) );
                ])
-          @ [ ("v", v); ("t_ns", Json.Float (Int64.to_float (now_ns ()))) ])
+          @ [ ("v", v); ("t_ns", Json.Float (Int64.to_float (now_ns ()))) ]
+          @ scope_fields ())
       in
       Mutex.protect lock (fun () ->
           Format.fprintf ppf "%s@." (Json.to_string j))
@@ -368,7 +676,6 @@ module Sink = struct
 end
 
 let current = ref Sink.null
-let live = ref false
 
 let set_sink s =
   current := s;

@@ -38,6 +38,13 @@ module Json : sig
   val to_string : t -> string
   (** Compact one-line rendering.  Non-finite floats become [null]. *)
 
+  val of_string : string -> (t, string) result
+  (** Parse one JSON document (the inverse of {!to_string}, accepting any
+      standard JSON).  Numbers without a fraction or exponent that fit in
+      an OCaml [int] parse as [Int], everything else as [Float].  Errors
+      carry the byte offset of the first offending character.  Feed it
+      one line at a time to read {!Sink.jsonl} streams back. *)
+
   val pp : Format.formatter -> t -> unit
 end
 
@@ -46,7 +53,11 @@ module Snapshot : sig
   type histogram = {
     count : int;
     sum : float;
-    min : float;  (** 0 when [count = 0] *)
+    min : float;
+        (** Smallest observation.  A [count = 0] histogram renders every
+            statistic — [min] included — as [0.]; {!Sink.memory} cannot
+            produce one (a series only exists once observed), so the case
+            only arises in hand-built snapshots. *)
     max : float;
     buckets : (float * int) list;
         (** [(ub, n)]: [n] observations fell in [(ub/2, ub]]; power-of-two
@@ -70,8 +81,41 @@ module Snapshot : sig
   (** Gauge value, 0 when absent. *)
 
   val to_json : t -> Json.t
+
+  val to_prometheus : t -> string
+  (** Prometheus text exposition (format 0.0.4): one [# TYPE] line per
+      metric family, dots in names mapped to underscores, histograms as
+      cumulative [_bucket{le="..."}] series plus [_sum] and [_count].
+      This is the [/metrics] surface a scraping daemon serves; the CLI
+      prints it with [stats --prometheus]. *)
+
   val pp : Format.formatter -> t -> unit
   (** Human-readable table; [.ns] histograms render as durations. *)
+end
+
+(** Provenance context for streamed events.
+
+    A scope tags every event the current domain emits with the pipeline
+    coordinates it was produced under — uncertainty epoch, thread id and
+    pass/phase name — which makes a {!Sink.jsonl} stream replayable into
+    a per-epoch timeline ([viz --dashboard]).  Scopes are domain-local:
+    pool workers annotate their own tasks without racing the master.
+    Only {!Sink.jsonl} records them; aggregating sinks ignore scopes, so
+    the [--stats] snapshot surface is unchanged. *)
+module Scope : sig
+  type t = { epoch : int option; tid : int option; phase : string option }
+
+  val none : t
+
+  val current : unit -> t
+  (** The scope active on the calling domain ({!none} outside any
+      {!with_scope}). *)
+
+  val with_scope : ?epoch:int -> ?tid:int -> ?phase:string -> (unit -> 'a) -> 'a
+  (** Run the thunk with the given coordinates layered over the current
+      scope (omitted fields are inherited), restoring the previous scope
+      afterwards — also on exceptions.  Under the null sink this is just
+      the call. *)
 end
 
 module Sink : sig
@@ -84,8 +128,11 @@ module Sink : sig
   (** A fresh in-memory registry aggregating by [(name, labels)]. *)
 
   val jsonl : Format.formatter -> t
-  (** Streams one JSON object per event ([{"kind","name","labels","v"}]).
-      No aggregation: {!snapshot} is empty. *)
+  (** Streams one JSON object per event
+      ([{"kind","name","labels","v","t_ns","scope"}]): the monotonic
+      timestamp {!now_ns} and, when a {!Scope} is active, its epoch /
+      tid / phase — so the stream replays into a timeline.  No
+      aggregation: {!snapshot} is empty. *)
 
   val tee : t -> t -> t
   (** Events go to both; snapshots concatenate. *)

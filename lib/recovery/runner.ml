@@ -71,6 +71,7 @@ let m_bytes = Obs.Counter.make "recovery.bytes"
 let sp_restore = Obs.Span.make "recovery.restore.ns"
 
 let write_checkpoint ops ~path ~threads st =
+  Obs.Scope.with_scope ~epoch:(ops.fed st) ~phase:"checkpoint" @@ fun () ->
   let meta =
     { Snapshot.lifeguard = ops.tag; next_epoch = ops.fed st; threads }
   in
@@ -119,7 +120,10 @@ let resume ops ?checkpoint ~path epochs =
              "checkpoint is ahead of the trace: %d epochs folded, trace has %d"
              meta.Snapshot.next_epoch num)
       else (
-        match Obs.Span.time sp_restore (fun () -> ops.dec payload) with
+        match
+          Obs.Scope.with_scope ~phase:"restore" (fun () ->
+              Obs.Span.time sp_restore (fun () -> ops.dec payload))
+        with
         | Error m -> Error ("corrupt checkpoint payload: " ^ m)
         | Ok st ->
           if ops.fed st <> meta.Snapshot.next_epoch then

@@ -1,0 +1,276 @@
+type node =
+  | Pass1 of { epoch : int; tid : int }
+  | Pass2 of { epoch : int; tid : int }
+  | Sos of { epoch : int }
+
+type edge_kind = Head | Wing | Sos_in | Sos_chain | Epoch_sum
+
+type edge = { src : node; dst : node; kind : edge_kind }
+
+type t = {
+  num_epochs : int;
+  threads : int;
+  instrs : int array array;
+  edges : edge list;
+  focus : int option;
+}
+
+(* Sort keys.  Nodes order epoch-major, SOS before the pass columns of
+   its epoch (it is computed from strictly earlier epochs), pass-1
+   before pass-2, thread-minor within a column. *)
+let node_key = function
+  | Sos { epoch } -> (epoch, 0, 0)
+  | Pass1 { epoch; tid } -> (epoch, 1, tid)
+  | Pass2 { epoch; tid } -> (epoch, 2, tid)
+
+let kind_key = function
+  | Sos_chain -> 0
+  | Epoch_sum -> 1
+  | Head -> 2
+  | Wing -> 3
+  | Sos_in -> 4
+
+let edge_key e = (node_key e.dst, kind_key e.kind, node_key e.src)
+
+let in_grid ~num_epochs ~threads ~epoch ~tid =
+  epoch >= 0 && epoch < num_epochs && tid >= 0 && tid < threads
+
+let edges_of ~num_epochs ~threads =
+  let es = ref [] in
+  let push src dst kind = es := { src; dst; kind } :: !es in
+  for l = 0 to num_epochs - 1 do
+    (* SOS recurrence: SOS_l = GEN_{l-2} ∪ (SOS_{l-1} − KILL_{l-2}). *)
+    if l >= 1 then push (Sos { epoch = l - 1 }) (Sos { epoch = l }) Sos_chain;
+    if l >= 2 then
+      for t = 0 to threads - 1 do
+        push (Pass1 { epoch = l - 2; tid = t }) (Sos { epoch = l }) Epoch_sum
+      done;
+    for tid = 0 to threads - 1 do
+      let body = Pass2 { epoch = l; tid } in
+      if l >= 1 then push (Pass1 { epoch = l - 1; tid }) body Head;
+      for l' = l - 1 to l + 1 do
+        for t' = 0 to threads - 1 do
+          if t' <> tid && in_grid ~num_epochs ~threads ~epoch:l' ~tid:t' then
+            push (Pass1 { epoch = l'; tid = t' }) body Wing
+        done
+      done;
+      push (Sos { epoch = l }) body Sos_in
+    done
+  done;
+  List.sort (fun a b -> compare (edge_key a) (edge_key b)) !es
+
+let make ~num_epochs ~threads =
+  if num_epochs < 0 then invalid_arg "Butterfly_graph.make: negative num_epochs";
+  if threads <= 0 then invalid_arg "Butterfly_graph.make: threads must be > 0";
+  {
+    num_epochs;
+    threads;
+    instrs = Array.make_matrix num_epochs threads 0;
+    edges = edges_of ~num_epochs ~threads;
+    focus = None;
+  }
+
+let of_epochs epochs =
+  let num_epochs = Butterfly.Epochs.num_epochs epochs in
+  let threads = Butterfly.Epochs.threads epochs in
+  let g = make ~num_epochs ~threads in
+  for l = 0 to num_epochs - 1 do
+    for tid = 0 to threads - 1 do
+      g.instrs.(l).(tid) <-
+        Butterfly.Block.length (Butterfly.Epochs.block epochs ~epoch:l ~tid)
+    done
+  done;
+  g
+
+let restrict g ~epoch =
+  if epoch < 0 || epoch >= g.num_epochs then
+    invalid_arg "Butterfly_graph.restrict: epoch out of range";
+  let keep e =
+    match e.dst with
+    | Pass2 { epoch = l; _ } -> l = epoch
+    | Sos { epoch = l } -> l = epoch
+    | Pass1 _ -> false
+  in
+  { g with edges = List.filter keep g.edges; focus = Some epoch }
+
+let node_id = function
+  | Sos { epoch } -> Printf.sprintf "sos_%d" epoch
+  | Pass1 { epoch; tid } -> Printf.sprintf "p1_%d_%d" epoch tid
+  | Pass2 { epoch; tid } -> Printf.sprintf "p2_%d_%d" epoch tid
+
+let nodes g =
+  let tbl = Hashtbl.create 64 in
+  let add n = Hashtbl.replace tbl n () in
+  (* A full graph lists every in-grid node even in degenerate grids
+     (a 1-epoch grid has no head/SOS edges); a restricted one only what
+     its edges touch. *)
+  if g.focus = None then
+    for l = 0 to g.num_epochs - 1 do
+      add (Sos { epoch = l });
+      for tid = 0 to g.threads - 1 do
+        add (Pass1 { epoch = l; tid });
+        add (Pass2 { epoch = l; tid })
+      done
+    done;
+  List.iter
+    (fun e ->
+      add e.src;
+      add e.dst)
+    g.edges;
+  Hashtbl.fold (fun n () acc -> n :: acc) tbl []
+  |> List.sort (fun a b -> compare (node_key a) (node_key b))
+
+let is_acyclic g =
+  (* Kahn's algorithm over the edge list — no appeal to construction. *)
+  let ns = nodes g in
+  let indeg = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace indeg n 0) ns;
+  let out = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace indeg e.dst (Hashtbl.find indeg e.dst + 1);
+      Hashtbl.replace out e.src (e.dst :: Option.value ~default:[] (Hashtbl.find_opt out e.src)))
+    g.edges;
+  let q = Queue.create () in
+  List.iter (fun n -> if Hashtbl.find indeg n = 0 then Queue.add n q) ns;
+  let visited = ref 0 in
+  while not (Queue.is_empty q) do
+    let n = Queue.pop q in
+    incr visited;
+    List.iter
+      (fun m ->
+        let d = Hashtbl.find indeg m - 1 in
+        Hashtbl.replace indeg m d;
+        if d = 0 then Queue.add m q)
+      (Option.value ~default:[] (Hashtbl.find_opt out n))
+  done;
+  !visited = List.length ns
+
+let kind_name = function
+  | Head -> "head"
+  | Wing -> "wing"
+  | Sos_in -> "sos_in"
+  | Sos_chain -> "sos_chain"
+  | Epoch_sum -> "epoch_sum"
+
+let dot_edge_attrs = function
+  | Head -> "color=\"#2a78d6\",penwidth=1.6"
+  | Wing -> "color=\"#898781\",style=dashed"
+  | Sos_in -> "color=\"#1baf7a\",penwidth=1.6"
+  | Sos_chain -> "color=\"#1baf7a\",style=bold"
+  | Epoch_sum -> "color=\"#898781\",style=dotted,arrowhead=empty"
+
+let node_label g = function
+  | Sos { epoch } -> Printf.sprintf "SOS_%d" epoch
+  | Pass1 { epoch; tid } ->
+    Printf.sprintf "pass1 (%d,%d)\\n%d instrs" epoch tid g.instrs.(epoch).(tid)
+  | Pass2 { epoch; tid } -> Printf.sprintf "pass2 (%d,%d)" epoch tid
+
+let node_shape = function
+  | Sos _ -> "shape=diamond,style=filled,fillcolor=\"#d9f2e6\""
+  | Pass1 _ -> "shape=box,style=filled,fillcolor=\"#e3eefc\""
+  | Pass2 _ -> "shape=box,style=\"rounded,filled\",fillcolor=\"#fdf1e6\""
+
+let to_dot g =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "digraph butterfly {\n";
+  pf "  rankdir=LR;\n";
+  pf "  fontname=\"Helvetica\";\n";
+  pf "  node [fontname=\"Helvetica\",fontsize=10];\n";
+  pf "  edge [fontname=\"Helvetica\",fontsize=9];\n";
+  pf
+    "  label=\"butterfly dependence graph — %d epochs x %d threads\\nhead: \
+     blue solid; wing: gray dashed; SOS: green; epoch summary: gray \
+     dotted\";\n"
+    g.num_epochs g.threads;
+  pf "  labelloc=t;\n";
+  let ns = nodes g in
+  let by_epoch =
+    List.filter
+      (fun n ->
+        match n with
+        | Sos { epoch } | Pass1 { epoch; _ } | Pass2 { epoch; _ } ->
+          epoch >= 0 && epoch < g.num_epochs)
+      ns
+  in
+  for l = 0 to g.num_epochs - 1 do
+    let mine =
+      List.filter
+        (fun n ->
+          match n with
+          | Sos { epoch } | Pass1 { epoch; _ } | Pass2 { epoch; _ } -> epoch = l)
+        by_epoch
+    in
+    if mine <> [] then begin
+      pf "  subgraph cluster_epoch_%d {\n" l;
+      pf "    label=\"epoch %d\";\n" l;
+      pf "    color=\"#c3c2b7\";\n";
+      List.iter
+        (fun n ->
+          pf "    %s [label=\"%s\",%s];\n" (node_id n) (node_label g n)
+            (node_shape n))
+        mine;
+      pf "  }\n"
+    end
+  done;
+  List.iter
+    (fun e ->
+      pf "  %s -> %s [%s];\n" (node_id e.src) (node_id e.dst)
+        (dot_edge_attrs e.kind))
+    g.edges;
+  pf "}\n";
+  Buffer.contents b
+
+let to_json g =
+  let open Obs.Json in
+  let node_json n =
+    let kind, epoch, tid =
+      match n with
+      | Sos { epoch } -> ("sos", epoch, None)
+      | Pass1 { epoch; tid } -> ("pass1", epoch, Some tid)
+      | Pass2 { epoch; tid } -> ("pass2", epoch, Some tid)
+    in
+    Obj
+      ([ ("id", String (node_id n)); ("kind", String kind); ("epoch", Int epoch) ]
+      @ (match tid with Some t -> [ ("tid", Int t) ] | None -> [])
+      @
+      match n with
+      | Pass1 { epoch; tid } when epoch >= 0 && epoch < g.num_epochs ->
+        [ ("instrs", Int g.instrs.(epoch).(tid)) ]
+      | _ -> [])
+  in
+  let edge_json e =
+    Obj
+      [
+        ("src", String (node_id e.src));
+        ("dst", String (node_id e.dst));
+        ("kind", String (kind_name e.kind));
+      ]
+  in
+  let timeline =
+    List.init g.num_epochs (fun l ->
+        Obj
+          [
+            ("epoch", Int l);
+            ( "blocks",
+              List
+                (Array.to_list
+                   (Array.mapi
+                      (fun tid n -> Obj [ ("tid", Int tid); ("instrs", Int n) ])
+                      g.instrs.(l))) );
+            ("instrs", Int (Array.fold_left ( + ) 0 g.instrs.(l)));
+          ])
+  in
+  Obj
+    ([
+       ("schema", String "butterfly.graph/1");
+       ("num_epochs", Int g.num_epochs);
+       ("threads", Int g.threads);
+     ]
+    @ (match g.focus with Some l -> [ ("focus", Int l) ] | None -> [])
+    @ [
+        ("nodes", List (List.map node_json (nodes g)));
+        ("edges", List (List.map edge_json g.edges));
+        ("timeline", List timeline);
+      ])

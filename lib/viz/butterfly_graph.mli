@@ -1,0 +1,76 @@
+(** The butterfly dependence graph of an epoch grid.
+
+    Renders the paper's two-pass pipeline (Figure 7 geometry plus the
+    SOS recurrence of Section 5) as an explicit DAG: what each pass-2
+    body computation is allowed to read, and where the strongly-ordered
+    state it starts from came from.  Nodes are {e phase-qualified} —
+    pass-1 of a block, pass-2 of a block, and SOS of an epoch are
+    distinct vertices — which is exactly why the graph is acyclic even
+    though two concurrent blocks sit in each other's wings.
+
+    Per body block [(l, t)]:
+
+    - a {b head} edge from pass-1 of [(l-1, t)] — the same thread's
+      previous block is fully ordered before the body;
+    - a {b wing} edge from pass-1 of every [(l', t')] with
+      [l-1 <= l' <= l+1], [t' <> t] (in-grid only) — potentially
+      concurrent blocks contribute their summaries to the side-in meet;
+    - an {b sos-in} edge from [SOS_l] — the strongly-ordered prefix the
+      local pass-2 state is seeded from.
+
+    Per epoch [l >= 1], an {b sos-chain} edge [SOS_{l-1} -> SOS_l], and
+    for [l >= 2] an {b epoch-sum} edge from pass-1 of every block of
+    epoch [l-2]: [SOS_l = GEN_{l-2} ∪ (SOS_{l-1} − KILL_{l-2})] — the
+    two-epoch lag is the uncertainty window made visible.
+
+    Both renderings ({!to_dot}, {!to_json}) are byte-deterministic for a
+    given grid: nodes epoch-major then thread-minor, edges sorted by
+    destination then kind then source. *)
+
+type node =
+  | Pass1 of { epoch : int; tid : int }
+  | Pass2 of { epoch : int; tid : int }
+  | Sos of { epoch : int }  (** [SOS_epoch], the state {e entering} the epoch. *)
+
+type edge_kind = Head | Wing | Sos_in | Sos_chain | Epoch_sum
+
+type edge = { src : node; dst : node; kind : edge_kind }
+
+type t = private {
+  num_epochs : int;
+  threads : int;
+  instrs : int array array;  (** [instrs.(l).(t)]: body size of block (l,t). *)
+  edges : edge list;
+  focus : int option;  (** Body epoch when {!restrict}ed, [None] for the grid. *)
+}
+
+val make : num_epochs:int -> threads:int -> t
+(** Pure geometry — every block counts 0 instructions. *)
+
+val of_epochs : Butterfly.Epochs.t -> t
+(** Geometry of the grid plus per-block instruction counts. *)
+
+val restrict : t -> epoch:int -> t
+(** Keep only the butterfly of bodies in [epoch]: edges into its pass-2
+    nodes and into [SOS_epoch], plus the nodes they touch.  Raises
+    [Invalid_argument] when [epoch] is out of range. *)
+
+val nodes : t -> node list
+(** Every node incident to an edge plus every in-grid pass-1/pass-2
+    node, epoch-major, thread-minor, SOS first within an epoch. *)
+
+val node_id : node -> string
+(** Stable identifier ([sos_3], [p1_2_0], [p2_2_0]) used by both
+    renderings. *)
+
+val is_acyclic : t -> bool
+(** Always [true] by construction; exported so property tests check the
+    construction rather than trust this comment. *)
+
+val to_dot : t -> string
+(** Graphviz source: one [subgraph cluster_*] per epoch, edge styles per
+    kind, a legend in the graph label. *)
+
+val to_json : t -> Obs.Json.t
+(** [{schema; num_epochs; threads; nodes; edges; timeline}] where
+    [timeline] lists per-epoch block sizes in thread order. *)

@@ -1,0 +1,47 @@
+(** Self-contained HTML dashboard over a {!Obs.Sink.jsonl} event stream.
+
+    {!render} turns the structured telemetry a run streamed to JSONL —
+    every event timestamped ([t_ns]) and scope-tagged (epoch / tid /
+    phase, see {!Obs.Scope}) — into one HTML file with zero external
+    dependencies: no scripts, no fonts, no network fetches.  Charts are
+    inline SVG with native [<title>] tooltips; light and dark render
+    from the same markup via CSS custom properties and
+    [prefers-color-scheme].
+
+    Panels, each skipped gracefully when its series is absent:
+    - header stat tiles (events, epochs, checks, flags);
+    - per-epoch pass-2 latency (sum of [butterfly.pass2_block.ns]
+      observations grouped by scope epoch);
+    - domain-pool utilization over time ([pool.utilization]);
+    - phase-2 recheck rate ([lifeguard.phase2_rechecks] vs
+      [lifeguard.checks], per epoch);
+    - checkpoint cadence ([recovery.checkpoints] event times and
+      [recovery.bytes] sizes).
+
+    Output is a pure function of the input events: rendering the same
+    JSONL twice gives byte-identical HTML. *)
+
+type event = {
+  kind : string;  (** [add], [set], [set_max] or [observe]. *)
+  name : string;
+  labels : (string * string) list;
+  v : float;
+  t_ns : float;
+  epoch : int option;
+  tid : int option;
+  phase : string option;
+}
+
+val parse_line : string -> (event, string) result
+(** One JSONL line.  Blank lines are an error ([Error "empty line"]) —
+    filter them out before calling. *)
+
+val parse_events : string -> event list * int
+(** Whole-file contents: the well-formed events in order, and how many
+    non-blank lines failed to parse (surfaced on the dashboard rather
+    than failing the render — a crashed run leaves a torn last line). *)
+
+val render : ?title:string -> ?refresh:int -> event list -> string
+(** The HTML document.  [refresh] adds a [<meta http-equiv="refresh">]
+    so a browser pointed at a file being appended to re-reads it — the
+    "live" mode; the page itself still contains no script. *)

@@ -162,6 +162,221 @@ let jsonl_sink =
             && l.[String.length l - 1] = '}'))
         lines)
 
+let histogram_edge_cases =
+  Alcotest.test_case "histogram min/max: single and negative observations"
+    `Quick (fun () ->
+      (* A single observation pins every statistic to itself; the memory
+         sink can never render min as 0 unless 0 was observed — the
+         "min is 0 when count = 0" clause in the docs applies only to
+         hand-built empty snapshots, which the sink cannot produce. *)
+      let one v =
+        let h = Obs.Histogram.make "t.single" in
+        let sink = Obs.Sink.memory () in
+        Obs.with_sink sink (fun () -> Obs.Histogram.observe h v);
+        match Obs.Snapshot.find (Obs.Sink.snapshot sink) "t.single" with
+        | Some (Obs.Snapshot.Histogram hs) -> hs
+        | _ -> Alcotest.fail "expected a histogram"
+      in
+      let hs = one 7.25 in
+      Alcotest.(check int) "count 1" 1 hs.count;
+      Alcotest.(check (float 0.0)) "min = the observation" 7.25 hs.min;
+      Alcotest.(check (float 0.0)) "max = the observation" 7.25 hs.max;
+      Alcotest.(check (float 0.0)) "sum = the observation" 7.25 hs.sum;
+      let neg = one (-3.5) in
+      Alcotest.(check (float 0.0)) "negative min survives" (-3.5) neg.min;
+      Alcotest.(check (float 0.0)) "negative max survives" (-3.5) neg.max;
+      (* A span-shaped zero-duration observation: min must be a real 0
+         from observing, not a count-0 placeholder. *)
+      let z = one 0.0 in
+      Alcotest.(check int) "count 1 at zero" 1 z.count;
+      Alcotest.(check (float 0.0)) "zero min" 0.0 z.min)
+
+let json_parser =
+  Alcotest.test_case "Json.of_string: round-trips and precise errors" `Quick
+    (fun () ->
+      let open Obs.Json in
+      let roundtrip v =
+        match of_string (to_string v) with
+        | Ok v' -> Alcotest.(check string) "round-trip" (to_string v) (to_string v')
+        | Error m -> Alcotest.fail ("parse failed: " ^ m)
+      in
+      List.iter roundtrip
+        [
+          Null; Bool true; Bool false; Int 0; Int (-42); Float 2.5;
+          Float (-0.125); String ""; String "a\"b\\c\nd\te";
+          String "unicode: \xc3\xa9"; List []; Obj [];
+          List [ Int 1; List [ Obj [ ("k", Null) ] ] ];
+          Obj [ ("a", Int 1); ("b", List [ Bool false ]); ("c", String "x") ];
+        ];
+      (* Ints stay ints, fractions and exponents become floats. *)
+      (match of_string "17" with
+      | Ok (Int 17) -> ()
+      | _ -> Alcotest.fail "17 should parse as Int");
+      (match of_string "17.0" with
+      | Ok (Float 17.0) -> ()
+      | _ -> Alcotest.fail "17.0 should parse as Float");
+      (match of_string "1e3" with
+      | Ok (Float 1000.0) -> ()
+      | _ -> Alcotest.fail "1e3 should parse as Float");
+      (* \u escapes decode to UTF-8; raw UTF-8 passes through. *)
+      (match of_string "\"\\u00e9\"" with
+      | Ok (String "\xc3\xa9") -> ()
+      | _ -> Alcotest.fail "\\u00e9 should decode to UTF-8");
+      (match of_string "\"\xc3\xa9\"" with
+      | Ok (String "\xc3\xa9") -> ()
+      | _ -> Alcotest.fail "raw UTF-8 should pass through");
+      (* Errors carry a byte offset and reject trailing garbage. *)
+      let fails s =
+        match of_string s with
+        | Error m ->
+          Testutil.checkb ("offset in: " ^ m) true
+            (Astring.String.is_prefix ~affix:"byte " m)
+        | Ok _ -> Alcotest.fail ("should not parse: " ^ s)
+      in
+      List.iter fails
+        [ ""; "{"; "[1,"; "{\"a\"}"; "tru"; "1 2"; "\"unterminated"; "{]";
+          "[1] trailing"; "nan" ])
+
+let jsonl_scope =
+  Alcotest.test_case "jsonl events carry t_ns and the active scope" `Quick
+    (fun () ->
+      let buf = Buffer.create 256 in
+      let ppf = Format.formatter_of_buffer buf in
+      let c = Obs.Counter.make "t.scoped" in
+      Obs.with_sink (Obs.Sink.jsonl ppf) (fun () ->
+          Obs.Counter.incr c;
+          Obs.Scope.with_scope ~epoch:3 ~phase:"pass1" (fun () ->
+              Obs.Counter.incr c;
+              (* nested scope inherits epoch, overrides phase, adds tid *)
+              Obs.Scope.with_scope ~tid:1 ~phase:"pass2" (fun () ->
+                  Obs.Counter.incr c));
+          (* restored after the nested scopes *)
+          Obs.Counter.incr c);
+      Format.pp_print_flush ppf ();
+      let lines =
+        String.split_on_char '\n' (Buffer.contents buf)
+        |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check int) "four events" 4 (List.length lines);
+      let parsed =
+        List.map
+          (fun l ->
+            match Obs.Json.of_string l with
+            | Ok (Obs.Json.Obj fields) -> fields
+            | _ -> Alcotest.fail "event line must parse as an object")
+          lines
+      in
+      List.iter
+        (fun fields ->
+          Testutil.checkb "t_ns present" true
+            (List.mem_assoc "t_ns" fields))
+        parsed;
+      let scope_of fields =
+        match List.assoc_opt "scope" fields with
+        | Some (Obs.Json.Obj s) -> Some s
+        | _ -> None
+      in
+      (match List.map scope_of parsed with
+      | [ None; Some s1; Some s2; None ] ->
+        Alcotest.(check bool) "outer scope: epoch 3" true
+          (List.assoc_opt "epoch" s1 = Some (Obs.Json.Int 3));
+        Alcotest.(check bool) "outer scope: phase pass1" true
+          (List.assoc_opt "phase" s1 = Some (Obs.Json.String "pass1"));
+        Alcotest.(check bool) "outer scope: no tid" true
+          (List.assoc_opt "tid" s1 = None);
+        Alcotest.(check bool) "nested: epoch inherited" true
+          (List.assoc_opt "epoch" s2 = Some (Obs.Json.Int 3));
+        Alcotest.(check bool) "nested: tid layered in" true
+          (List.assoc_opt "tid" s2 = Some (Obs.Json.Int 1));
+        Alcotest.(check bool) "nested: phase overridden" true
+          (List.assoc_opt "phase" s2 = Some (Obs.Json.String "pass2"))
+      | _ -> Alcotest.fail "scope should appear on exactly the scoped events");
+      (* Scopes restore on exceptions too. *)
+      (try
+         Obs.with_sink (Obs.Sink.memory ()) (fun () ->
+             Obs.Scope.with_scope ~epoch:9 (fun () -> failwith "die"))
+       with Failure _ -> ());
+      Testutil.checkb "scope restored after raise" true
+        (Obs.Scope.current () = Obs.Scope.none))
+
+let prometheus_exposition =
+  Alcotest.test_case "Prometheus text exposition is pinned" `Quick (fun () ->
+      let sink = Obs.Sink.memory () in
+      Obs.with_sink sink (fun () ->
+          Obs.Counter.add
+            (Obs.Counter.make ~labels:[ ("lifeguard", "x\"y\n") ] "lifeguard.checks")
+            12;
+          Obs.Gauge.set (Obs.Gauge.make "pool.utilization") 0.75;
+          let h = Obs.Histogram.make "t.lat.ns" in
+          List.iter (Obs.Histogram.observe h) [ 10.0; 100.0; 100.0 ]);
+      let text = Obs.Snapshot.to_prometheus (Obs.Sink.snapshot sink) in
+      Alcotest.(check string) "exposition"
+        ("# TYPE lifeguard_checks counter\n\
+          lifeguard_checks{lifeguard=\"x\\\"y\\n\"} 12\n\
+          # TYPE pool_utilization gauge\n\
+          pool_utilization 0.75\n\
+          # TYPE t_lat_ns histogram\n\
+          t_lat_ns_bucket{le=\"16\"} 1\n\
+          t_lat_ns_bucket{le=\"128\"} 3\n\
+          t_lat_ns_bucket{le=\"+Inf\"} 3\n\
+          t_lat_ns_sum 210\n\
+          t_lat_ns_count 3\n")
+        text;
+      (* Cumulative bucket counts never decrease. *)
+      let sink2 = Obs.Sink.memory () in
+      Obs.with_sink sink2 (fun () ->
+          let h = Obs.Histogram.make "m" in
+          List.iter (Obs.Histogram.observe h) (List.init 100 float_of_int));
+      let lines =
+        String.split_on_char '\n' (Obs.Snapshot.to_prometheus (Obs.Sink.snapshot sink2))
+      in
+      let counts =
+        List.filter_map
+          (fun l ->
+            if Astring.String.is_prefix ~affix:"m_bucket" l then
+              int_of_string_opt
+                (List.nth (String.split_on_char ' ' l)
+                   (List.length (String.split_on_char ' ' l) - 1))
+            else None)
+          lines
+      in
+      Testutil.checkb "monotone buckets" true
+        (counts = List.sort compare counts && counts <> []))
+
+let null_sink_allocation_free =
+  Alcotest.test_case "null sink: instruments allocate nothing" `Quick (fun () ->
+      Alcotest.(check bool) "null sink installed" false (Obs.enabled ());
+      let c = Obs.Counter.make "t.alloc.c" in
+      let g = Obs.Gauge.make "t.alloc.g" in
+      let h = Obs.Histogram.make "t.alloc.h" in
+      (* Pre-boxed float: passing a literal would box at the call site and
+         charge the measurement with the caller's allocation, not the
+         instrument's. *)
+      let v = Sys.opaque_identity 1.5 in
+      let iters = 10_000 in
+      let measure f =
+        f ();
+        (* warm-up: first call may allocate closures/handles lazily *)
+        let before = Gc.minor_words () in
+        for _ = 1 to iters do
+          f ()
+        done;
+        Gc.minor_words () -. before
+      in
+      let check_free what f =
+        let words = measure f in
+        Testutil.checkb
+          (Printf.sprintf "%s allocated %.0f words over %d calls" what words
+             iters)
+          true
+          (words < 64.0)
+      in
+      check_free "Counter.incr" (fun () -> Obs.Counter.incr c);
+      check_free "Counter.add" (fun () -> Obs.Counter.add c 3);
+      check_free "Gauge.set" (fun () -> Obs.Gauge.set g v);
+      check_free "Gauge.set_max" (fun () -> Obs.Gauge.set_max g v);
+      check_free "Histogram.observe" (fun () -> Obs.Histogram.observe h v))
+
 (* ------------------------------------------------------------------ *)
 (* Scheduler window accounting vs the batch pipeline. *)
 
@@ -238,8 +453,12 @@ let () =
       ( "registry",
         [
           counter_semantics; gauge_semantics; histogram_semantics;
-          sink_swapping; tee_sink; snapshot_determinism; span_timing;
+          histogram_edge_cases; sink_swapping; tee_sink; snapshot_determinism;
+          span_timing;
         ] );
-      ("serialization", [ json_output; jsonl_sink ]);
-      ("pipeline", [ window_accounting; null_sink_inert ]);
+      ( "serialization",
+        [ json_output; jsonl_sink; json_parser; jsonl_scope;
+          prometheus_exposition ] );
+      ("pipeline", [ window_accounting; null_sink_inert;
+                     null_sink_allocation_free ]);
     ]

@@ -1,0 +1,190 @@
+(* lib/viz: the butterfly dependence graph must reproduce the paper's
+   geometry exactly (wings via Epochs.wings, head, SOS recurrence edges),
+   stay acyclic, and render deterministically; the dashboard must build a
+   self-contained page (no scripts, no external fetches) from any event
+   stream, including an empty one. *)
+
+module G = Viz.Butterfly_graph
+
+let grid_arb =
+  QCheck.(pair (int_range 0 8) (int_range 1 4))
+
+(* A concrete Epochs.t with the same geometry, to compare wings against. *)
+let epochs_of ~num_epochs ~threads =
+  Butterfly.Epochs.of_blocks
+    (Array.init threads (fun _ ->
+         List.init num_epochs (fun _ -> [| Tracing.Instr.Read 0 |])))
+
+let acyclic_prop =
+  Testutil.qtest "dependence graph is acyclic" grid_arb
+    (fun (num_epochs, threads) -> G.is_acyclic (G.make ~num_epochs ~threads))
+
+let wing_edges_prop =
+  Testutil.qtest "each body has exactly its wing edges (Epochs.wings)"
+    grid_arb (fun (num_epochs, threads) ->
+      let g = G.make ~num_epochs ~threads in
+      let epochs = epochs_of ~num_epochs ~threads in
+      let ok = ref true in
+      for l = 0 to num_epochs - 1 do
+        for tid = 0 to threads - 1 do
+          let body = G.Pass2 { epoch = l; tid } in
+          let wings_in_graph =
+            List.filter_map
+              (fun (e : G.edge) ->
+                if e.kind = G.Wing && e.dst = body then
+                  match e.src with
+                  | G.Pass1 { epoch; tid } -> Some (epoch, tid)
+                  | _ ->
+                    ok := false;
+                    None
+                else None)
+              g.G.edges
+            |> List.sort compare
+          in
+          (* Epochs.wings also lists out-of-grid blocks (the conceptually
+             infinite grid: they read as empty and contribute nothing to
+             the meet); the graph omits those empty sources. *)
+          let wings_expected =
+            Butterfly.Epochs.wings epochs ~epoch:l ~tid
+            |> List.filter_map (fun (b : Butterfly.Block.t) ->
+                   if b.epoch >= 0 && b.epoch < num_epochs then
+                     Some (b.epoch, b.tid)
+                   else None)
+            |> List.sort compare
+          in
+          if wings_in_graph <> wings_expected then ok := false
+        done
+      done;
+      !ok)
+
+let head_sos_prop =
+  Testutil.qtest "head/SOS edges match the recurrences" grid_arb
+    (fun (num_epochs, threads) ->
+      let g = G.make ~num_epochs ~threads in
+      let count kind pred =
+        List.length
+          (List.filter
+             (fun (e : G.edge) -> e.kind = kind && pred e)
+             g.G.edges)
+      in
+      let any _ = true in
+      (* one head edge per body except epoch 0 *)
+      count G.Head any = max 0 (num_epochs - 1) * threads
+      (* one sos-in per body *)
+      && count G.Sos_in any = num_epochs * threads
+      (* the SOS chain is a path over the epochs *)
+      && count G.Sos_chain any = max 0 (num_epochs - 1)
+      (* every thread of epoch l-2 feeds SOS_l *)
+      && count G.Epoch_sum any = max 0 (num_epochs - 2) * threads)
+
+let deterministic_rendering =
+  Alcotest.test_case "DOT and JSON render byte-identically" `Quick (fun () ->
+      let g () = G.of_epochs (epochs_of ~num_epochs:4 ~threads:3) in
+      Alcotest.(check string) "dot" (G.to_dot (g ())) (G.to_dot (g ()));
+      Alcotest.(check string) "json"
+        (Obs.Json.to_string (G.to_json (g ())))
+        (Obs.Json.to_string (G.to_json (g ())));
+      (* and the JSON is parseable by our own parser *)
+      match Obs.Json.of_string (Obs.Json.to_string (G.to_json (g ()))) with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail ("graph JSON does not re-parse: " ^ m))
+
+let restrict_focuses =
+  Alcotest.test_case "restrict keeps only one body epoch's butterflies"
+    `Quick (fun () ->
+      let g = G.restrict (G.make ~num_epochs:6 ~threads:2) ~epoch:3 in
+      Alcotest.(check bool) "non-empty" true (g.G.edges <> []);
+      List.iter
+        (fun (e : G.edge) ->
+          match e.dst with
+          | G.Pass2 { epoch; _ } | G.Sos { epoch } ->
+            Alcotest.(check int) "edge targets the focus epoch" 3 epoch
+          | G.Pass1 _ -> Alcotest.fail "pass-1 nodes have no in-edges")
+        g.G.edges;
+      Alcotest.(check bool) "still acyclic" true (G.is_acyclic g);
+      match G.restrict (G.make ~num_epochs:6 ~threads:2) ~epoch:6 with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "out-of-range focus must be rejected")
+
+(* ------------------------------------------------------------------ *)
+(* Dashboard *)
+
+let capture_events f =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Obs.with_sink (Obs.Sink.jsonl ppf) f;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let dashboard_smoke =
+  Alcotest.test_case "dashboard renders self-contained HTML from JSONL"
+    `Quick (fun () ->
+      let jsonl =
+        capture_events (fun () ->
+            let checks = Obs.Counter.make ~labels:[ ("lifeguard", "taintcheck") ] "lifeguard.checks" in
+            let p2 = Obs.Counter.make "lifeguard.phase2_rechecks" in
+            let sp = Obs.Histogram.make "butterfly.pass2_block.ns" in
+            let util = Obs.Gauge.make "pool.utilization" in
+            for l = 0 to 4 do
+              Obs.Scope.with_scope ~epoch:l ~tid:0 ~phase:"pass2" (fun () ->
+                  Obs.Histogram.observe sp (float_of_int (1000 * (l + 1)));
+                  Obs.Counter.add checks 10;
+                  Obs.Counter.add p2 l)
+            done;
+            Obs.Gauge.set util 0.5;
+            Obs.Gauge.set util 0.9;
+            Obs.Counter.incr (Obs.Counter.make "recovery.checkpoints"))
+      in
+      let events, bad = Viz.Dashboard.parse_events jsonl in
+      Alcotest.(check int) "no malformed lines" 0 bad;
+      Alcotest.(check bool) "events parsed" true (List.length events > 10);
+      let html = Viz.Dashboard.render ~title:"smoke <&> test" events in
+      let has affix = Astring.String.is_infix ~affix html in
+      Alcotest.(check bool) "has charts" true (has "<svg");
+      Alcotest.(check bool) "title escaped" true (has "smoke &lt;&amp;&gt; test");
+      Alcotest.(check bool) "no scripts" false (has "<script");
+      Alcotest.(check bool) "no external stylesheets" false (has "<link");
+      Alcotest.(check bool) "no external images" false (has "<img");
+      Alcotest.(check bool) "dark mode present" true
+        (has "prefers-color-scheme: dark");
+      Alcotest.(check bool) "tooltips present" true (has "<title>");
+      (* deterministic: same events, same bytes *)
+      Alcotest.(check string) "stable render" html
+        (Viz.Dashboard.render ~title:"smoke <&> test" events);
+      (* the only URL is the SVG namespace *)
+      let without_ns =
+        Astring.String.cuts ~sep:"http://www.w3.org/2000/svg" html
+        |> String.concat ""
+      in
+      Alcotest.(check bool) "no network fetches" false
+        (Astring.String.is_infix ~affix:"http" without_ns))
+
+let dashboard_empty_and_torn =
+  Alcotest.test_case "dashboard tolerates empty and torn streams" `Quick
+    (fun () ->
+      let html = Viz.Dashboard.render [] in
+      Alcotest.(check bool) "empty stream renders" true
+        (Astring.String.is_infix ~affix:"</html>" html);
+      (* a torn last line (crashed writer) parses as one bad line *)
+      let events, bad =
+        Viz.Dashboard.parse_events
+          "{\"kind\":\"add\",\"name\":\"x\",\"v\":1,\"t_ns\":5}\n\
+           {\"kind\":\"add\",\"na"
+      in
+      Alcotest.(check int) "one good event" 1 (List.length events);
+      Alcotest.(check int) "one torn line" 1 bad;
+      let refreshed = Viz.Dashboard.render ~refresh:5 events in
+      Alcotest.(check bool) "meta refresh present" true
+        (Astring.String.is_infix
+           ~affix:"<meta http-equiv=\"refresh\" content=\"5\"/>" refreshed))
+
+let () =
+  Alcotest.run "viz"
+    [
+      ( "graph",
+        [
+          acyclic_prop; wing_edges_prop; head_sos_prop;
+          deterministic_rendering; restrict_focuses;
+        ] );
+      ("dashboard", [ dashboard_smoke; dashboard_empty_and_torn ]);
+    ]

@@ -1,0 +1,221 @@
+The viz subcommand renders the paper's dependence structure.  Its DOT
+and JSON outputs are machine-read downstream (Graphviz, CI diffing), so
+they are pinned byte-for-byte on a small hand-built grid.
+
+A 3-epoch x 2-thread grid with distinct per-block instruction counts.
+
+  $ cat > tiny.trace <<'TRACE'
+  > threads 2
+  > 0 nop
+  > 0 heartbeat
+  > 0 nop
+  > 0 nop
+  > 0 heartbeat
+  > 0 nop
+  > 1 nop
+  > 1 heartbeat
+  > 1 nop
+  > 1 heartbeat
+  > 1 nop
+  > 1 nop
+  > TRACE
+
+The full dependence graph: SOS chain, epoch summaries into SOS, head
+edges, wings, and SOS-in edges, grouped per epoch.
+
+  $ ../bin/butterfly_cli.exe viz tiny.trace -e 0 --dot -
+  digraph butterfly {
+    rankdir=LR;
+    fontname="Helvetica";
+    node [fontname="Helvetica",fontsize=10];
+    edge [fontname="Helvetica",fontsize=9];
+    label="butterfly dependence graph — 3 epochs x 2 threads\nhead: blue solid; wing: gray dashed; SOS: green; epoch summary: gray dotted";
+    labelloc=t;
+    subgraph cluster_epoch_0 {
+      label="epoch 0";
+      color="#c3c2b7";
+      sos_0 [label="SOS_0",shape=diamond,style=filled,fillcolor="#d9f2e6"];
+      p1_0_0 [label="pass1 (0,0)\n1 instrs",shape=box,style=filled,fillcolor="#e3eefc"];
+      p1_0_1 [label="pass1 (0,1)\n1 instrs",shape=box,style=filled,fillcolor="#e3eefc"];
+      p2_0_0 [label="pass2 (0,0)",shape=box,style="rounded,filled",fillcolor="#fdf1e6"];
+      p2_0_1 [label="pass2 (0,1)",shape=box,style="rounded,filled",fillcolor="#fdf1e6"];
+    }
+    subgraph cluster_epoch_1 {
+      label="epoch 1";
+      color="#c3c2b7";
+      sos_1 [label="SOS_1",shape=diamond,style=filled,fillcolor="#d9f2e6"];
+      p1_1_0 [label="pass1 (1,0)\n2 instrs",shape=box,style=filled,fillcolor="#e3eefc"];
+      p1_1_1 [label="pass1 (1,1)\n1 instrs",shape=box,style=filled,fillcolor="#e3eefc"];
+      p2_1_0 [label="pass2 (1,0)",shape=box,style="rounded,filled",fillcolor="#fdf1e6"];
+      p2_1_1 [label="pass2 (1,1)",shape=box,style="rounded,filled",fillcolor="#fdf1e6"];
+    }
+    subgraph cluster_epoch_2 {
+      label="epoch 2";
+      color="#c3c2b7";
+      sos_2 [label="SOS_2",shape=diamond,style=filled,fillcolor="#d9f2e6"];
+      p1_2_0 [label="pass1 (2,0)\n1 instrs",shape=box,style=filled,fillcolor="#e3eefc"];
+      p1_2_1 [label="pass1 (2,1)\n2 instrs",shape=box,style=filled,fillcolor="#e3eefc"];
+      p2_2_0 [label="pass2 (2,0)",shape=box,style="rounded,filled",fillcolor="#fdf1e6"];
+      p2_2_1 [label="pass2 (2,1)",shape=box,style="rounded,filled",fillcolor="#fdf1e6"];
+    }
+    p1_0_1 -> p2_0_0 [color="#898781",style=dashed];
+    p1_1_1 -> p2_0_0 [color="#898781",style=dashed];
+    sos_0 -> p2_0_0 [color="#1baf7a",penwidth=1.6];
+    p1_0_0 -> p2_0_1 [color="#898781",style=dashed];
+    p1_1_0 -> p2_0_1 [color="#898781",style=dashed];
+    sos_0 -> p2_0_1 [color="#1baf7a",penwidth=1.6];
+    sos_0 -> sos_1 [color="#1baf7a",style=bold];
+    p1_0_0 -> p2_1_0 [color="#2a78d6",penwidth=1.6];
+    p1_0_1 -> p2_1_0 [color="#898781",style=dashed];
+    p1_1_1 -> p2_1_0 [color="#898781",style=dashed];
+    p1_2_1 -> p2_1_0 [color="#898781",style=dashed];
+    sos_1 -> p2_1_0 [color="#1baf7a",penwidth=1.6];
+    p1_0_1 -> p2_1_1 [color="#2a78d6",penwidth=1.6];
+    p1_0_0 -> p2_1_1 [color="#898781",style=dashed];
+    p1_1_0 -> p2_1_1 [color="#898781",style=dashed];
+    p1_2_0 -> p2_1_1 [color="#898781",style=dashed];
+    sos_1 -> p2_1_1 [color="#1baf7a",penwidth=1.6];
+    sos_1 -> sos_2 [color="#1baf7a",style=bold];
+    p1_0_0 -> sos_2 [color="#898781",style=dotted,arrowhead=empty];
+    p1_0_1 -> sos_2 [color="#898781",style=dotted,arrowhead=empty];
+    p1_1_0 -> p2_2_0 [color="#2a78d6",penwidth=1.6];
+    p1_1_1 -> p2_2_0 [color="#898781",style=dashed];
+    p1_2_1 -> p2_2_0 [color="#898781",style=dashed];
+    sos_2 -> p2_2_0 [color="#1baf7a",penwidth=1.6];
+    p1_1_1 -> p2_2_1 [color="#2a78d6",penwidth=1.6];
+    p1_1_0 -> p2_2_1 [color="#898781",style=dashed];
+    p1_2_0 -> p2_2_1 [color="#898781",style=dashed];
+    sos_2 -> p2_2_1 [color="#1baf7a",penwidth=1.6];
+  }
+
+The JSON rendering carries the same graph plus the epoch timeline.
+
+  $ ../bin/butterfly_cli.exe viz tiny.trace -e 0 --graph-json -
+  {"schema":"butterfly.graph/1","num_epochs":3,"threads":2,"nodes":[{"id":"sos_0","kind":"sos","epoch":0},{"id":"p1_0_0","kind":"pass1","epoch":0,"tid":0,"instrs":1},{"id":"p1_0_1","kind":"pass1","epoch":0,"tid":1,"instrs":1},{"id":"p2_0_0","kind":"pass2","epoch":0,"tid":0},{"id":"p2_0_1","kind":"pass2","epoch":0,"tid":1},{"id":"sos_1","kind":"sos","epoch":1},{"id":"p1_1_0","kind":"pass1","epoch":1,"tid":0,"instrs":2},{"id":"p1_1_1","kind":"pass1","epoch":1,"tid":1,"instrs":1},{"id":"p2_1_0","kind":"pass2","epoch":1,"tid":0},{"id":"p2_1_1","kind":"pass2","epoch":1,"tid":1},{"id":"sos_2","kind":"sos","epoch":2},{"id":"p1_2_0","kind":"pass1","epoch":2,"tid":0,"instrs":1},{"id":"p1_2_1","kind":"pass1","epoch":2,"tid":1,"instrs":2},{"id":"p2_2_0","kind":"pass2","epoch":2,"tid":0},{"id":"p2_2_1","kind":"pass2","epoch":2,"tid":1}],"edges":[{"src":"p1_0_1","dst":"p2_0_0","kind":"wing"},{"src":"p1_1_1","dst":"p2_0_0","kind":"wing"},{"src":"sos_0","dst":"p2_0_0","kind":"sos_in"},{"src":"p1_0_0","dst":"p2_0_1","kind":"wing"},{"src":"p1_1_0","dst":"p2_0_1","kind":"wing"},{"src":"sos_0","dst":"p2_0_1","kind":"sos_in"},{"src":"sos_0","dst":"sos_1","kind":"sos_chain"},{"src":"p1_0_0","dst":"p2_1_0","kind":"head"},{"src":"p1_0_1","dst":"p2_1_0","kind":"wing"},{"src":"p1_1_1","dst":"p2_1_0","kind":"wing"},{"src":"p1_2_1","dst":"p2_1_0","kind":"wing"},{"src":"sos_1","dst":"p2_1_0","kind":"sos_in"},{"src":"p1_0_1","dst":"p2_1_1","kind":"head"},{"src":"p1_0_0","dst":"p2_1_1","kind":"wing"},{"src":"p1_1_0","dst":"p2_1_1","kind":"wing"},{"src":"p1_2_0","dst":"p2_1_1","kind":"wing"},{"src":"sos_1","dst":"p2_1_1","kind":"sos_in"},{"src":"sos_1","dst":"sos_2","kind":"sos_chain"},{"src":"p1_0_0","dst":"sos_2","kind":"epoch_sum"},{"src":"p1_0_1","dst":"sos_2","kind":"epoch_sum"},{"src":"p1_1_0","dst":"p2_2_0","kind":"head"},{"src":"p1_1_1","dst":"p2_2_0","kind":"wing"},{"src":"p1_2_1","dst":"p2_2_0","kind":"wing"},{"src":"sos_2","dst":"p2_2_0","kind":"sos_in"},{"src":"p1_1_1","dst":"p2_2_1","kind":"head"},{"src":"p1_1_0","dst":"p2_2_1","kind":"wing"},{"src":"p1_2_0","dst":"p2_2_1","kind":"wing"},{"src":"sos_2","dst":"p2_2_1","kind":"sos_in"}],"timeline":[{"epoch":0,"blocks":[{"tid":0,"instrs":1},{"tid":1,"instrs":1}],"instrs":2},{"epoch":1,"blocks":[{"tid":0,"instrs":2},{"tid":1,"instrs":1}],"instrs":3},{"epoch":2,"blocks":[{"tid":0,"instrs":1},{"tid":1,"instrs":2}],"instrs":3}]}
+
+--focus restricts to one body epoch's butterflies (the classic picture).
+
+  $ ../bin/butterfly_cli.exe viz tiny.trace -e 0 --focus 1 --dot -
+  digraph butterfly {
+    rankdir=LR;
+    fontname="Helvetica";
+    node [fontname="Helvetica",fontsize=10];
+    edge [fontname="Helvetica",fontsize=9];
+    label="butterfly dependence graph — 3 epochs x 2 threads\nhead: blue solid; wing: gray dashed; SOS: green; epoch summary: gray dotted";
+    labelloc=t;
+    subgraph cluster_epoch_0 {
+      label="epoch 0";
+      color="#c3c2b7";
+      sos_0 [label="SOS_0",shape=diamond,style=filled,fillcolor="#d9f2e6"];
+      p1_0_0 [label="pass1 (0,0)\n1 instrs",shape=box,style=filled,fillcolor="#e3eefc"];
+      p1_0_1 [label="pass1 (0,1)\n1 instrs",shape=box,style=filled,fillcolor="#e3eefc"];
+    }
+    subgraph cluster_epoch_1 {
+      label="epoch 1";
+      color="#c3c2b7";
+      sos_1 [label="SOS_1",shape=diamond,style=filled,fillcolor="#d9f2e6"];
+      p1_1_0 [label="pass1 (1,0)\n2 instrs",shape=box,style=filled,fillcolor="#e3eefc"];
+      p1_1_1 [label="pass1 (1,1)\n1 instrs",shape=box,style=filled,fillcolor="#e3eefc"];
+      p2_1_0 [label="pass2 (1,0)",shape=box,style="rounded,filled",fillcolor="#fdf1e6"];
+      p2_1_1 [label="pass2 (1,1)",shape=box,style="rounded,filled",fillcolor="#fdf1e6"];
+    }
+    subgraph cluster_epoch_2 {
+      label="epoch 2";
+      color="#c3c2b7";
+      p1_2_0 [label="pass1 (2,0)\n1 instrs",shape=box,style=filled,fillcolor="#e3eefc"];
+      p1_2_1 [label="pass1 (2,1)\n2 instrs",shape=box,style=filled,fillcolor="#e3eefc"];
+    }
+    sos_0 -> sos_1 [color="#1baf7a",style=bold];
+    p1_0_0 -> p2_1_0 [color="#2a78d6",penwidth=1.6];
+    p1_0_1 -> p2_1_0 [color="#898781",style=dashed];
+    p1_1_1 -> p2_1_0 [color="#898781",style=dashed];
+    p1_2_1 -> p2_1_0 [color="#898781",style=dashed];
+    sos_1 -> p2_1_0 [color="#1baf7a",penwidth=1.6];
+    p1_0_1 -> p2_1_1 [color="#2a78d6",penwidth=1.6];
+    p1_0_0 -> p2_1_1 [color="#898781",style=dashed];
+    p1_1_0 -> p2_1_1 [color="#898781",style=dashed];
+    p1_2_0 -> p2_1_1 [color="#898781",style=dashed];
+    sos_1 -> p2_1_1 [color="#1baf7a",penwidth=1.6];
+  }
+
+Rendering is deterministic: two runs produce identical bytes.
+
+  $ ../bin/butterfly_cli.exe viz tiny.trace -e 0 --dot a.dot --graph-json a.json
+  $ ../bin/butterfly_cli.exe viz tiny.trace -e 0 --dot b.dot --graph-json b.json
+  $ cmp a.dot b.dot && cmp a.json b.json
+
+Usage errors are distinct and exit 2.
+
+  $ ../bin/butterfly_cli.exe viz tiny.trace -e 0
+  error: nothing to do (pass --dot, --graph-json or --dashboard)
+  [2]
+
+  $ ../bin/butterfly_cli.exe viz --dot -
+  error: --dot/--graph-json need a TRACE argument
+  [2]
+
+  $ ../bin/butterfly_cli.exe viz tiny.trace -e 0 --focus 7 --dot -
+  error: --focus 7 out of range (3 epochs)
+  [2]
+
+  $ ../bin/butterfly_cli.exe viz --dashboard out.html
+  error: --dashboard requires --obs EVENTS.jsonl
+  [2]
+
+A lifeguard run streams scoped events with --obs-jsonl; the dashboard is
+a pure function of that file -- self-contained HTML, no scripts, no
+external fetches, and byte-stable across re-renders.
+
+  $ ../bin/butterfly_cli.exe generate ocean --threads 2 --scale 20 --seed 3 > t.trace
+  $ ../bin/butterfly_cli.exe taintcheck t.trace -e 4 --domains 2 --json --obs-jsonl ev.jsonl
+  {"lifeguard":"taintcheck","checked":0,"flagged":0,"errors":[]}
+  $ test -s ev.jsonl
+  $ grep -c '"t_ns"' ev.jsonl > /dev/null
+  $ grep -q '"scope":{"epoch":' ev.jsonl
+
+  $ ../bin/butterfly_cli.exe viz --dashboard dash.html --obs ev.jsonl --title "viz cram"
+  $ grep -c '<svg' dash.html > /dev/null
+  $ grep -c '<script' dash.html
+  0
+  [1]
+  $ grep -q 'viz cram' dash.html
+  $ ../bin/butterfly_cli.exe viz --dashboard dash2.html --obs ev.jsonl --title "viz cram"
+  $ cmp dash.html dash2.html
+
+A torn tail line (crashed writer) is skipped with a warning, not fatal.
+
+  $ printf '{"kind":"add","na' >> ev.jsonl
+  $ ../bin/butterfly_cli.exe viz --dashboard torn.html --obs ev.jsonl
+  warning: skipped 1 malformed event line
+  $ grep -q '</html>' torn.html
+
+--refresh embeds a meta refresh for live viewing.
+
+  $ ../bin/butterfly_cli.exe viz --dashboard live.html --obs ev.jsonl --refresh 5 2>/dev/null
+  $ grep -o '<meta http-equiv="refresh" content="5"/>' live.html
+  <meta http-equiv="refresh" content="5"/>
+
+The stats subcommand also speaks Prometheus text exposition.
+
+  $ ../bin/butterfly_cli.exe stats t.trace -e 4 --lifeguard taintcheck --domains 2 --prometheus \
+  >   | grep '^# TYPE' | sort
+  # TYPE butterfly_epochs_processed counter
+  # TYPE butterfly_lsos_ns histogram
+  # TYPE butterfly_pass1_summarize_ns histogram
+  # TYPE butterfly_pass2_block_ns histogram
+  # TYPE butterfly_pass2_instrs counter
+  # TYPE butterfly_side_in_meet_ns histogram
+  # TYPE lifeguard_checks counter
+  # TYPE lifeguard_flags counter
+  # TYPE lifeguard_phase2_rechecks counter
+  # TYPE lifeguard_sos_size_hwm gauge
+  # TYPE pool_queue_depth histogram
+  # TYPE pool_size gauge
+  # TYPE pool_submit_wait_ns histogram
+  # TYPE pool_task_ns histogram
+  # TYPE pool_utilization gauge
+  # TYPE scheduler_blocks_closed counter
+  # TYPE scheduler_epoch_barriers counter
+  # TYPE scheduler_epoch_fanout_ns histogram
+  # TYPE scheduler_window_occupancy gauge
+  # TYPE scheduler_window_occupancy_hwm gauge
