@@ -168,8 +168,10 @@ let figure12_tests =
    spawning. *)
 module SRD = Butterfly.Scheduler.Make (Butterfly.Reaching_definitions.Problem)
 
-let streaming_run ?pool () =
-  ignore (SRD.run_epochs ?pool ~on_instr:(fun _ -> ()) ocean_large_epochs)
+let streaming_run ?pool ?wavefront () =
+  ignore
+    (SRD.run_epochs ?pool ?wavefront ~on_instr:(fun _ -> ())
+       ocean_large_epochs)
 
 let streaming_tests pools =
   Test.make_grouped ~name:"streaming"
@@ -207,7 +209,8 @@ let taint_program ~threads ~scale ~h =
 let taint_epochs =
   Butterfly.Epochs.of_program (taint_program ~threads:4 ~scale:1000 ~h:64)
 
-let taint_run ?pool () = ignore (Lifeguards.Taintcheck.run ?pool taint_epochs)
+let taint_run ?pool ?wavefront () =
+  ignore (Lifeguards.Taintcheck.run ?pool ?wavefront taint_epochs)
 
 let taint_tests pools =
   Test.make_grouped ~name:"taint"
@@ -218,6 +221,32 @@ let taint_tests pools =
              ~name:(Printf.sprintf "pooled-%d" d)
              (Staged.stage (fun () -> taint_run ~pool ())))
          pools)
+
+(* Epochwise vs wavefront: the same pool, the same trace, barrier vs
+   pipelined dispatch — the pairing BENCH_*.json's regression gate holds
+   to "wavefront no slower than epochwise".  Two workload shapes: the
+   streaming reaching-definitions pass (pass-2 dominated, the barrier is
+   pure overhead) and the TaintCheck two-pass pipeline (serially
+   dependent pass-2, the win is pass-1 overlap). *)
+let wavefront_tests pools =
+  Test.make_grouped ~name:"epochwise-vs-wavefront"
+    (List.concat_map
+       (fun (d, pool) ->
+         [
+           Test.make
+             ~name:(Printf.sprintf "streaming.epochwise-%d" d)
+             (Staged.stage (fun () -> streaming_run ~pool ()));
+           Test.make
+             ~name:(Printf.sprintf "streaming.wavefront-%d" d)
+             (Staged.stage (fun () -> streaming_run ~pool ~wavefront:true ()));
+           Test.make
+             ~name:(Printf.sprintf "taint.epochwise-%d" d)
+             (Staged.stage (fun () -> taint_run ~pool ()));
+           Test.make
+             ~name:(Printf.sprintf "taint.wavefront-%d" d)
+             (Staged.stage (fun () -> taint_run ~pool ~wavefront:true ()));
+         ])
+       pools)
 
 (* Obs null path: the instrument calls the scheduler hot path makes,
    measured under the default null sink — the tax every run pays whether
@@ -330,6 +359,7 @@ let () =
   let json = Array.exists (( = ) "--json") Sys.argv in
   let streaming_only = Array.exists (( = ) "--streaming-only") Sys.argv in
   let taint_only = Array.exists (( = ) "--taint-only") Sys.argv in
+  let wavefront_only = Array.exists (( = ) "--wavefront-only") Sys.argv in
   let pools =
     List.map
       (fun d ->
@@ -346,11 +376,12 @@ let () =
       let groups =
         if streaming_only then [ streaming_tests pools ]
         else if taint_only then [ taint_tests pools ]
+        else if wavefront_only then [ wavefront_tests pools ]
         else
           [
             core_tests; obs_tests; table1_tests; figure11_tests;
             figure12_tests; figure13_tests; streaming_tests pools;
-            taint_tests pools;
+            taint_tests pools; wavefront_tests pools;
           ]
       in
       if json then print_json (measure_benchmarks groups)
@@ -358,7 +389,7 @@ let () =
         print_endline
           "=== Bechamel micro-benchmarks (one group per artifact) ===";
         print_text (measure_benchmarks groups);
-        if not (streaming_only || taint_only) then begin
+        if not (streaming_only || taint_only || wavefront_only) then begin
           print_endline "";
           print_endline "=== Regenerated paper artifacts ===";
           print_endline "";

@@ -257,6 +257,38 @@ let domains_arg =
              count) instead of the sequential batch driver.  The output is \
              identical in either mode.")
 
+(* Driver selection: [--driver] names the execution strategy explicitly;
+   [auto] (the default) preserves the historical behaviour where
+   [--domains] alone picks sequential vs pooled. *)
+
+let driver_arg =
+  let d =
+    Arg.enum
+      [ ("auto", `Auto); ("sequential", `Sequential); ("pooled", `Pooled);
+        ("wavefront", `Wavefront) ]
+  in
+  Arg.(value & opt d `Auto & info [ "driver" ] ~docv:"DRIVER"
+       ~doc:"Execution driver: $(b,sequential) (batch, single domain), \
+             $(b,pooled) (epoch-barrier streaming scheduler; needs \
+             $(b,--domains)), $(b,wavefront) (barrier-free pipelined \
+             scheduler; needs $(b,--domains)), or $(b,auto) (default: \
+             $(b,pooled) when $(b,--domains) is given, else \
+             $(b,sequential)).  The report is identical for every driver.")
+
+(* Returns whether the wavefront scheduler is requested; exits on the
+   contradictory combinations so the error surfaces at parse time, not as
+   an escaped [Invalid_argument]. *)
+let wavefront_of_driver driver domains =
+  match (driver, domains) with
+  | `Auto, _ | `Sequential, None | `Pooled, Some _ -> false
+  | `Wavefront, Some _ -> true
+  | `Sequential, Some _ ->
+    prerr_endline "error: --driver sequential conflicts with --domains";
+    exit 2
+  | (`Pooled | `Wavefront), None ->
+    prerr_endline "error: --driver wavefront/pooled requires --domains";
+    exit 2
+
 (* Checkpoint/restore plumbing (lib/recovery), shared by the three
    lifeguard subcommands. *)
 
@@ -327,16 +359,20 @@ let load_program path h =
   | Ok p -> if h > 0 then Machine.Heartbeat.insert ~every:h p else p
 
 let addrcheck_cmd =
-  let run path h domains every out resume json stats obs_jsonl =
+  let run path h domains driver every out resume json stats obs_jsonl =
     with_stats ?obs_jsonl stats (fun () ->
+        let wavefront = wavefront_of_driver driver domains in
         let p = load_program path h in
         let r =
           run_with_recovery
-            ~batch:(fun ~domains epochs -> Lifeguards.Addrcheck.run ?domains epochs)
+            ~batch:(fun ~domains epochs ->
+              Lifeguards.Addrcheck.run ~wavefront ?domains epochs)
             ~fresh:(fun ?pool ?checkpoint epochs ->
-              Recovery.Runner.run_addrcheck ?pool ?checkpoint epochs)
-            ~resumed:Recovery.Runner.resume_addrcheck ~domains
-            ~checkpoint:(checkpointing_of every out) ~resume
+              Recovery.Runner.run_addrcheck ?pool ~wavefront ?checkpoint epochs)
+            ~resumed:(fun ?pool ?checkpoint ~path epochs ->
+              Recovery.Runner.resume_addrcheck ?pool ~wavefront ?checkpoint
+                ~path epochs)
+            ~domains ~checkpoint:(checkpointing_of every out) ~resume
             (Butterfly.Epochs.of_program p)
         in
         if stats <> None then replay_window_metrics p;
@@ -356,20 +392,25 @@ let addrcheck_cmd =
         end)
   in
   Cmd.v (Cmd.info "addrcheck" ~doc:"Run butterfly AddrCheck on a trace file")
-    Term.(const run $ trace_arg $ h_arg $ domains_arg $ ckpt_every_arg
-          $ ckpt_out_arg $ resume_arg $ json_arg $ stats_arg $ obs_jsonl_arg)
+    Term.(const run $ trace_arg $ h_arg $ domains_arg $ driver_arg
+          $ ckpt_every_arg $ ckpt_out_arg $ resume_arg $ json_arg $ stats_arg
+          $ obs_jsonl_arg)
 
 let initcheck_cmd =
-  let run path h domains every out resume json stats obs_jsonl =
+  let run path h domains driver every out resume json stats obs_jsonl =
     with_stats ?obs_jsonl stats (fun () ->
+        let wavefront = wavefront_of_driver driver domains in
         let p = load_program path h in
         let r =
           run_with_recovery
-            ~batch:(fun ~domains epochs -> Lifeguards.Initcheck.run ?domains epochs)
+            ~batch:(fun ~domains epochs ->
+              Lifeguards.Initcheck.run ~wavefront ?domains epochs)
             ~fresh:(fun ?pool ?checkpoint epochs ->
-              Recovery.Runner.run_initcheck ?pool ?checkpoint epochs)
-            ~resumed:Recovery.Runner.resume_initcheck ~domains
-            ~checkpoint:(checkpointing_of every out) ~resume
+              Recovery.Runner.run_initcheck ?pool ~wavefront ?checkpoint epochs)
+            ~resumed:(fun ?pool ?checkpoint ~path epochs ->
+              Recovery.Runner.resume_initcheck ?pool ~wavefront ?checkpoint
+                ~path epochs)
+            ~domains ~checkpoint:(checkpointing_of every out) ~resume
             (Butterfly.Epochs.of_program p)
         in
         if stats <> None then replay_window_metrics p;
@@ -391,23 +432,27 @@ let initcheck_cmd =
   Cmd.v
     (Cmd.info "initcheck"
        ~doc:"Run butterfly InitCheck (uninitialized reads) on a trace file")
-    Term.(const run $ trace_arg $ h_arg $ domains_arg $ ckpt_every_arg
-          $ ckpt_out_arg $ resume_arg $ json_arg $ stats_arg $ obs_jsonl_arg)
+    Term.(const run $ trace_arg $ h_arg $ domains_arg $ driver_arg
+          $ ckpt_every_arg $ ckpt_out_arg $ resume_arg $ json_arg $ stats_arg
+          $ obs_jsonl_arg)
 
 let taintcheck_cmd =
-  let run path h relaxed domains every out resume json stats obs_jsonl =
+  let run path h relaxed domains driver every out resume json stats obs_jsonl =
     with_stats ?obs_jsonl stats (fun () ->
+        let wavefront = wavefront_of_driver driver domains in
         let p = load_program path h in
         let r =
           run_with_recovery
             ~batch:(fun ~domains epochs ->
-              Lifeguards.Taintcheck.run ~sequential:(not relaxed) ?domains
-                epochs)
+              Lifeguards.Taintcheck.run ~sequential:(not relaxed) ~wavefront
+                ?domains epochs)
             ~fresh:(fun ?pool ?checkpoint epochs ->
               Recovery.Runner.run_taintcheck ?pool ~sequential:(not relaxed)
-                ?checkpoint epochs)
-            ~resumed:Recovery.Runner.resume_taintcheck ~domains
-            ~checkpoint:(checkpointing_of every out) ~resume
+                ~wavefront ?checkpoint epochs)
+            ~resumed:(fun ?pool ?checkpoint ~path epochs ->
+              Recovery.Runner.resume_taintcheck ?pool ~wavefront ?checkpoint
+                ~path epochs)
+            ~domains ~checkpoint:(checkpointing_of every out) ~resume
             (Butterfly.Epochs.of_program p)
         in
         if stats <> None then replay_window_metrics p;
@@ -440,8 +485,8 @@ let taintcheck_cmd =
   in
   Cmd.v (Cmd.info "taintcheck" ~doc:"Run butterfly TaintCheck on a trace file")
     Term.(const run $ trace_arg $ h_arg $ relaxed_arg $ domains_arg
-          $ ckpt_every_arg $ ckpt_out_arg $ resume_arg $ json_arg $ stats_arg
-          $ obs_jsonl_arg)
+          $ driver_arg $ ckpt_every_arg $ ckpt_out_arg $ resume_arg $ json_arg
+          $ stats_arg $ obs_jsonl_arg)
 
 let stats_cmd =
   let run path h domains lifeguard json prometheus obs_jsonl =
@@ -499,8 +544,14 @@ let stats_cmd =
    with greedy minimization of any counterexample. *)
 
 let fuzz_cmd =
-  let run lifeguard iterations seed shrink crash_at out replay stats obs_jsonl =
+  let run lifeguard driver iterations seed shrink crash_at out replay stats
+      obs_jsonl =
     with_stats ?obs_jsonl stats (fun () ->
+        let drivers =
+          match driver with
+          | `All -> Qa.Differential.all_drivers
+          | `One d -> [ d ]
+        in
         let lifeguards =
           match lifeguard with
           | `All -> Qa.Differential.all_lifeguards
@@ -544,7 +595,14 @@ let fuzz_cmd =
                     (fun crash_at -> { Qa.Engine.crash_at; every = 1 })
                     crash_at
                 in
-                { Qa.Engine.default_config with iterations; seed; shrink; crash }
+                {
+                  Qa.Engine.default_config with
+                  iterations;
+                  seed;
+                  shrink;
+                  crash;
+                  diff = { Qa.Differential.default_config with drivers };
+                }
               in
               let outcome = Qa.Engine.run ~config lg in
               match outcome.counterexample with
@@ -584,6 +642,21 @@ let fuzz_cmd =
     Arg.(value & opt lg `All & info [ "lifeguard" ] ~docv:"LIFEGUARD"
          ~doc:"Which lifeguard to fuzz: $(b,addrcheck), $(b,initcheck), \
                $(b,taintcheck) or $(b,all) (default).")
+  in
+  let fuzz_driver_arg =
+    let d =
+      Arg.enum
+        [
+          ("pooled", `One Qa.Differential.Pooled);
+          ("wavefront", `One Qa.Differential.Wavefront);
+          ("all", `All);
+        ]
+    in
+    Arg.(value & opt d `All & info [ "driver" ] ~docv:"DRIVER"
+         ~doc:"Which parallel drivers the equivalence battery quantifies \
+               over: $(b,pooled), $(b,wavefront) or $(b,all) (default).  \
+               The sequential baseline always runs.  Ignored with \
+               $(b,--replay).")
   in
   let iterations_arg =
     Arg.(value & opt positive_int 100 & info [ "iterations" ] ~docv:"N"
@@ -637,9 +710,9 @@ let fuzz_cmd =
        ~doc:"Differentially fuzz the butterfly lifeguards: random grids \
              through all driver/domain/memory-model combinations plus the \
              valid-ordering soundness oracle; exits non-zero on mismatch")
-    Term.(const run $ lifeguard_arg $ iterations_arg $ fuzz_seed_arg
-          $ shrink_arg $ crash_at_arg $ out_arg $ replay_arg $ stats_arg
-          $ obs_jsonl_arg)
+    Term.(const run $ lifeguard_arg $ fuzz_driver_arg $ iterations_arg
+          $ fuzz_seed_arg $ shrink_arg $ crash_at_arg $ out_arg $ replay_arg
+          $ stats_arg $ obs_jsonl_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Introspection: dependence-graph / timeline rendering and the obs

@@ -128,6 +128,12 @@ let async t f =
   enqueue t w (Run run);
   fut
 
+let poll fut =
+  Mutex.lock fut.f_lock;
+  let done_ = fut.state <> Pending in
+  Mutex.unlock fut.f_lock;
+  done_
+
 let await fut =
   Mutex.lock fut.f_lock;
   while fut.state = Pending do

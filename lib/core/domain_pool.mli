@@ -62,6 +62,11 @@ val await : 'a future -> 'a
 (** Block until the task has run; returns its result or re-raises the
     exception it terminated with.  Idempotent. *)
 
+val poll : 'a future -> bool
+(** [true] once the task has finished (successfully or not): {!await}
+    will return without blocking.  Never blocks; safe from the
+    submitting domain at any time. *)
+
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array p f arr] runs [f] over [arr] on the pool and returns the
     results in input order: deterministic collection regardless of task

@@ -15,6 +15,16 @@ module Make (P : Dataflow.PROBLEM) = struct
   let sp_lsos = Obs.Span.make ~labels:obs_labels "butterfly.lsos.ns"
   let sp_pass2 = Obs.Span.make ~labels:obs_labels "butterfly.pass2_block.ns"
 
+  (* Wavefront mode keeps several epochs' pass-2 tasks in flight at once;
+     its pipeline accounting carries its own driver label. *)
+  let wf_labels = [ ("problem", P.name); ("driver", "wavefront") ]
+  let g_wf_ready =
+    Obs.Gauge.make ~labels:wf_labels "scheduler.wavefront.ready_queue"
+  let sp_wf_stall =
+    Obs.Span.make ~labels:wf_labels "scheduler.wavefront.stall_ns"
+  let m_wf_overlap =
+    Obs.Counter.make ~labels:wf_labels "scheduler.wavefront.overlapped_epochs"
+
   type t = {
     threads : int;
     pool : Domain_pool.t option;
@@ -28,13 +38,28 @@ module Make (P : Dataflow.PROBLEM) = struct
     epoch_sums : (int, D.epoch_summary) Hashtbl.t;
     sos_tbl : (int, D.Set.t) Hashtbl.t;
     mutable sos_filled : int; (* SOS_l known for l <= sos_filled *)
-    mutable processed : int; (* epochs whose pass 2 has run *)
+    mutable processed : int; (* epochs whose pass 2 has been launched *)
     mutable hwm : int;
     mutable finished : bool;
+    (* Wavefront pipelining: pass-2 results still in flight on the pool,
+       keyed by epoch, plus the delivery frontier.  In the sequential and
+       plain pooled modes delivery is immediate, so [delivered] simply
+       tracks [processed]. *)
+    wavefront : bool;
+    inflight_cap : int;
+    p2_pending : (int, D.instr_view list Domain_pool.future array) Hashtbl.t;
+    mutable delivered : int; (* epochs whose views reached [on_instr] *)
   }
 
-  let create ?pool ~threads ~on_instr () =
+  let create ?pool ?(wavefront = false) ~threads ~on_instr () =
     if threads <= 0 then invalid_arg "Scheduler.create: threads must be > 0";
+    let wavefront = wavefront && pool <> None in
+    if wavefront && Obs.enabled () then begin
+      (* Materialize the pipeline metrics so clean runs still report them. *)
+      Obs.Counter.add m_wf_overlap 0;
+      Obs.Gauge.set g_wf_ready 0.0;
+      Obs.Span.time sp_wf_stall ignore
+    end;
     let t =
       {
         threads;
@@ -51,6 +76,13 @@ module Make (P : Dataflow.PROBLEM) = struct
         processed = 0;
         hwm = 0;
         finished = false;
+        wavefront;
+        inflight_cap =
+          (match pool with
+          | Some p when wavefront -> (2 * Domain_pool.size p) + 2
+          | _ -> 1);
+        p2_pending = Hashtbl.create 8;
+        delivered = 0;
       }
     in
     Hashtbl.replace t.sos_tbl 0 D.Set.empty;
@@ -139,6 +171,52 @@ module Make (P : Dataflow.PROBLEM) = struct
             cur := D.Set.union g (D.Set.diff lsos_at k))
           body)
 
+  (* ---- Wavefront delivery.  Buffered pass-2 views are handed to
+     [on_instr] strictly epoch-major (the futures array is per-thread, so
+     thread-minor order is positional), which keeps the observable
+     sequence byte-identical to the sequential path no matter how the
+     pool interleaved the work. *)
+
+  let await_views fut =
+    if Domain_pool.poll fut then Domain_pool.await fut
+    else Obs.Span.time sp_wf_stall (fun () -> Domain_pool.await fut)
+
+  let deliver_epoch t p futs =
+    let views = Array.map await_views futs in
+    Obs.Scope.with_scope ~epoch:p ~phase:"deliver" (fun () ->
+        Array.iter (fun vs -> List.iter t.on_instr vs) views);
+    Hashtbl.remove t.p2_pending p;
+    t.delivered <- p + 1;
+    if Obs.enabled () then
+      Obs.Gauge.set g_wf_ready (float_of_int (Hashtbl.length t.p2_pending))
+
+  (* Deliver every epoch whose tasks have all finished (a cheap poll —
+     the master never blocks for it), and force delivery of the oldest
+     epochs while the in-flight depth exceeds the cap, bounding the
+     memory held by undelivered views. *)
+  let drain t =
+    let continue = ref true in
+    while !continue do
+      match Hashtbl.find_opt t.p2_pending t.delivered with
+      | None -> continue := false
+      | Some futs ->
+        if
+          Hashtbl.length t.p2_pending > t.inflight_cap
+          || Array.for_all Domain_pool.poll futs
+        then deliver_epoch t t.delivered futs
+        else continue := false
+    done
+
+  (* Quiesce all transient parallelism: resolve in-flight pass-1
+     summaries into their rows and flush every undelivered pass-2 epoch.
+     Afterwards [delivered = processed] and the pool holds no work for
+     this scheduler. *)
+  let quiesce t =
+    Hashtbl.iter (fun epoch row -> ignore (resolve_row t epoch row)) t.summaries;
+    while Hashtbl.mem t.p2_pending t.delivered do
+      deliver_epoch t t.delivered (Hashtbl.find t.p2_pending t.delivered)
+    done
+
   (* Second pass over epoch [p]: every thread's epoch-(p+1) summaries are
      available (or the run has finished and missing rows are empty). *)
   let process_epoch t p =
@@ -156,7 +234,30 @@ module Make (P : Dataflow.PROBLEM) = struct
       for tid = 0 to t.threads - 1 do
         Obs.Scope.with_scope ~epoch:p ~tid ~phase:"pass2" (fun () ->
             pass2_thread t ~sos ~rows ~body:body_row.(tid) ~tid ~emit:t.on_instr)
-      done
+      done;
+      t.delivered <- p + 1
+    | Some pool when t.wavefront ->
+      (* No barrier: launch this epoch's per-thread tasks and move on.
+         The closures capture only the resolved [rows], [sos] and body
+         blocks (all frozen before submission), never [t]'s tables, so
+         several epochs may be in flight at once — pass 1 of epoch p+2
+         overlaps pass 2 of epoch p.  [drain] below delivers completed
+         epochs in order. *)
+      let futs =
+        Array.init t.threads (fun tid ->
+            Domain_pool.async pool (fun () ->
+                Obs.Scope.with_scope ~epoch:p ~tid ~phase:"pass2" (fun () ->
+                    let acc = ref [] in
+                    pass2_thread t ~sos ~rows ~body:body_row.(tid) ~tid
+                      ~emit:(fun v -> acc := v :: !acc);
+                    List.rev !acc)))
+      in
+      Hashtbl.replace t.p2_pending p futs;
+      if Obs.enabled () then begin
+        if Hashtbl.length t.p2_pending > 1 then Obs.Counter.incr m_wf_overlap;
+        Obs.Gauge.set g_wf_ready (float_of_int (Hashtbl.length t.p2_pending))
+      end;
+      drain t
     | Some pool ->
       (* Fan the per-thread work out, then deliver the buffered views in
          thread order: the observable sequence is byte-identical to the
@@ -172,9 +273,12 @@ module Make (P : Dataflow.PROBLEM) = struct
           (Array.init t.threads (fun tid -> tid))
       in
       Obs.Scope.with_scope ~epoch:p ~phase:"deliver" (fun () ->
-          Array.iter (fun vs -> List.iter t.on_instr vs) views));
+          Array.iter (fun vs -> List.iter t.on_instr vs) views);
+      t.delivered <- p + 1);
     (* Shrink the window: the body blocks are done; summary row p-2 has
-       served its last purpose (epoch_sum p-1 is cached by sos_at). *)
+       served its last purpose (epoch_sum p-1 is cached by sos_at).
+       Wavefront tasks still in flight hold their own references to the
+       captured rows, so dropping the table entries is safe. *)
     ignore (epoch_sum t (max 0 (p - 1)));
     Hashtbl.remove t.blocks p;
     Hashtbl.remove t.summaries (p - 2);
@@ -265,7 +369,10 @@ module Make (P : Dataflow.PROBLEM) = struct
       (* Drain: remaining epochs' tails are empty. *)
       while t.processed < target do
         process_epoch t t.processed
-      done)
+      done;
+      (* Flush any wavefront epochs still in flight: after [finish] every
+         view has reached [on_instr], in every mode. *)
+      quiesce t)
 
   let sos t = sos_at t (t.processed + 1)
 
@@ -273,6 +380,7 @@ module Make (P : Dataflow.PROBLEM) = struct
     Array.init (t.processed + 2) (fun l -> sos_at t l)
 
   let epochs_completed t = t.processed
+  let epochs_delivered t = t.delivered
   let max_resident_epochs t = t.hwm
 
   (* ---------------- Checkpointing ----------------
@@ -295,9 +403,10 @@ module Make (P : Dataflow.PROBLEM) = struct
     |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
   let encode_state ~set t =
-    (* Resolve every in-flight pass-1 future: workers' results become
-       master-side rows, so the snapshot is self-contained. *)
-    Hashtbl.iter (fun epoch row -> ignore (resolve_row t epoch row)) t.summaries;
+    (* Resolve every in-flight pass-1 future and deliver every in-flight
+       pass-2 epoch: workers' results become master-side state, so the
+       snapshot is self-contained and cut at a sealed-epoch frontier. *)
+    quiesce t;
     let module W = Tracing.Binio.W in
     let w = W.create () in
     let put_instrs w instrs = W.array w Tracing.Trace_codec.put_instr instrs in
@@ -338,7 +447,7 @@ module Make (P : Dataflow.PROBLEM) = struct
     W.bool w t.finished;
     W.contents w
 
-  let decode_state ~set ?pool ~on_instr s =
+  let decode_state ~set ?pool ?(wavefront = false) ~on_instr s =
     let module R = Tracing.Binio.R in
     let r = R.of_string s in
     let get_instrs r = R.array r Tracing.Trace_codec.read_instr in
@@ -423,12 +532,21 @@ module Make (P : Dataflow.PROBLEM) = struct
       processed;
       hwm;
       finished;
+      (* Snapshots are cut quiesced: no pass-2 work was in flight, so the
+         restored pipeline starts empty with [delivered = processed]. *)
+      wavefront = wavefront && pool <> None;
+      inflight_cap =
+        (match pool with
+        | Some p when wavefront -> (2 * Domain_pool.size p) + 2
+        | _ -> 1);
+      p2_pending = Hashtbl.create 8;
+      delivered = processed;
     }
 
-  let run_epochs ?pool ~on_instr epochs =
+  let run_epochs ?pool ?wavefront ~on_instr epochs =
     let threads = Epochs.threads epochs in
     let num_l = Epochs.num_epochs epochs in
-    let t = create ?pool ~threads ~on_instr () in
+    let t = create ?pool ?wavefront ~threads ~on_instr () in
     for l = 0 to num_l - 1 do
       for tid = 0 to threads - 1 do
         let b = Epochs.block epochs ~epoch:l ~tid in
@@ -501,4 +619,155 @@ module Epochwise = struct
         Obs.Counter.incr m_barriers;
         Array.iteri (fun tid r -> commit ~epoch ~tid r) results
     done
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Wavefront = struct
+  (* Dependency-driven counterpart of [Epochwise]: instead of stalling
+     the whole pool at every epoch boundary, the master dispatches each
+     task the moment its butterfly dependencies (Lemma 5.2) are
+     committed, and commits results in the canonical epoch-major /
+     thread-minor order so reports stay byte-identical.
+
+     The dependence structure of a two-pass butterfly analysis:
+
+     - pass 1 of block (l, t) is block-local: always ready;
+     - pass 2 of block (l, t) reads the pass-1 facts of its wings and
+       head — epochs l-1 .. l+1 — plus the epoch-l cross-block input
+       (SOS / LASTCHECK), which [prepare l] seals after every pass-2
+       result of epoch l-1 has been committed.
+
+     So the master keeps pass-1 dispatch running [lookahead] epochs
+     ahead of the pass-2 cursor: while the pool chews on epoch e's
+     pass-2 tasks, it is also summarizing epochs e+2 .. e+lookahead-1 —
+     the pipelining the epoch barrier forbids. *)
+
+  let obs_labels = [ ("driver", "wavefront") ]
+  let g_ready =
+    Obs.Gauge.make ~labels:obs_labels "scheduler.wavefront.ready_queue"
+  let sp_stall = Obs.Span.make ~labels:obs_labels "scheduler.wavefront.stall_ns"
+  let m_overlap =
+    Obs.Counter.make ~labels:obs_labels "scheduler.wavefront.overlapped_epochs"
+  let m_p1_pipelined =
+    Obs.Counter.make ~labels:obs_labels
+      "scheduler.wavefront.pipelined_pass1_blocks"
+
+  type phase = Pass1 | Pass2
+
+  type probe_event =
+    | Dispatched of { phase : phase; epoch : int; tid : int }
+    | Committed of { phase : phase; epoch : int; tid : int }
+
+  (* A dispatched task: ran inline (no pool) or in flight on a worker. *)
+  type 'a join = Now of 'a | Fut of 'a Domain_pool.future
+
+  let run ?pool ?lookahead ?probe ~num_epochs ~threads ~pass1 ~commit1
+      ~prepare ~pass2 ~commit2 () =
+    if threads <= 0 then invalid_arg "Wavefront.run: threads must be > 0";
+    if num_epochs < 0 then invalid_arg "Wavefront.run: negative num_epochs";
+    let lookahead =
+      match lookahead with
+      | Some k ->
+        (* Pass 2 of epoch e reads pass-1 facts up to epoch e+1 (the tail
+           wing), so dispatch must run at least two epochs ahead. *)
+        if k < 2 then invalid_arg "Wavefront.run: lookahead must be >= 2";
+        k
+      | None -> (
+        match pool with
+        | Some p -> 2 + (2 * Domain_pool.size p)
+        | None -> 2)
+    in
+    let probe = match probe with Some f -> f | None -> fun _ -> () in
+    if pool <> None && Obs.enabled () then begin
+      (* Materialize the pipeline metrics so clean runs still report them. *)
+      Obs.Counter.add m_overlap 0;
+      Obs.Counter.add m_p1_pipelined 0;
+      Obs.Gauge.set g_ready 0.0;
+      Obs.Span.time sp_stall ignore
+    end;
+    (* Eta-expanded so [submit] generalizes: it is used at the pass-1 and
+       pass-2 result types. *)
+    let submit f =
+      match pool with
+      | None -> Now (f ())
+      | Some p -> Fut (Domain_pool.async p f)
+    in
+    let joined j =
+      match j with
+      | Now v -> v
+      | Fut fut ->
+        if Domain_pool.poll fut then Domain_pool.await fut
+        else Obs.Span.time sp_stall (fun () -> Domain_pool.await fut)
+    in
+    (* Pass-1 pipeline: [p1.(l * threads + t)] holds the dispatched but
+       not yet committed summary of block (l, t).  Both cursors are
+       exclusive epoch frontiers. *)
+    let p1 = Array.make (max 1 (num_epochs * threads)) None in
+    let p1_dispatched = ref 0 in
+    let p1_committed = ref 0 in
+    let dispatch_p1_upto e =
+      let e = min e num_epochs in
+      while !p1_dispatched < e do
+        let epoch = !p1_dispatched in
+        for tid = 0 to threads - 1 do
+          probe (Dispatched { phase = Pass1; epoch; tid });
+          if pool <> None && !p1_committed < epoch && Obs.enabled () then
+            Obs.Counter.incr m_p1_pipelined;
+          p1.((epoch * threads) + tid) <-
+            Some
+              (submit (fun () ->
+                   Obs.Scope.with_scope ~epoch ~tid ~phase:"pass1" (fun () ->
+                       pass1 ~epoch ~tid)))
+        done;
+        incr p1_dispatched;
+        if pool <> None && Obs.enabled () then
+          Obs.Gauge.set g_ready
+            (float_of_int ((!p1_dispatched - !p1_committed) * threads))
+      done
+    in
+    let commit_p1_upto e =
+      let e = min e num_epochs in
+      while !p1_committed < e do
+        let epoch = !p1_committed in
+        for tid = 0 to threads - 1 do
+          let k = (epoch * threads) + tid in
+          match p1.(k) with
+          | None -> assert false
+          | Some j ->
+            let v = joined j in
+            p1.(k) <- None;
+            commit1 ~epoch ~tid v;
+            probe (Committed { phase = Pass1; epoch; tid })
+        done;
+        incr p1_committed;
+        if pool <> None && Obs.enabled () then
+          Obs.Gauge.set g_ready
+            (float_of_int ((!p1_dispatched - !p1_committed) * threads))
+      done
+    in
+    for epoch = 0 to num_epochs - 1 do
+      (* Readiness: before epoch e's pass 2 is dispatched, the pass-1
+         facts of every wing/head dependency (epochs <= e+1) are
+         committed, and [prepare e] has sealed the cross-block input
+         (every pass-2 result of e-1 committed on the previous turn). *)
+      dispatch_p1_upto (epoch + lookahead);
+      commit_p1_upto (epoch + 2);
+      if pool <> None && !p1_dispatched > epoch + 2 && Obs.enabled () then
+        Obs.Counter.incr m_overlap;
+      prepare epoch;
+      let joins =
+        Array.init threads (fun tid ->
+            probe (Dispatched { phase = Pass2; epoch; tid });
+            submit (fun () ->
+                Obs.Scope.with_scope ~epoch ~tid ~phase:"pass2" (fun () ->
+                    pass2 ~epoch ~tid)))
+      in
+      Array.iteri
+        (fun tid j ->
+          commit2 ~epoch ~tid (joined j);
+          probe (Committed { phase = Pass2; epoch; tid }))
+        joins
+    done;
+    commit_p1_upto num_epochs
 end

@@ -33,6 +33,7 @@ module Make (P : Dataflow.PROBLEM) : sig
 
   val create :
     ?pool:Domain_pool.t ->
+    ?wavefront:bool ->
     threads:int ->
     on_instr:(D.instr_view -> unit) ->
     unit ->
@@ -40,7 +41,19 @@ module Make (P : Dataflow.PROBLEM) : sig
   (** With [pool], pass 1 and pass 2 run as pool tasks (see above).  The
       scheduler does not own the pool: the caller shuts it down.  All
       [feed]/[finish] calls must come from the same domain that created
-      the scheduler (the master). *)
+      the scheduler (the master).
+
+      With [wavefront] (default [false]; ignored without a pool), pass-2
+      fan-outs do not block at the epoch boundary: each epoch's per-thread
+      tasks are launched and the master moves on, so pass 1 of later
+      epochs overlaps pass 2 of earlier ones.  Completed epochs are
+      delivered to [on_instr] strictly in order — the view sequence stays
+      byte-identical to the sequential path — but delivery may lag
+      {!epochs_completed} by a bounded number of epochs until {!finish}
+      (or {!quiesce}) flushes the pipeline.  Telemetry:
+      [scheduler.wavefront.ready_queue], [scheduler.wavefront.stall_ns]
+      and [scheduler.wavefront.overlapped_epochs] under
+      [driver=wavefront]. *)
 
   val feed : t -> Tracing.Tid.t -> Tracing.Event.t -> unit
   (** Deliver the next event of one thread's stream.  Heartbeats close the
@@ -56,6 +69,7 @@ module Make (P : Dataflow.PROBLEM) : sig
 
   val run_epochs :
     ?pool:Domain_pool.t ->
+    ?wavefront:bool ->
     on_instr:(D.instr_view -> unit) ->
     Epochs.t ->
     t
@@ -72,7 +86,19 @@ module Make (P : Dataflow.PROBLEM) : sig
       a full drain this matches the batch driver's [result.sos] array. *)
 
   val epochs_completed : t -> int
-  (** Epochs whose second pass has run. *)
+  (** Epochs whose second pass has been launched. *)
+
+  val epochs_delivered : t -> int
+  (** Epochs whose views have reached [on_instr].  Equal to
+      {!epochs_completed} except mid-stream in wavefront mode, where it
+      may lag while pass-2 tasks are still in flight. *)
+
+  val quiesce : t -> unit
+  (** Flush all transient parallelism: resolve in-flight pass-1 summaries
+      and deliver every launched-but-undelivered pass-2 epoch, in order.
+      Afterwards [epochs_delivered t = epochs_completed t] and the pool
+      holds no work for this scheduler.  No-op outside wavefront mode
+      (and on an idle scheduler). *)
 
   val max_resident_epochs : t -> int
   (** High-water mark of epochs simultaneously buffered. *)
@@ -102,12 +128,15 @@ module Make (P : Dataflow.PROBLEM) : sig
   val decode_state :
     set:set_codec ->
     ?pool:Domain_pool.t ->
+    ?wavefront:bool ->
     on_instr:(D.instr_view -> unit) ->
     string ->
     t
-  (** Raises {!Tracing.Binio.R.Corrupt} on a malformed payload.  [pool]
-      and [on_instr] are the transient plumbing re-supplied on restore;
-      they play the same roles as in {!create}. *)
+  (** Raises {!Tracing.Binio.R.Corrupt} on a malformed payload.  [pool],
+      [wavefront] and [on_instr] are the transient plumbing re-supplied on
+      restore; they play the same roles as in {!create}.  Snapshots are
+      always cut quiesced (sealed-epoch frontier), so a wavefront
+      scheduler restores with an empty pipeline. *)
 end
 
 (** Epoch-barrier fan-out for analyses outside {!Dataflow.PROBLEM}.
@@ -158,4 +187,78 @@ module Epochwise : sig
       given — they must not write shared state), then, after all of epoch
       [l]'s tasks return, [commit ~epoch:l ~tid r] in increasing [tid]
       order (master).  Raises [Invalid_argument] if [threads <= 0]. *)
+end
+
+(** Dependency-driven pipelining past the epoch barrier.
+
+    {!Epochwise.run} stalls the whole pool at every epoch boundary, but
+    the butterfly dependence structure (Lemma 5.2) only requires a block
+    to wait on its own wings and head: pass 1 of block [(l, t)] is
+    block-local and always ready, while pass 2 of [(l, t)] needs the
+    pass-1 facts of epochs [l-1 .. l+1] and the epoch-[l] cross-block
+    input ([prepare l], which the master seals once every pass-2 result
+    of [l-1] is committed).  {!Wavefront.run} exploits exactly that
+    slack: pass-1 dispatch runs [lookahead] epochs ahead of the pass-2
+    cursor, so the pool summarizes future epochs while the current
+    epoch's checks are still in flight.
+
+    Determinism is preserved by the master-side ordered-commit trick:
+    tasks run in unspecified order, but [commit1]/[commit2] are invoked
+    by the master in epoch-major / thread-minor order, so all observable
+    output — reports, cross-block state evolution — is byte-identical to
+    the sequential schedule (property-tested in [test/test_wavefront.ml],
+    including a dispatch-log replay against {!Epochs.wings}).
+
+    Telemetry (pooled path only) under [driver=wavefront]:
+    [scheduler.wavefront.ready_queue] (blocks dispatched but
+    uncommitted), [scheduler.wavefront.stall_ns] (master time blocked on
+    an unfinished task), [scheduler.wavefront.overlapped_epochs] and
+    [scheduler.wavefront.pipelined_pass1_blocks]. *)
+module Wavefront : sig
+  type phase = Pass1 | Pass2
+
+  type probe_event =
+    | Dispatched of { phase : phase; epoch : int; tid : int }
+    | Committed of { phase : phase; epoch : int; tid : int }
+        (** Scheduling trace for the readiness-rule tests: [Dispatched]
+            fires on the master just before a task is handed to the pool
+            (or run inline), [Committed] just after its result is
+            committed.  The probe event sequence is deterministic — a
+            pure function of [(num_epochs, threads, lookahead)], never
+            of worker timing — so at equal [lookahead] it is identical
+            with and without a pool.  (The {e defaults} differ by mode,
+            so compare runs with [lookahead] pinned.) *)
+
+  val run :
+    ?pool:Domain_pool.t ->
+    ?lookahead:int ->
+    ?probe:(probe_event -> unit) ->
+    num_epochs:int ->
+    threads:int ->
+    pass1:(epoch:int -> tid:int -> 'p) ->
+    commit1:(epoch:int -> tid:int -> 'p -> unit) ->
+    prepare:(int -> unit) ->
+    pass2:(epoch:int -> tid:int -> 'r) ->
+    commit2:(epoch:int -> tid:int -> 'r -> unit) ->
+    unit ->
+    unit
+  (** Runs the two-pass butterfly schedule over a [num_epochs × threads]
+      grid.  Guarantees, in every mode:
+
+      {ul
+      {- [commit1 ~epoch ~tid] runs in epoch-major / thread-minor order,
+         and for every epoch [l], pass-1 commits of epochs [<= l+1]
+         precede the first pass-2 dispatch of epoch [l];}
+      {- [prepare l] runs after every [commit2] of epoch [l-1] and before
+         any pass-2 dispatch of epoch [l];}
+      {- [commit2 ~epoch ~tid] runs in epoch-major / thread-minor order.}}
+
+      [pass1]/[pass2] run on pool workers when [pool] is given and must
+      not write shared state; commits run on the master.  [lookahead]
+      (default [2 + 2 × pool size], or [2] inline) bounds how many epochs
+      of pass-1 work may be in flight or uncommitted; it must be [>= 2]
+      because pass 2 of epoch [l] reads the tail wing's epoch-[l+1]
+      facts.  A task that raises re-raises on the master at its commit
+      point, once; the pool survives.  Raises [Invalid_argument] if
+      [threads <= 0], [num_epochs < 0] or [lookahead < 2]. *)
 end

@@ -109,7 +109,7 @@ let make_on_instr ~violation_of ~bump ~instr_errors ~flagged ~total
     Obs.Counter.incr m_flags;
     bump tid l (fun s -> { s with flagged_events = s.flagged_events + 1 }))
 
-let run ?(isolation = true) ?domains ?pool epochs =
+let run ?(isolation = true) ?(wavefront = false) ?domains ?pool epochs =
   (* Materialize the check/flag counters so clean runs still report 0. *)
   Obs.Counter.add m_checks 0;
   Obs.Counter.add m_flags 0;
@@ -179,13 +179,13 @@ let run ?(isolation = true) ?domains ?pool epochs =
     | Some pool, _ ->
       (* Caller-owned pool: same pooled streaming driver, shared across
          runs (the QA fuzz engine reuses one pool for its whole corpus). *)
-      let s = S.run_epochs ~pool ~on_instr epochs in
+      let s = S.run_epochs ~pool ~wavefront ~on_instr epochs in
       S.sos_history s
     | None, Some d ->
       (* Pooled streaming: the scheduler delivers the exact same view
          sequence (property-tested), with pass 1/2 on worker domains. *)
       Butterfly.Domain_pool.with_pool ~name:"addrcheck" ~domains:d (fun pool ->
-          let s = S.run_epochs ~pool ~on_instr epochs in
+          let s = S.run_epochs ~pool ~wavefront ~on_instr epochs in
           S.sos_history s)
   in
   (* Report isolation violations at block granularity too. *)
@@ -355,14 +355,15 @@ module Resumable = struct
       epochs_fed;
     }
 
-  let create ?pool ?(isolation = true) ~threads () =
+  let create ?pool ?(isolation = true) ?(wavefront = false) ~threads () =
     Obs.Counter.add m_checks 0;
     Obs.Counter.add m_flags 0;
     make_state ?pool ~isolation ~threads ~instr_errors:(ref [])
       ~block_errors:[] ~flagged:(ref 0) ~total:(ref 0)
       ~stats:(Hashtbl.create 64) ~facts:(Hashtbl.create 8) ~finalized:0
       ~epochs_fed:0
-      ~sched_of:(fun ?pool ~on_instr () -> S.create ?pool ~threads ~on_instr ())
+      ~sched_of:(fun ?pool ~on_instr () ->
+        S.create ?pool ~wavefront ~threads ~on_instr ())
       ()
 
   let epochs_fed st = st.epochs_fed
@@ -417,7 +418,13 @@ module Resumable = struct
       for tid = 0 to st.threads - 1 do
         S.feed st.sched tid Tracing.Event.Heartbeat
       done;
-    finalize_rows st ~upto:(st.epochs_fed - 2);
+    (* A violation row may only be finalized (and its facts pruned) once
+       every view that reads it has been delivered — in wavefront mode
+       delivery can lag the scheduler's processing cursor, so clamp to
+       the delivery frontier.  Outside wavefront mode the clamp is the
+       identity: delivered tracks processed exactly. *)
+    finalize_rows st
+      ~upto:(min (st.epochs_fed - 2) (S.epochs_delivered st.sched - 1));
     record_facts st row;
     Array.iteri
       (fun tid instrs ->
@@ -432,6 +439,7 @@ module Resumable = struct
        [Epochs.of_program]. *)
     if st.epochs_fed = 0 then feed_epoch st (Array.make st.threads [||]);
     S.finish st.sched;
+    (* [S.finish] quiesces the pipeline, so every epoch is delivered. *)
     finalize_rows st ~upto:(st.epochs_fed - 1);
     let num_l = st.epochs_fed in
     let sos_levels = S.sos_history st.sched in
@@ -508,6 +516,11 @@ module Resumable = struct
     { instrs; mem_events; flagged_events }
 
   let encode st =
+    (* Quiesce before serializing anything: delivering in-flight pass-2
+       epochs appends to the error lists and counters captured below, so
+       the drain must happen first, not as a side effect of
+       [S.encode_state] at the end. *)
+    S.quiesce st.sched;
     let module W = Tracing.Binio.W in
     let w = W.create () in
     W.varint w st.threads;
@@ -532,7 +545,7 @@ module Resumable = struct
     W.string w (S.encode_state ~set:set_codec st.sched);
     W.contents w
 
-  let decode ?pool s =
+  let decode ?pool ?(wavefront = false) s =
     let module R = Tracing.Binio.R in
     match
       let r = R.of_string s in
@@ -567,7 +580,8 @@ module Resumable = struct
       make_state ?pool ~isolation ~threads ~instr_errors ~block_errors
         ~flagged ~total ~stats ~facts ~finalized ~epochs_fed
         ~sched_of:(fun ?pool ~on_instr () ->
-          S.decode_state ~set:set_codec ?pool ~on_instr sched_payload)
+          S.decode_state ~set:set_codec ?pool ~wavefront ~on_instr
+            sched_payload)
         ()
     with
     | st -> Ok st

@@ -43,6 +43,7 @@ type report = {
 
 val run :
   ?isolation:bool ->
+  ?wavefront:bool ->
   ?domains:int ->
   ?pool:Butterfly.Domain_pool.t ->
   Butterfly.Epochs.t ->
@@ -58,9 +59,12 @@ val run :
     of that many workers (capped at the hardware's recommended domain
     count).  [pool] is the caller-owned form of the same driver — the
     pool is reused across calls and the caller shuts it down ([pool] wins
-    if both are given, mirroring {!Taintcheck.run}).  The report is
-    identical in every mode — the drivers' equivalence is property-tested
-    and continuously fuzzed ([lib/qa]). *)
+    if both are given, mirroring {!Taintcheck.run}).  [wavefront]
+    (default [false]; needs a pool) removes the pooled driver's epoch
+    barrier: pass-2 epochs pipeline through the pool with master-side
+    ordered delivery.  The report is identical in every mode — the
+    drivers' equivalence is property-tested and continuously fuzzed
+    ([lib/qa], [test/test_wavefront.ml]). *)
 
 val flagged_addresses : report -> Butterfly.Interval_set.t
 val pp_error : Format.formatter -> error -> unit
@@ -87,9 +91,13 @@ module Resumable : sig
   val create :
     ?pool:Butterfly.Domain_pool.t ->
     ?isolation:bool ->
+    ?wavefront:bool ->
     threads:int ->
     unit ->
     state
+  (** [wavefront] (with [pool]) runs the underlying scheduler in
+      pipelined mode; checkpoints are still cut at sealed-epoch
+      frontiers, so resume equivalence is unaffected. *)
 
   val feed_epoch : state -> Tracing.Instr.t array array -> unit
   (** One epoch row, indexed by tid; width must equal [threads]. *)
@@ -102,6 +110,10 @@ module Resumable : sig
 
   val encode : state -> string
 
-  val decode : ?pool:Butterfly.Domain_pool.t -> string -> (state, string) result
+  val decode :
+    ?pool:Butterfly.Domain_pool.t ->
+    ?wavefront:bool ->
+    string ->
+    (state, string) result
   (** [Error _] on any malformed payload (never raises). *)
 end

@@ -26,9 +26,14 @@ type report = {
 }
 
 val run :
-  ?domains:int -> ?pool:Butterfly.Domain_pool.t -> Butterfly.Epochs.t -> report
+  ?wavefront:bool ->
+  ?domains:int ->
+  ?pool:Butterfly.Domain_pool.t ->
+  Butterfly.Epochs.t ->
+  report
 (** [domains] switches the driver from the sequential batch run to the
-    pooled streaming scheduler, [pool] is the caller-owned form (see
+    pooled streaming scheduler, [pool] is the caller-owned form and
+    [wavefront] selects the pipelined (barrier-free) pooled mode (see
     {!Addrcheck.run}); the report is identical in every mode. *)
 
 val flagged_addresses : report -> Butterfly.Interval_set.t
@@ -51,7 +56,12 @@ val fingerprint : report -> string
 module Resumable : sig
   type state
 
-  val create : ?pool:Butterfly.Domain_pool.t -> threads:int -> unit -> state
+  val create :
+    ?pool:Butterfly.Domain_pool.t ->
+    ?wavefront:bool ->
+    threads:int ->
+    unit ->
+    state
 
   val feed_epoch : state -> Tracing.Instr.t array array -> unit
   (** One epoch row, indexed by tid; width must equal [threads]. *)
@@ -64,6 +74,10 @@ module Resumable : sig
 
   val encode : state -> string
 
-  val decode : ?pool:Butterfly.Domain_pool.t -> string -> (state, string) result
+  val decode :
+    ?pool:Butterfly.Domain_pool.t ->
+    ?wavefront:bool ->
+    string ->
+    (state, string) result
   (** [Error _] on any malformed payload (never raises). *)
 end

@@ -25,10 +25,13 @@ let orderings_of ?(model = Memmodel.Consistency.Sequential) ?(cap = 20_000)
 let instrs_of_ordering vo o =
   Memmodel.Ordering.apply (VO.threads vo) o
 
-let addrcheck_zero_false_negatives ?model ?cap ?samples ?seed ?domains p =
+let addrcheck_zero_false_negatives ?model ?cap ?samples ?seed ?wavefront
+    ?domains p =
   let grid = grid_of_program p in
   let vo, os, exhaustive = orderings_of ?model ?cap ?samples ?seed grid in
-  let report = Addrcheck.run ?domains (Butterfly.Epochs.of_blocks grid) in
+  let report =
+    Addrcheck.run ?wavefront ?domains (Butterfly.Epochs.of_blocks grid)
+  in
   let butterfly_flags = Addrcheck.flagged_addresses report in
   let missed = ref [] in
   List.iteri
@@ -49,10 +52,13 @@ let addrcheck_zero_false_negatives ?model ?cap ?samples ?seed ?domains p =
     missed = List.rev !missed;
   }
 
-let initcheck_zero_false_negatives ?model ?cap ?samples ?seed ?domains p =
+let initcheck_zero_false_negatives ?model ?cap ?samples ?seed ?wavefront
+    ?domains p =
   let grid = grid_of_program p in
   let vo, os, exhaustive = orderings_of ?model ?cap ?samples ?seed grid in
-  let report = Initcheck.run ?domains (Butterfly.Epochs.of_blocks grid) in
+  let report =
+    Initcheck.run ?wavefront ?domains (Butterfly.Epochs.of_blocks grid)
+  in
   let butterfly_flags = Initcheck.flagged_addresses report in
   let missed = ref [] in
   List.iteri
@@ -75,11 +81,11 @@ let initcheck_zero_false_negatives ?model ?cap ?samples ?seed ?domains p =
   }
 
 let taintcheck_zero_false_negatives ?model ?cap ?samples ?seed
-    ?(sequential = true) ?(two_phase = true) ?domains p =
+    ?(sequential = true) ?(two_phase = true) ?wavefront ?domains p =
   let grid = grid_of_program p in
   let vo, os, exhaustive = orderings_of ?model ?cap ?samples ?seed grid in
   let report =
-    Taintcheck.run ~sequential ~two_phase ?domains
+    Taintcheck.run ~sequential ~two_phase ?wavefront ?domains
       (Butterfly.Epochs.of_blocks grid)
   in
   let butterfly_sinks = Taintcheck.flagged_sinks report in

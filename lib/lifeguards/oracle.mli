@@ -18,6 +18,7 @@ val addrcheck_zero_false_negatives :
   ?cap:int ->
   ?samples:int ->
   ?seed:int ->
+  ?wavefront:bool ->
   ?domains:int ->
   Tracing.Program.t ->
   verdict
@@ -25,15 +26,16 @@ val addrcheck_zero_false_negatives :
     checks that every address flagged by sequential AddrCheck under any
     enumerated (or sampled, when enumeration exceeds [cap]) valid ordering
     is also flagged.  [domains] runs the butterfly side on the pooled
-    streaming scheduler instead of the batch driver (see
-    {!Addrcheck.run}), so the soundness theorem is checked against the
-    parallel deployment too. *)
+    streaming scheduler instead of the batch driver and [wavefront]
+    selects its pipelined mode (see {!Addrcheck.run}), so the soundness
+    theorem is checked against the parallel deployments too. *)
 
 val initcheck_zero_false_negatives :
   ?model:Memmodel.Consistency.t ->
   ?cap:int ->
   ?samples:int ->
   ?seed:int ->
+  ?wavefront:bool ->
   ?domains:int ->
   Tracing.Program.t ->
   verdict
@@ -47,6 +49,7 @@ val taintcheck_zero_false_negatives :
   ?seed:int ->
   ?sequential:bool ->
   ?two_phase:bool ->
+  ?wavefront:bool ->
   ?domains:int ->
   Tracing.Program.t ->
   verdict

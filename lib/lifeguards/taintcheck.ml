@@ -86,6 +86,20 @@ let pipe_labels = [ ("problem", "taintcheck"); ("driver", "batch") ]
 let m_epochs = Obs.Counter.make ~labels:pipe_labels "butterfly.epochs_processed"
 let m_instrs = Obs.Counter.make ~labels:pipe_labels "butterfly.pass2_instrs"
 
+(* The resumable engine's wavefront mode does its own pass-1 pipelining
+   (it cannot ride [Scheduler.Wavefront]: rows arrive incrementally), so
+   it also carries the pipeline telemetry itself, under the same names
+   as the scheduler drivers. *)
+let wf_labels = [ ("problem", "taintcheck"); ("driver", "wavefront") ]
+let g_wf_ready =
+  Obs.Gauge.make ~labels:wf_labels "scheduler.wavefront.ready_queue"
+let sp_wf_stall =
+  Obs.Span.make ~labels:wf_labels "scheduler.wavefront.stall_ns"
+let m_wf_overlap =
+  Obs.Counter.make ~labels:wf_labels "scheduler.wavefront.overlapped_epochs"
+let m_wf_p1 =
+  Obs.Counter.make ~labels:wf_labels "scheduler.wavefront.pipelined_pass1_blocks"
+
 (* Everything pass 2 learns about one body block, produced without touching
    shared state.  Evaluating block (l,t) reads only inputs frozen before
    epoch l's barrier opens — the pass-1 transfer functions of the whole
@@ -310,20 +324,18 @@ let eval_block c ~epoch:l ~tid block =
     bo_phase2 = !phase2;
   }
 
-let run_with ~sequential ~two_phase ~pool epochs =
+let run_with ~sequential ~two_phase ~pool ~wavefront epochs =
   (* Materialize the check/flag counters so clean runs still report 0. *)
   Obs.Counter.add m_checks 0;
   Obs.Counter.add m_flags 0;
   let num_l = Butterfly.Epochs.num_epochs epochs in
   let threads = Butterfly.Epochs.threads epochs in
-  (* Pass 1 is per-block-local, so the pooled mode fans the whole grid out
-     up front; pass 2 below then sees every wing already summarized. *)
-  let tfs =
-    Butterfly.Scheduler.Epochwise.map_grid ?pool ~num_epochs:num_l ~threads
-      (fun ~epoch ~tid ->
-        Obs.Scope.with_scope ~phase:"pass1" (fun () ->
-            summarize_block (Butterfly.Epochs.block epochs ~epoch ~tid)))
-  in
+  (* Pass-1 summaries, committed by the master as they become available:
+     the epochwise driver fans the whole grid out up front, the wavefront
+     driver commits each row just ahead of the pass-2 cursor.  Either
+     way, a cell is [Some] before any pass-2 task that may read it is
+     dispatched. *)
+  let tfs_store = Array.init num_l (fun _ -> Array.make threads None) in
   (* LASTCHECK results: lastcheck.(l).(t) maps assigned locations to their
      final resolved taint in block (l,t).  Row l is written only by the
      master's epoch-l commits; workers evaluating epoch l read rows <= l-1. *)
@@ -336,7 +348,7 @@ let run_with ~sequential ~two_phase ~pool epochs =
       c_threads = threads;
       c_sequential = sequential;
       c_two_phase = two_phase;
-      tfs_at = (fun l t -> if l < 0 || l >= num_l then None else Some tfs.(l).(t));
+      tfs_at = (fun l t -> if l < 0 || l >= num_l then None else tfs_store.(l).(t));
       lastcheck_at =
         (fun l t -> if l < 0 || l >= num_l then None else Some lastcheck.(l).(t));
       sos_at = (fun l -> sos.(l));
@@ -363,12 +375,39 @@ let run_with ~sequential ~two_phase ~pool epochs =
           Obs.Gauge.set_max g_set_hwm (float_of_int o.bo_lsos_card);
         if tid = threads - 1 then Obs.Counter.incr m_epochs)
   in
-  Butterfly.Scheduler.Epochwise.run ?pool ~num_epochs:num_l ~threads
-    ~prepare:advance_sos
-    ~task:(fun ~epoch ~tid ->
-      Obs.Scope.with_scope ~phase:"pass2" (fun () ->
-          eval_block c ~epoch ~tid (Butterfly.Epochs.block epochs ~epoch ~tid)))
-    ~commit ();
+  if wavefront then
+    (* Dependency-driven schedule: pass-1 summarization of later epochs
+       overlaps the (serially dependent) pass-2 chase of earlier ones.
+       eval_block of epoch l reads tfs rows l-1..l+1 — committed by
+       [commit1] before dispatch — and LASTCHECK rows <= l-1, sealed by
+       the previous iteration's [commit2]s. *)
+    Butterfly.Scheduler.Wavefront.run ?pool ~num_epochs:num_l ~threads
+      ~pass1:(fun ~epoch ~tid ->
+        summarize_block (Butterfly.Epochs.block epochs ~epoch ~tid))
+      ~commit1:(fun ~epoch ~tid s -> tfs_store.(epoch).(tid) <- Some s)
+      ~prepare:advance_sos
+      ~pass2:(fun ~epoch ~tid ->
+        eval_block c ~epoch ~tid (Butterfly.Epochs.block epochs ~epoch ~tid))
+      ~commit2:commit ()
+  else begin
+    (* Pass 1 is per-block-local, so the pooled mode fans the whole grid
+       out up front; pass 2 below then sees every wing already summarized. *)
+    let tfs =
+      Butterfly.Scheduler.Epochwise.map_grid ?pool ~num_epochs:num_l ~threads
+        (fun ~epoch ~tid ->
+          Obs.Scope.with_scope ~phase:"pass1" (fun () ->
+              summarize_block (Butterfly.Epochs.block epochs ~epoch ~tid)))
+    in
+    Array.iteri
+      (fun l row -> Array.iteri (fun t s -> tfs_store.(l).(t) <- Some s) row)
+      tfs;
+    Butterfly.Scheduler.Epochwise.run ?pool ~num_epochs:num_l ~threads
+      ~prepare:advance_sos
+      ~task:(fun ~epoch ~tid ->
+        Obs.Scope.with_scope ~phase:"pass2" (fun () ->
+            eval_block c ~epoch ~tid (Butterfly.Epochs.block epochs ~epoch ~tid)))
+      ~commit ()
+  end;
   (* Final SOS entries past the last window. *)
   advance_sos num_l;
   advance_sos (num_l + 1);
@@ -378,13 +417,14 @@ let run_with ~sequential ~two_phase ~pool epochs =
     block_stats = stats;
   }
 
-let run ?(sequential = true) ?(two_phase = true) ?domains ?pool epochs =
+let run ?(sequential = true) ?(two_phase = true) ?(wavefront = false) ?domains
+    ?pool epochs =
   match (pool, domains) with
-  | Some _, _ -> run_with ~sequential ~two_phase ~pool epochs
+  | Some _, _ -> run_with ~sequential ~two_phase ~pool ~wavefront epochs
   | None, Some d ->
     Butterfly.Domain_pool.with_pool ~name:"taintcheck" ~domains:d (fun p ->
-        run_with ~sequential ~two_phase ~pool:(Some p) epochs)
-  | None, None -> run_with ~sequential ~two_phase ~pool:None epochs
+        run_with ~sequential ~two_phase ~pool:(Some p) ~wavefront epochs)
+  | None, None -> run_with ~sequential ~two_phase ~pool:None ~wavefront epochs
 
 let flagged_sinks r =
   List.map (fun e -> e.sink) r.errors |> List.sort_uniq Int.compare
@@ -430,8 +470,12 @@ module Resumable = struct
     sequential : bool;
     two_phase : bool;
     pool : Butterfly.Domain_pool.t option;
+    wavefront : bool;
     rows : (int, Tracing.Instr.t array array) Hashtbl.t; (* raw, pruned *)
     tfs : (int, block_tfs array) Hashtbl.t; (* derived from [rows] *)
+    tfs_pending : (int, block_tfs Butterfly.Domain_pool.future array) Hashtbl.t;
+        (* wavefront mode: pass-1 rows still in flight on the pool,
+           resolved into [tfs] just before the pass-2 window needs them *)
     lastcheck : (int, (int, bool) Hashtbl.t array) Hashtbl.t; (* pruned *)
     sos : (int, AS.t) Hashtbl.t; (* full history: report content *)
     stats : (int, block_stats array) Hashtbl.t; (* epoch -> per-tid *)
@@ -459,18 +503,29 @@ module Resumable = struct
         (fun l -> Option.value (Hashtbl.find_opt st.sos l) ~default:AS.empty);
     }
 
-  let create ?pool ?(sequential = true) ?(two_phase = true) ~threads () =
+  let create ?pool ?(sequential = true) ?(two_phase = true)
+      ?(wavefront = false) ~threads () =
     if threads <= 0 then
       invalid_arg "Taintcheck.Resumable.create: threads must be > 0";
     Obs.Counter.add m_checks 0;
     Obs.Counter.add m_flags 0;
+    (* Materialize the pipeline metrics so clean wavefront runs still
+       report them; non-wavefront runs never touch them. *)
+    if wavefront && pool <> None && Obs.enabled () then begin
+      Obs.Counter.add m_wf_overlap 0;
+      Obs.Counter.add m_wf_p1 0;
+      Obs.Gauge.set g_wf_ready 0.0;
+      Obs.Span.time sp_wf_stall ignore
+    end;
     {
       threads;
       sequential;
       two_phase;
       pool;
+      wavefront = wavefront && pool <> None;
       rows = Hashtbl.create 8;
       tfs = Hashtbl.create 8;
+      tfs_pending = Hashtbl.create 8;
       lastcheck = Hashtbl.create 8;
       sos = Hashtbl.create 64;
       stats = Hashtbl.create 64;
@@ -516,11 +571,32 @@ module Resumable = struct
           Obs.Gauge.set_max g_set_hwm (float_of_int o.bo_lsos_card);
         if tid = st.threads - 1 then Obs.Counter.incr m_epochs)
 
+  (* Wavefront mode: commit an in-flight pass-1 row into [st.tfs].
+     Master-side only; no-op for rows summarized synchronously. *)
+  let resolve_tfs st l =
+    match Hashtbl.find_opt st.tfs_pending l with
+    | None -> ()
+    | Some futs ->
+      let land_row () = Array.map Butterfly.Domain_pool.await futs in
+      let row =
+        if Array.for_all Butterfly.Domain_pool.poll futs then land_row ()
+        else Obs.Span.time sp_wf_stall land_row
+      in
+      Hashtbl.replace st.tfs l row;
+      Hashtbl.remove st.tfs_pending l;
+      if Obs.enabled () then
+        Obs.Gauge.set g_wf_ready
+          (float_of_int (Hashtbl.length st.tfs_pending * st.threads))
+
   (* Process epoch [st.processed]: the same prepare/task/commit sequence
      as [Epochwise.run], one epoch at a time, then retire the rows the
      window has passed (raw/summary rows < l, LASTCHECK rows < l-2). *)
   let process_one st =
     let l = st.processed in
+    (* eval_block reads tfs rows l-1..l+1: land any still in flight. *)
+    resolve_tfs st (l - 1);
+    resolve_tfs st l;
+    resolve_tfs st (l + 1);
     advance_sos st l;
     let c = ctx st in
     let row = Hashtbl.find st.rows l in
@@ -555,12 +631,31 @@ module Resumable = struct
       invalid_arg "Taintcheck.Resumable.feed_epoch: wrong row width";
     let epoch = st.epochs_fed in
     Hashtbl.replace st.rows epoch row;
-    Hashtbl.replace st.tfs epoch
-      (Array.mapi
-         (fun tid instrs ->
-           Obs.Scope.with_scope ~epoch ~tid ~phase:"pass1" (fun () ->
-               summarize_block (Butterfly.Block.make ~epoch ~tid instrs)))
-         row);
+    (match st.pool with
+    | Some pool when st.wavefront ->
+      (* Pipeline pass 1: the summaries run on workers while the master
+         chases pass 2 of older epochs; [summarize_block] is pure, so the
+         deferred commit is invisible to results. *)
+      Hashtbl.replace st.tfs_pending epoch
+        (Array.mapi
+           (fun tid instrs ->
+             Butterfly.Domain_pool.async pool (fun () ->
+                 Obs.Scope.with_scope ~epoch ~tid ~phase:"pass1" (fun () ->
+                     summarize_block (Butterfly.Block.make ~epoch ~tid instrs))))
+           row);
+      if Obs.enabled () then begin
+        if epoch > st.processed then Obs.Counter.add m_wf_p1 st.threads;
+        let depth = Hashtbl.length st.tfs_pending in
+        if depth > 1 then Obs.Counter.incr m_wf_overlap;
+        Obs.Gauge.set g_wf_ready (float_of_int (depth * st.threads))
+      end
+    | _ ->
+      Hashtbl.replace st.tfs epoch
+        (Array.mapi
+           (fun tid instrs ->
+             Obs.Scope.with_scope ~epoch ~tid ~phase:"pass1" (fun () ->
+                 summarize_block (Butterfly.Block.make ~epoch ~tid instrs)))
+           row));
     st.epochs_fed <- epoch + 1;
     while st.processed <= st.epochs_fed - 2 do
       process_one st
@@ -647,7 +742,7 @@ module Resumable = struct
       (Lg_io.sorted_entries st.rows);
     W.contents w
 
-  let decode ?pool s =
+  let decode ?pool ?(wavefront = false) s =
     let module R = Tracing.Binio.R in
     match
       let r = R.of_string s in
@@ -717,8 +812,10 @@ module Resumable = struct
         sequential;
         two_phase;
         pool;
+        wavefront = wavefront && pool <> None;
         rows;
         tfs;
+        tfs_pending = Hashtbl.create 8;
         lastcheck;
         sos;
         stats;

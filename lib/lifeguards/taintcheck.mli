@@ -41,6 +41,7 @@ type report = {
 val run :
   ?sequential:bool ->
   ?two_phase:bool ->
+  ?wavefront:bool ->
   ?domains:int ->
   ?pool:Butterfly.Domain_pool.t ->
   Butterfly.Epochs.t ->
@@ -59,7 +60,14 @@ val run :
     run (property-tested in [test/test_taintcheck_parallel.ml]).
     [domains] is the convenience form: a private pool of that many domains
     is created for the call and shut down afterwards ([pool] wins if both
-    are given).  Omit both for the sequential driver. *)
+    are given).  Omit both for the sequential driver.
+
+    [wavefront] (default [false]) switches the pooled path to
+    {!Butterfly.Scheduler.Wavefront}: pass-1 summarization runs a
+    lookahead window ahead of the pass-2 cursor instead of fanning the
+    whole grid out behind a barrier, so summaries of future epochs
+    overlap the serially-dependent LASTCHECK chase.  Reports are
+    byte-identical across all drivers ([test/test_wavefront.ml]). *)
 
 val flagged_sinks : report -> Tracing.Addr.t list
 
@@ -89,9 +97,13 @@ module Resumable : sig
     ?pool:Butterfly.Domain_pool.t ->
     ?sequential:bool ->
     ?two_phase:bool ->
+    ?wavefront:bool ->
     threads:int ->
     unit ->
     state
+  (** [wavefront] (with [pool]) pipelines pass-1 summarization of newly
+      fed rows against the pass-2 window; results are unchanged.  Ignored
+      without a pool. *)
 
   val feed_epoch : state -> Tracing.Instr.t array array -> unit
   (** One epoch row, indexed by tid; width must equal [threads]. *)
@@ -104,9 +116,14 @@ module Resumable : sig
 
   val encode : state -> string
 
-  val decode : ?pool:Butterfly.Domain_pool.t -> string -> (state, string) result
+  val decode :
+    ?pool:Butterfly.Domain_pool.t ->
+    ?wavefront:bool ->
+    string ->
+    (state, string) result
   (** [Error _] on any malformed payload (never raises).  The analysis
-      variant ([sequential]/[two_phase]) travels inside the payload. *)
+      variant ([sequential]/[two_phase]) travels inside the payload;
+      [pool]/[wavefront] are transient plumbing re-supplied on restore. *)
 end
 
 (**/**)

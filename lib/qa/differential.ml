@@ -17,11 +17,17 @@ let profile_of = function
   | Initcheck -> Grid_gen.Init
   | Taintcheck -> Grid_gen.Taint
 
+type driver = Pooled | Wavefront
+
+let driver_to_string = function Pooled -> "pooled" | Wavefront -> "wavefront"
+let all_drivers = [ Pooled; Wavefront ]
+
 type config = {
   oracle_cap : int;
   oracle_samples : int;
   oracle_seed : int;
   models : Memmodel.Consistency.t list;
+  drivers : driver list;
 }
 
 let default_config =
@@ -30,6 +36,7 @@ let default_config =
     oracle_samples = 24;
     oracle_seed = 7;
     models = Memmodel.Consistency.all;
+    drivers = all_drivers;
   }
 
 type mismatch = {
@@ -106,23 +113,39 @@ let driver_divergences lifeguard ~baseline runs =
           })
     runs
 
-let pool_label p =
-  Printf.sprintf "pooled(%d)" (Butterfly.Domain_pool.size p)
+let driver_label d p =
+  Printf.sprintf "%s(%d)" (driver_to_string d) (Butterfly.Domain_pool.size p)
 
-let check_drivers lifeguard pools g =
+let wavefront_of = function Pooled -> false | Wavefront -> true
+
+let check_drivers ?(drivers = all_drivers) lifeguard pools g =
   let epochs = Grid.epochs g in
+  (* The full driver × pool matrix: every parallel driver, on every
+     supplied pool, must reproduce the sequential baseline byte for
+     byte. *)
+  let matrix =
+    List.concat_map (fun d -> List.map (fun p -> (d, p)) pools) drivers
+  in
   match lifeguard with
   | Addrcheck ->
     let baseline = fp_addrcheck (AC.run epochs) in
     driver_divergences lifeguard ~baseline
-      (List.map (fun p -> (pool_label p, fp_addrcheck (AC.run ~pool:p epochs))) pools)
+      (List.map
+         (fun (d, p) ->
+           ( driver_label d p,
+             fp_addrcheck (AC.run ~wavefront:(wavefront_of d) ~pool:p epochs) ))
+         matrix)
   | Initcheck ->
     let baseline = fp_initcheck (IC.run epochs) in
     driver_divergences lifeguard ~baseline
-      (List.map (fun p -> (pool_label p, fp_initcheck (IC.run ~pool:p epochs))) pools)
+      (List.map
+         (fun (d, p) ->
+           ( driver_label d p,
+             fp_initcheck (IC.run ~wavefront:(wavefront_of d) ~pool:p epochs) ))
+         matrix)
   | Taintcheck ->
-    (* Per analysis variant: the pooled epoch-barrier driver must agree
-       with the sequential loop under every (chase, phase) setting. *)
+    (* Per analysis variant: every parallel driver must agree with the
+       sequential loop under every (chase, phase) setting. *)
     List.concat_map
       (fun (sequential, two_phase, vlabel) ->
         let baseline =
@@ -130,10 +153,12 @@ let check_drivers lifeguard pools g =
         in
         driver_divergences lifeguard ~baseline
           (List.map
-             (fun p ->
-               ( Printf.sprintf "%s[%s]" (pool_label p) vlabel,
-                 fp_taintcheck (TC.run ~sequential ~two_phase ~pool:p epochs) ))
-             pools))
+             (fun (d, p) ->
+               ( Printf.sprintf "%s[%s]" (driver_label d p) vlabel,
+                 fp_taintcheck
+                   (TC.run ~sequential ~two_phase
+                      ~wavefront:(wavefront_of d) ~pool:p epochs) ))
+             matrix))
       [
         (true, true, "sc,two-phase");
         (false, true, "relaxed,two-phase");
@@ -184,20 +209,22 @@ let check_oracle config lifeguard g =
     config.models
 
 let check ?(config = default_config) ?(pools = []) lifeguard g =
-  check_drivers lifeguard pools g @ check_oracle config lifeguard g
+  check_drivers ~drivers:config.drivers lifeguard pools g
+  @ check_oracle config lifeguard g
 
 let snapshot_tag = function
   | Addrcheck -> Recovery.Snapshot.Addrcheck
   | Initcheck -> Recovery.Snapshot.Initcheck
   | Taintcheck -> Recovery.Snapshot.Taintcheck
 
-let check_recovery ?pool ?(every = 1) ?crash_at ?(seed = 0) lifeguard g =
+let check_recovery ?pool ?wavefront ?(every = 1) ?crash_at ?(seed = 0)
+    lifeguard g =
   let path = Filename.temp_file "bfly-ckpt" ".snap" in
   Fun.protect
     ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
   @@ fun () ->
   match
-    Recovery.Crash_sim.run ?pool ?crash_at ~seed ~every ~path
+    Recovery.Crash_sim.run ?pool ?wavefront ?crash_at ~seed ~every ~path
       (snapshot_tag lifeguard) (Grid.epochs g)
   with
   | Error m ->

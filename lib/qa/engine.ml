@@ -62,13 +62,19 @@ let run ?pools ?(config = default_config) lifeguard =
     match config.crash with
     | None -> base
     | Some c ->
-      (* The most concurrent pool on offer exercises pooled resume. *)
+      (* The most concurrent pool on offer exercises pooled resume; the
+         crash check runs once per configured driver so wavefront resume
+         gets the same coverage as the barrier path. *)
       let pool =
         match List.rev pools with [] -> None | p :: _ -> Some p
       in
       base
-      @ Differential.check_recovery ?pool ~every:c.every ?crash_at:c.crash_at
-          ~seed:crash_seed lifeguard g
+      @ List.concat_map
+          (fun d ->
+            Differential.check_recovery ?pool
+              ~wavefront:(d = Differential.Wavefront) ~every:c.every
+              ?crash_at:c.crash_at ~seed:crash_seed lifeguard g)
+          config.diff.Differential.drivers
   in
   let rec loop i =
     if i >= config.iterations then { lifeguard; grids = i; counterexample = None }

@@ -20,6 +20,7 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
 val run :
   ?pool:Butterfly.Domain_pool.t ->
+  ?wavefront:bool ->
   ?crash_at:int ->
   ?seed:int ->
   every:int ->

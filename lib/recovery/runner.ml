@@ -18,47 +18,51 @@ type ('s, 'r) ops = {
 
 type packed = Packed : ('s, 'r) ops -> packed
 
-let addr_ops ?pool ?isolation () =
+let addr_ops ?pool ?isolation ?wavefront () =
   {
     tag = Snapshot.Addrcheck;
-    create = (fun ~threads -> AC.Resumable.create ?pool ?isolation ~threads ());
+    create =
+      (fun ~threads ->
+        AC.Resumable.create ?pool ?isolation ?wavefront ~threads ());
     feed = AC.Resumable.feed_epoch;
     fed = AC.Resumable.epochs_fed;
     finish = AC.Resumable.finish;
     enc = AC.Resumable.encode;
-    dec = AC.Resumable.decode ?pool;
+    dec = AC.Resumable.decode ?pool ?wavefront;
     fp = AC.fingerprint;
   }
 
-let init_ops ?pool () =
+let init_ops ?pool ?wavefront () =
   {
     tag = Snapshot.Initcheck;
-    create = (fun ~threads -> IC.Resumable.create ?pool ~threads ());
+    create = (fun ~threads -> IC.Resumable.create ?pool ?wavefront ~threads ());
     feed = IC.Resumable.feed_epoch;
     fed = IC.Resumable.epochs_fed;
     finish = IC.Resumable.finish;
     enc = IC.Resumable.encode;
-    dec = IC.Resumable.decode ?pool;
+    dec = IC.Resumable.decode ?pool ?wavefront;
     fp = IC.fingerprint;
   }
 
-let taint_ops ?pool ?sequential ?two_phase () =
+let taint_ops ?pool ?sequential ?two_phase ?wavefront () =
   {
     tag = Snapshot.Taintcheck;
     create =
-      (fun ~threads -> TC.Resumable.create ?pool ?sequential ?two_phase ~threads ());
+      (fun ~threads ->
+        TC.Resumable.create ?pool ?sequential ?two_phase ?wavefront ~threads ());
     feed = TC.Resumable.feed_epoch;
     fed = TC.Resumable.epochs_fed;
     finish = TC.Resumable.finish;
     enc = TC.Resumable.encode;
-    dec = TC.Resumable.decode ?pool;
+    dec = TC.Resumable.decode ?pool ?wavefront;
     fp = TC.fingerprint;
   }
 
-let ops_of ?pool ?isolation ?sequential ?two_phase = function
-  | Snapshot.Addrcheck -> Packed (addr_ops ?pool ?isolation ())
-  | Snapshot.Initcheck -> Packed (init_ops ?pool ())
-  | Snapshot.Taintcheck -> Packed (taint_ops ?pool ?sequential ?two_phase ())
+let ops_of ?pool ?isolation ?sequential ?two_phase ?wavefront = function
+  | Snapshot.Addrcheck -> Packed (addr_ops ?pool ?isolation ?wavefront ())
+  | Snapshot.Initcheck -> Packed (init_ops ?pool ?wavefront ())
+  | Snapshot.Taintcheck ->
+    Packed (taint_ops ?pool ?sequential ?two_phase ?wavefront ())
 
 let rows_of epochs =
   let threads = Epochs.threads epochs in
@@ -133,19 +137,20 @@ let resume ops ?checkpoint ~path epochs =
               (drive ops ?checkpoint ~threads (rows_of epochs)
                  ~from:meta.Snapshot.next_epoch st))
 
-let run_addrcheck ?pool ?isolation ?checkpoint epochs =
-  run (addr_ops ?pool ?isolation ()) ?checkpoint epochs
+let run_addrcheck ?pool ?isolation ?wavefront ?checkpoint epochs =
+  run (addr_ops ?pool ?isolation ?wavefront ()) ?checkpoint epochs
 
-let resume_addrcheck ?pool ?checkpoint ~path epochs =
-  resume (addr_ops ?pool ()) ?checkpoint ~path epochs
+let resume_addrcheck ?pool ?wavefront ?checkpoint ~path epochs =
+  resume (addr_ops ?pool ?wavefront ()) ?checkpoint ~path epochs
 
-let run_initcheck ?pool ?checkpoint epochs = run (init_ops ?pool ()) ?checkpoint epochs
+let run_initcheck ?pool ?wavefront ?checkpoint epochs =
+  run (init_ops ?pool ?wavefront ()) ?checkpoint epochs
 
-let resume_initcheck ?pool ?checkpoint ~path epochs =
-  resume (init_ops ?pool ()) ?checkpoint ~path epochs
+let resume_initcheck ?pool ?wavefront ?checkpoint ~path epochs =
+  resume (init_ops ?pool ?wavefront ()) ?checkpoint ~path epochs
 
-let run_taintcheck ?pool ?sequential ?two_phase ?checkpoint epochs =
-  run (taint_ops ?pool ?sequential ?two_phase ()) ?checkpoint epochs
+let run_taintcheck ?pool ?sequential ?two_phase ?wavefront ?checkpoint epochs =
+  run (taint_ops ?pool ?sequential ?two_phase ?wavefront ()) ?checkpoint epochs
 
-let resume_taintcheck ?pool ?checkpoint ~path epochs =
-  resume (taint_ops ?pool ()) ?checkpoint ~path epochs
+let resume_taintcheck ?pool ?wavefront ?checkpoint ~path epochs =
+  resume (taint_ops ?pool ?wavefront ()) ?checkpoint ~path epochs

@@ -37,11 +37,15 @@ val ops_of :
   ?isolation:bool ->
   ?sequential:bool ->
   ?two_phase:bool ->
+  ?wavefront:bool ->
   Snapshot.lifeguard ->
   packed
 (** [isolation] applies to AddrCheck, [sequential]/[two_phase] to
-    TaintCheck; the others ignore them.  On resume the flags are restored
-    from the snapshot payload, not from here. *)
+    TaintCheck; the others ignore them.  [wavefront] (with [pool]) runs
+    every lifeguard's engine in pipelined mode; checkpoints are always
+    cut at sealed-epoch frontiers, so snapshots are driver-independent.
+    On resume the analysis flags are restored from the snapshot payload,
+    not from here; [pool]/[wavefront] are transient and re-supplied. *)
 
 val rows_of : Butterfly.Epochs.t -> Tracing.Instr.t array array array
 (** The grid as epoch rows, [rows.(epoch).(tid)]. *)
@@ -72,12 +76,14 @@ val resume :
 val run_addrcheck :
   ?pool:Butterfly.Domain_pool.t ->
   ?isolation:bool ->
+  ?wavefront:bool ->
   ?checkpoint:checkpointing ->
   Butterfly.Epochs.t ->
   Lifeguards.Addrcheck.report
 
 val resume_addrcheck :
   ?pool:Butterfly.Domain_pool.t ->
+  ?wavefront:bool ->
   ?checkpoint:checkpointing ->
   path:string ->
   Butterfly.Epochs.t ->
@@ -85,12 +91,14 @@ val resume_addrcheck :
 
 val run_initcheck :
   ?pool:Butterfly.Domain_pool.t ->
+  ?wavefront:bool ->
   ?checkpoint:checkpointing ->
   Butterfly.Epochs.t ->
   Lifeguards.Initcheck.report
 
 val resume_initcheck :
   ?pool:Butterfly.Domain_pool.t ->
+  ?wavefront:bool ->
   ?checkpoint:checkpointing ->
   path:string ->
   Butterfly.Epochs.t ->
@@ -100,12 +108,14 @@ val run_taintcheck :
   ?pool:Butterfly.Domain_pool.t ->
   ?sequential:bool ->
   ?two_phase:bool ->
+  ?wavefront:bool ->
   ?checkpoint:checkpointing ->
   Butterfly.Epochs.t ->
   Lifeguards.Taintcheck.report
 
 val resume_taintcheck :
   ?pool:Butterfly.Domain_pool.t ->
+  ?wavefront:bool ->
   ?checkpoint:checkpointing ->
   path:string ->
   Butterfly.Epochs.t ->

@@ -206,6 +206,49 @@ are counters and timings).
   "name":"qa.grids"
   "name":"qa.mismatches"
 
+--driver selects the execution strategy explicitly.  Wavefront is the
+dependency-driven pipeline; its report must be byte-identical to the
+sequential batch driver's.
+
+  $ ../bin/butterfly_cli.exe addrcheck t.trace -e 8 --domains 2 --driver wavefront --json
+  {"lifeguard":"addrcheck","checked":8,"flagged":0,"errors":[]}
+
+  $ ../bin/butterfly_cli.exe initcheck t.trace -e 8 --json > drv-seq.json
+  $ ../bin/butterfly_cli.exe initcheck t.trace -e 8 --domains 2 --driver wavefront --json > drv-wf.json
+  $ cmp drv-seq.json drv-wf.json
+  $ ../bin/butterfly_cli.exe taintcheck taint.trace -e 0 --domains 2 --driver wavefront --json > tc-wf.json
+  $ cmp tc-seq.json tc-wf.json
+
+Driver/domain combinations that make no sense are usage errors, not
+silent fallbacks.
+
+  $ ../bin/butterfly_cli.exe addrcheck t.trace --domains 2 --driver sequential
+  error: --driver sequential conflicts with --domains
+  [2]
+
+  $ ../bin/butterfly_cli.exe addrcheck t.trace --driver wavefront
+  error: --driver wavefront/pooled requires --domains
+  [2]
+
+  $ ../bin/butterfly_cli.exe taintcheck t.trace --driver pooled
+  error: --driver wavefront/pooled requires --domains
+  [2]
+
+Under --driver wavefront the registry grows the pipeline metrics next
+to the pool telemetry (names only; values are timings).
+
+  $ ../bin/butterfly_cli.exe taintcheck t.trace -e 8 --domains 2 --driver wavefront --stats=json | tail -1 \
+  >   | tr ',' '\n' | grep -o '"name":"scheduler.wavefront[^"]*"' | sort -u
+  "name":"scheduler.wavefront.overlapped_epochs"
+  "name":"scheduler.wavefront.pipelined_pass1_blocks"
+  "name":"scheduler.wavefront.ready_queue"
+  "name":"scheduler.wavefront.stall_ns"
+
+The fuzzer's equivalence battery can be narrowed to one driver.
+
+  $ ../bin/butterfly_cli.exe fuzz --lifeguard initcheck --iterations 5 --seed 7 --driver wavefront
+  fuzz initcheck: 5 grids, 0 mismatches
+
 A truncated binary trace is a clean CLI error.
 
   $ ../bin/butterfly_cli.exe generate ocean --threads 2 --scale 40 --seed 3 --binary > t.bin

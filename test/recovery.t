@@ -72,10 +72,24 @@ into fewer, larger epochs) is refused, not misapplied.
   error: checkpoint is ahead of the trace: 276 epochs folded, trace has 69
   [2]
 
+Snapshots cut at sealed-epoch frontiers, so they are driver-portable:
+a wavefront run checkpoints, resumes under wavefront, and its snapshot
+also resumes under the sequential driver — all byte-identical.
+
+  $ ../bin/butterfly_cli.exe addrcheck t.trace -e 8 --domains 2 --driver wavefront \
+  >   --checkpoint-every 2 --checkpoint-out wf.snap > wf-ckpt.out
+  $ cmp plain.out wf-ckpt.out
+  $ ../bin/butterfly_cli.exe addrcheck t.trace -e 8 --domains 2 --driver wavefront --resume wf.snap > wf-resumed.out
+  $ cmp plain.out wf-resumed.out
+  $ ../bin/butterfly_cli.exe addrcheck t.trace -e 8 --resume wf.snap > wf-seq-resumed.out
+  $ cmp plain.out wf-seq-resumed.out
+
 The crash-recovery fuzz mode drives checkpoint + kill + resume on
 every generated grid and reports like the plain battery.
 
   $ ../bin/butterfly_cli.exe fuzz --lifeguard initcheck --iterations 3 --crash-at random
   fuzz initcheck: 3 grids, 0 mismatches
   $ ../bin/butterfly_cli.exe fuzz --lifeguard addrcheck --iterations 2 --crash-at 1
+  fuzz addrcheck: 2 grids, 0 mismatches
+  $ ../bin/butterfly_cli.exe fuzz --lifeguard addrcheck --iterations 2 --crash-at 1 --driver wavefront
   fuzz addrcheck: 2 grids, 0 mismatches
