@@ -327,6 +327,55 @@ let with_pool_opt domains f =
   | Some n ->
     Butterfly.Domain_pool.with_pool ~name:"cli" ~domains:n (fun p -> f (Some p))
 
+let state_arg =
+  let b = Arg.enum [ ("functional", `Functional); ("flat", `Flat) ] in
+  Arg.(value & opt b `Functional & info [ "state" ] ~docv:"BACKEND"
+       ~doc:"Fact-table backend: $(b,functional) (default; the persistent \
+             reference structures) or $(b,flat) (arena-backed bitsets with \
+             word-at-a-time set algebra).  The report is byte-identical in \
+             either mode.")
+
+let ingest_arg =
+  let m = Arg.enum [ ("list", `List); ("cursor", `Cursor) ] in
+  Arg.(value & opt m `List & info [ "ingest" ] ~docv:"MODE"
+       ~doc:"Trace ingestion path: $(b,list) (default) decodes the whole \
+             trace into a program before analysis; $(b,cursor) streams epoch \
+             rows straight out of the binary trace buffer (no program \
+             materialization) into the epoch-incremental engine.  \
+             $(b,cursor) needs the binary trace format and is incompatible \
+             with $(b,--checkpoint-out)/$(b,--resume).")
+
+(* Cursor ingestion feeds the Resumable engines row by row; the
+   checkpoint flags drive a different engine lifecycle, so the
+   combination is rejected up front rather than half-working. *)
+let cursor_incompat ~every ~out ~resume =
+  if every <> None || out <> None || resume <> None then begin
+    prerr_endline
+      "error: --ingest cursor is incompatible with \
+       --checkpoint-every/--checkpoint-out/--resume";
+    exit 2
+  end
+
+let load_cursor path =
+  let raw = In_channel.with_open_bin path In_channel.input_all in
+  match Tracing.Trace_codec.Cursor.of_string raw with
+  | Error m ->
+    prerr_endline ("error: " ^ m);
+    exit 1
+  | Ok c -> c
+
+(* Drive a lifeguard's epoch-incremental engine from a trace cursor:
+   epoch rows are decoded in place and fed directly, so peak memory is
+   one row, not the whole program.  [--epoch-size 0] keeps the trace's
+   embedded heartbeats as epoch separators, like the list path. *)
+let run_cursor ~create ~feed ~finish ~h ~domains c =
+  with_pool_opt domains (fun pool ->
+      let st = create pool ~threads:(Tracing.Trace_codec.Cursor.threads c) in
+      Tracing.Trace_codec.Cursor.iter_rows
+        ?every:(if h > 0 then Some h else None)
+        c (feed st);
+      finish st)
+
 (* Route a lifeguard run through [Recovery.Runner] when any checkpoint or
    resume flag is present; the plain batch driver otherwise. *)
 let run_with_recovery ~batch ~fresh ~resumed ~domains ~checkpoint ~resume
@@ -359,23 +408,39 @@ let load_program path h =
   | Ok p -> if h > 0 then Machine.Heartbeat.insert ~every:h p else p
 
 let addrcheck_cmd =
-  let run path h domains driver every out resume json stats obs_jsonl =
+  let run path h state ingest domains driver every out resume json stats
+      obs_jsonl =
     with_stats ?obs_jsonl stats (fun () ->
         let wavefront = wavefront_of_driver driver domains in
-        let p = load_program path h in
         let r =
-          run_with_recovery
-            ~batch:(fun ~domains epochs ->
-              Lifeguards.Addrcheck.run ~wavefront ?domains epochs)
-            ~fresh:(fun ?pool ?checkpoint epochs ->
-              Recovery.Runner.run_addrcheck ?pool ~wavefront ?checkpoint epochs)
-            ~resumed:(fun ?pool ?checkpoint ~path epochs ->
-              Recovery.Runner.resume_addrcheck ?pool ~wavefront ?checkpoint
-                ~path epochs)
-            ~domains ~checkpoint:(checkpointing_of every out) ~resume
-            (Butterfly.Epochs.of_program p)
+          match ingest with
+          | `Cursor ->
+            cursor_incompat ~every ~out ~resume;
+            run_cursor
+              ~create:(fun pool ~threads ->
+                Lifeguards.Addrcheck.Resumable.create ?pool ~wavefront ~state
+                  ~threads ())
+              ~feed:Lifeguards.Addrcheck.Resumable.feed_epoch
+              ~finish:Lifeguards.Addrcheck.Resumable.finish ~h ~domains
+              (load_cursor path)
+          | `List ->
+            let p = load_program path h in
+            let r =
+              run_with_recovery
+                ~batch:(fun ~domains epochs ->
+                  Lifeguards.Addrcheck.run ~state ~wavefront ?domains epochs)
+                ~fresh:(fun ?pool ?checkpoint epochs ->
+                  Recovery.Runner.run_addrcheck ?pool ~wavefront ~state
+                    ?checkpoint epochs)
+                ~resumed:(fun ?pool ?checkpoint ~path epochs ->
+                  Recovery.Runner.resume_addrcheck ?pool ~wavefront ~state
+                    ?checkpoint ~path epochs)
+                ~domains ~checkpoint:(checkpointing_of every out) ~resume
+                (Butterfly.Epochs.of_program p)
+            in
+            if stats <> None then replay_window_metrics p;
+            r
         in
-        if stats <> None then replay_window_metrics p;
         if json then
           print_endline
             (J.to_string
@@ -392,28 +457,44 @@ let addrcheck_cmd =
         end)
   in
   Cmd.v (Cmd.info "addrcheck" ~doc:"Run butterfly AddrCheck on a trace file")
-    Term.(const run $ trace_arg $ h_arg $ domains_arg $ driver_arg
-          $ ckpt_every_arg $ ckpt_out_arg $ resume_arg $ json_arg $ stats_arg
-          $ obs_jsonl_arg)
+    Term.(const run $ trace_arg $ h_arg $ state_arg $ ingest_arg $ domains_arg
+          $ driver_arg $ ckpt_every_arg $ ckpt_out_arg $ resume_arg $ json_arg
+          $ stats_arg $ obs_jsonl_arg)
 
 let initcheck_cmd =
-  let run path h domains driver every out resume json stats obs_jsonl =
+  let run path h state ingest domains driver every out resume json stats
+      obs_jsonl =
     with_stats ?obs_jsonl stats (fun () ->
         let wavefront = wavefront_of_driver driver domains in
-        let p = load_program path h in
         let r =
-          run_with_recovery
-            ~batch:(fun ~domains epochs ->
-              Lifeguards.Initcheck.run ~wavefront ?domains epochs)
-            ~fresh:(fun ?pool ?checkpoint epochs ->
-              Recovery.Runner.run_initcheck ?pool ~wavefront ?checkpoint epochs)
-            ~resumed:(fun ?pool ?checkpoint ~path epochs ->
-              Recovery.Runner.resume_initcheck ?pool ~wavefront ?checkpoint
-                ~path epochs)
-            ~domains ~checkpoint:(checkpointing_of every out) ~resume
-            (Butterfly.Epochs.of_program p)
+          match ingest with
+          | `Cursor ->
+            cursor_incompat ~every ~out ~resume;
+            run_cursor
+              ~create:(fun pool ~threads ->
+                Lifeguards.Initcheck.Resumable.create ?pool ~wavefront ~state
+                  ~threads ())
+              ~feed:Lifeguards.Initcheck.Resumable.feed_epoch
+              ~finish:Lifeguards.Initcheck.Resumable.finish ~h ~domains
+              (load_cursor path)
+          | `List ->
+            let p = load_program path h in
+            let r =
+              run_with_recovery
+                ~batch:(fun ~domains epochs ->
+                  Lifeguards.Initcheck.run ~state ~wavefront ?domains epochs)
+                ~fresh:(fun ?pool ?checkpoint epochs ->
+                  Recovery.Runner.run_initcheck ?pool ~wavefront ~state
+                    ?checkpoint epochs)
+                ~resumed:(fun ?pool ?checkpoint ~path epochs ->
+                  Recovery.Runner.resume_initcheck ?pool ~wavefront ~state
+                    ?checkpoint ~path epochs)
+                ~domains ~checkpoint:(checkpointing_of every out) ~resume
+                (Butterfly.Epochs.of_program p)
+            in
+            if stats <> None then replay_window_metrics p;
+            r
         in
-        if stats <> None then replay_window_metrics p;
         if json then
           print_endline
             (J.to_string
@@ -432,30 +513,46 @@ let initcheck_cmd =
   Cmd.v
     (Cmd.info "initcheck"
        ~doc:"Run butterfly InitCheck (uninitialized reads) on a trace file")
-    Term.(const run $ trace_arg $ h_arg $ domains_arg $ driver_arg
-          $ ckpt_every_arg $ ckpt_out_arg $ resume_arg $ json_arg $ stats_arg
-          $ obs_jsonl_arg)
+    Term.(const run $ trace_arg $ h_arg $ state_arg $ ingest_arg $ domains_arg
+          $ driver_arg $ ckpt_every_arg $ ckpt_out_arg $ resume_arg $ json_arg
+          $ stats_arg $ obs_jsonl_arg)
 
 let taintcheck_cmd =
-  let run path h relaxed domains driver every out resume json stats obs_jsonl =
+  let run path h relaxed state ingest domains driver every out resume json
+      stats obs_jsonl =
     with_stats ?obs_jsonl stats (fun () ->
         let wavefront = wavefront_of_driver driver domains in
-        let p = load_program path h in
         let r =
-          run_with_recovery
-            ~batch:(fun ~domains epochs ->
-              Lifeguards.Taintcheck.run ~sequential:(not relaxed) ~wavefront
-                ?domains epochs)
-            ~fresh:(fun ?pool ?checkpoint epochs ->
-              Recovery.Runner.run_taintcheck ?pool ~sequential:(not relaxed)
-                ~wavefront ?checkpoint epochs)
-            ~resumed:(fun ?pool ?checkpoint ~path epochs ->
-              Recovery.Runner.resume_taintcheck ?pool ~wavefront ?checkpoint
-                ~path epochs)
-            ~domains ~checkpoint:(checkpointing_of every out) ~resume
-            (Butterfly.Epochs.of_program p)
+          match ingest with
+          | `Cursor ->
+            cursor_incompat ~every ~out ~resume;
+            run_cursor
+              ~create:(fun pool ~threads ->
+                Lifeguards.Taintcheck.Resumable.create ?pool
+                  ~sequential:(not relaxed) ~wavefront ~state ~threads ())
+              ~feed:Lifeguards.Taintcheck.Resumable.feed_epoch
+              ~finish:Lifeguards.Taintcheck.Resumable.finish ~h ~domains
+              (load_cursor path)
+          | `List ->
+            let p = load_program path h in
+            let r =
+              run_with_recovery
+                ~batch:(fun ~domains epochs ->
+                  Lifeguards.Taintcheck.run ~state ~sequential:(not relaxed)
+                    ~wavefront ?domains epochs)
+                ~fresh:(fun ?pool ?checkpoint epochs ->
+                  Recovery.Runner.run_taintcheck ?pool
+                    ~sequential:(not relaxed) ~wavefront ~state ?checkpoint
+                    epochs)
+                ~resumed:(fun ?pool ?checkpoint ~path epochs ->
+                  Recovery.Runner.resume_taintcheck ?pool ~wavefront ~state
+                    ?checkpoint ~path epochs)
+                ~domains ~checkpoint:(checkpointing_of every out) ~resume
+                (Butterfly.Epochs.of_program p)
+            in
+            if stats <> None then replay_window_metrics p;
+            r
         in
-        if stats <> None then replay_window_metrics p;
         if json then begin
           let checked =
             Array.fold_left
@@ -484,9 +581,9 @@ let taintcheck_cmd =
          ~doc:"Use the relaxed-consistency termination condition.")
   in
   Cmd.v (Cmd.info "taintcheck" ~doc:"Run butterfly TaintCheck on a trace file")
-    Term.(const run $ trace_arg $ h_arg $ relaxed_arg $ domains_arg
-          $ driver_arg $ ckpt_every_arg $ ckpt_out_arg $ resume_arg $ json_arg
-          $ stats_arg $ obs_jsonl_arg)
+    Term.(const run $ trace_arg $ h_arg $ relaxed_arg $ state_arg $ ingest_arg
+          $ domains_arg $ driver_arg $ ckpt_every_arg $ ckpt_out_arg
+          $ resume_arg $ json_arg $ stats_arg $ obs_jsonl_arg)
 
 let stats_cmd =
   let run path h domains lifeguard json prometheus obs_jsonl =
@@ -544,13 +641,18 @@ let stats_cmd =
    with greedy minimization of any counterexample. *)
 
 let fuzz_cmd =
-  let run lifeguard driver iterations seed shrink crash_at out replay stats
-      obs_jsonl =
+  let run lifeguard driver state iterations seed shrink crash_at out replay
+      stats obs_jsonl =
     with_stats ?obs_jsonl stats (fun () ->
         let drivers =
           match driver with
           | `All -> Qa.Differential.all_drivers
           | `One d -> [ d ]
+        in
+        let states =
+          match state with
+          | `All -> Qa.Differential.all_backends
+          | `One st -> [ st ]
         in
         let lifeguards =
           match lifeguard with
@@ -601,7 +703,7 @@ let fuzz_cmd =
                   seed;
                   shrink;
                   crash;
-                  diff = { Qa.Differential.default_config with drivers };
+                  diff = { Qa.Differential.default_config with drivers; states };
                 }
               in
               let outcome = Qa.Engine.run ~config lg in
@@ -658,6 +760,22 @@ let fuzz_cmd =
                The sequential baseline always runs.  Ignored with \
                $(b,--replay).")
   in
+  let fuzz_state_arg =
+    let b =
+      Arg.enum
+        [
+          ("functional", `One (`Functional : Qa.Differential.backend));
+          ("flat", `One (`Flat : Qa.Differential.backend));
+          ("all", `All);
+        ]
+    in
+    Arg.(value & opt b `All & info [ "state" ] ~docv:"BACKEND"
+         ~doc:"Which fact-table backends the battery quantifies over: \
+               $(b,functional), $(b,flat) or $(b,all) (default).  Every \
+               driver entry runs once per backend, and the flat backend \
+               additionally gets its own sequential entry against the \
+               functional sequential baseline.  Ignored with $(b,--replay).")
+  in
   let iterations_arg =
     Arg.(value & opt positive_int 100 & info [ "iterations" ] ~docv:"N"
          ~doc:"Grids to generate and check per lifeguard.")
@@ -710,9 +828,9 @@ let fuzz_cmd =
        ~doc:"Differentially fuzz the butterfly lifeguards: random grids \
              through all driver/domain/memory-model combinations plus the \
              valid-ordering soundness oracle; exits non-zero on mismatch")
-    Term.(const run $ lifeguard_arg $ fuzz_driver_arg $ iterations_arg
-          $ fuzz_seed_arg $ shrink_arg $ crash_at_arg $ out_arg $ replay_arg
-          $ stats_arg $ obs_jsonl_arg)
+    Term.(const run $ lifeguard_arg $ fuzz_driver_arg $ fuzz_state_arg
+          $ iterations_arg $ fuzz_seed_arg $ shrink_arg $ crash_at_arg
+          $ out_arg $ replay_arg $ stats_arg $ obs_jsonl_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Introspection: dependence-graph / timeline rendering and the obs

@@ -6,6 +6,11 @@ module type SET = sig
   val union : t -> t -> t
   val inter : t -> t -> t
   val diff : t -> t -> t
+
+  val union_all : t list -> t
+  (* n-ary union: functional sets fold {!union}; the flat backend
+     allocates the result once instead of once per operand. *)
+
   val equal : t -> t -> bool
   val pp : Format.formatter -> t -> unit
 end
@@ -65,8 +70,7 @@ module Make (P : PROBLEM) = struct
   let side_out s =
     match P.flavour with `May -> s.gen_union | `Must -> s.kill_union
 
-  let side_in ~wings =
-    List.fold_left (fun acc s -> Set.union acc (side_out s)) Set.empty wings
+  let side_in ~wings = Set.union_all (List.map side_out wings)
 
   type epoch_summary = { gen_l : Set.t; kill_l : Set.t }
 
@@ -172,6 +176,34 @@ module Make (P : PROBLEM) = struct
     | `May -> Set.union side_in lsos_at
     | `Must -> Set.diff lsos_at side_in
 
+  (* Pass-2 inner loop over one block, shared by every driver (batch here,
+     pooled/wavefront in [Scheduler.Make], fork-join in [Parallel]).
+     [in_before] depends only on the running LSOS, which GEN/KILL-free
+     instructions leave physically unchanged (the set ops shortcut empty
+     operands) — so the meet with the side-in is recomputed only at state
+     changes.  Word-at-a-time backends pay O(set width) per mutation
+     instead of per instruction; the view stream is unchanged. *)
+  let iter_block ~side_in ~lsos0 ~sos f body =
+    let cur = ref lsos0 in
+    let cached_at = ref lsos0 in
+    let cached_in = ref (compute_in ~side_in ~lsos_at:lsos0) in
+    Block.iteri
+      (fun id instr ->
+        let lsos_at = !cur in
+        let in_before =
+          if lsos_at == !cached_at then !cached_in
+          else begin
+            let v = compute_in ~side_in ~lsos_at in
+            cached_at := lsos_at;
+            cached_in := v;
+            v
+          end
+        in
+        f { id; instr; lsos_before = lsos_at; in_before; side_in; sos };
+        let g = P.gen id instr and k = P.kill id instr in
+        cur := Set.union g (Set.diff lsos_at k))
+      body
+
   let run ?on_instr epochs =
     let num_l = Epochs.num_epochs epochs in
     let threads = Epochs.threads epochs in
@@ -220,16 +252,7 @@ module Make (P : PROBLEM) = struct
               in
               Obs.Counter.add m_instrs (Block.length body);
               Obs.Span.time sp_pass2 (fun () ->
-                  let cur = ref lsos0 in
-                  Block.iteri
-                    (fun id instr ->
-                      let lsos_at = !cur in
-                      let in_before = compute_in ~side_in ~lsos_at in
-                      f { id; instr; lsos_before = lsos_at; in_before; side_in;
-                          sos = sos.(l) };
-                      let g = P.gen id instr and k = P.kill id instr in
-                      cur := Set.union g (Set.diff lsos_at k))
-                    body))
+                  iter_block ~side_in ~lsos0 ~sos:sos.(l) f body))
         done
       done);
     { epochs; sos; block_summaries; epoch_summaries }

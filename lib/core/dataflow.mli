@@ -31,6 +31,11 @@ module type SET = sig
   val union : t -> t -> t
   val inter : t -> t -> t
   val diff : t -> t -> t
+
+  val union_all : t list -> t
+  (** n-ary union: functional sets fold {!union}; the flat backend
+      allocates the result once instead of once per operand. *)
+
   val equal : t -> t -> bool
   val pp : Format.formatter -> t -> unit
 end
@@ -90,6 +95,21 @@ module Make (P : PROBLEM) : sig
     side_in : Set.t;
     sos : Set.t;  (** SOS{_l}. *)
   }
+
+  val iter_block :
+    side_in:Set.t ->
+    lsos0:Set.t ->
+    sos:Set.t ->
+    (instr_view -> unit) ->
+    Block.t ->
+    unit
+  (** The pass-2 inner loop over one block, shared by every driver (the
+      batch {!run}, the pooled/wavefront scheduler, the fork-join
+      driver): threads the running LSOS through GEN/KILL and emits each
+      instruction's view.  [in_before] is recomputed only when the
+      running LSOS actually changes — GEN/KILL-free instructions reuse
+      the previous meet, so word-at-a-time backends pay O(set width) per
+      state change, not per instruction. *)
 
   type result = {
     epochs : Epochs.t;

@@ -111,3 +111,5 @@ let pp ppf t =
       Format.fprintf ppf "%a:%a" Tracing.Addr.pp loc pp_portion p)
     t;
   Format.fprintf ppf "}"
+
+let union_all = List.fold_left union empty

@@ -33,6 +33,10 @@ val defines_loc : Tracing.Addr.t -> t -> bool
     ([All_except] counts.) *)
 
 val union : t -> t -> t
+
+val union_all : t list -> t
+(** n-ary {!union} (folds pairwise). *)
+
 val inter : t -> t -> t
 val diff : t -> t -> t
 val equal : t -> t -> bool

@@ -155,3 +155,5 @@ let pp ppf t =
           (ES.elements ex))
     t.wild;
   Format.fprintf ppf "}"
+
+let union_all = List.fold_left union empty

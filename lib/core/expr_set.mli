@@ -21,6 +21,10 @@ val killing : Tracing.Addr.t -> t
 
 val mem : Expr.t -> t -> bool
 val union : t -> t -> t
+
+val union_all : t list -> t
+(** n-ary {!union} (folds pairwise). *)
+
 val inter : t -> t -> t
 val diff : t -> t -> t
 val equal : t -> t -> bool

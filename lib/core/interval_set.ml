@@ -103,3 +103,5 @@ let pp ppf t =
       else Format.fprintf ppf "%d..%d" lo (hi - 1))
     t;
   Format.fprintf ppf "}"
+
+let union_all = List.fold_left union empty

@@ -20,6 +20,10 @@ val remove_range : int -> int -> t -> t
 val mem : int -> t -> bool
 
 val union : t -> t -> t
+
+val union_all : t list -> t
+(** n-ary {!union} (folds pairwise). *)
+
 val inter : t -> t -> t
 val diff : t -> t -> t
 

@@ -62,30 +62,11 @@ module Make (P : Dataflow.PROBLEM) = struct
                     let lsos0 =
                       D.lsos ~sos:sos.(l) ~head ~two_back_row:(row (l - 2)) ~tid
                     in
-                    let cur = ref lsos0 in
-                    Block.iteri
-                      (fun id instr ->
-                        let lsos_at = !cur in
-                        let in_before =
-                          match P.flavour with
-                          | `May -> D.Set.union side_in lsos_at
-                          | `Must -> D.Set.diff lsos_at side_in
-                        in
-                        (match
-                           f
-                             {
-                               D.id;
-                               instr;
-                               lsos_before = lsos_at;
-                               in_before;
-                               side_in;
-                               sos = sos.(l);
-                             }
-                         with
+                    D.iter_block ~side_in ~lsos0 ~sos:sos.(l)
+                      (fun view ->
+                        match f view with
                         | Some x -> acc := (l, x) :: !acc
-                        | None -> ());
-                        let g = P.gen id instr and k = P.kill id instr in
-                        cur := D.Set.union g (D.Set.diff lsos_at k))
+                        | None -> ())
                       body
                   done;
                   List.rev !acc)

@@ -157,19 +157,7 @@ module Make (P : Dataflow.PROBLEM) = struct
     in
     Obs.Counter.add m_instrs (Block.length body);
     Obs.Span.time sp_pass2 (fun () ->
-        let cur = ref lsos0 in
-        Block.iteri
-          (fun id instr ->
-            let lsos_at = !cur in
-            let in_before =
-              match P.flavour with
-              | `May -> D.Set.union side_in lsos_at
-              | `Must -> D.Set.diff lsos_at side_in
-            in
-            emit { D.id; instr; lsos_before = lsos_at; in_before; side_in; sos };
-            let g = P.gen id instr and k = P.kill id instr in
-            cur := D.Set.union g (D.Set.diff lsos_at k))
-          body)
+        D.iter_block ~side_in ~lsos0 ~sos emit body)
 
   (* ---- Wavefront delivery.  Buffered pass-2 views are handed to
      [on_instr] strictly epoch-major (the futures array is per-thread, so

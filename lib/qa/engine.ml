@@ -71,9 +71,12 @@ let run ?pools ?(config = default_config) lifeguard =
       base
       @ List.concat_map
           (fun d ->
-            Differential.check_recovery ?pool
-              ~wavefront:(d = Differential.Wavefront) ~every:c.every
-              ?crash_at:c.crash_at ~seed:crash_seed lifeguard g)
+            List.concat_map
+              (fun state ->
+                Differential.check_recovery ?pool
+                  ~wavefront:(d = Differential.Wavefront) ~state ~every:c.every
+                  ?crash_at:c.crash_at ~seed:crash_seed lifeguard g)
+              config.diff.Differential.states)
           config.diff.Differential.drivers
   in
   let rec loop i =

@@ -26,7 +26,8 @@ type config = {
   shape : Grid_gen.shape;
   diff : Differential.config;
   crash : crash option;
-      (** also run {!Differential.check_recovery} on every grid *)
+      (** also run {!Differential.check_recovery} on every grid, once per
+          configured driver × fact-table backend *)
 }
 
 val default_config : config

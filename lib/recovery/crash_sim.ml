@@ -69,6 +69,7 @@ let simulate (type s r) (ops : (s, r) Runner.ops) ?crash_at ~seed ~every ~path
         equal = String.equal straight_fp resumed_fp;
       }
 
-let run ?pool ?wavefront ?crash_at ?(seed = 0) ~every ~path lifeguard epochs =
-  let (Runner.Packed ops) = Runner.ops_of ?pool ?wavefront lifeguard in
+let run ?pool ?wavefront ?state ?crash_at ?(seed = 0) ~every ~path lifeguard
+    epochs =
+  let (Runner.Packed ops) = Runner.ops_of ?pool ?wavefront ?state lifeguard in
   simulate ops ?crash_at ~seed ~every ~path epochs

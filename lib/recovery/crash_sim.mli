@@ -21,6 +21,7 @@ val pp_outcome : Format.formatter -> outcome -> unit
 val run :
   ?pool:Butterfly.Domain_pool.t ->
   ?wavefront:bool ->
+  ?state:[ `Functional | `Flat ] ->
   ?crash_at:int ->
   ?seed:int ->
   every:int ->

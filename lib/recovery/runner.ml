@@ -18,51 +18,54 @@ type ('s, 'r) ops = {
 
 type packed = Packed : ('s, 'r) ops -> packed
 
-let addr_ops ?pool ?isolation ?wavefront () =
+let addr_ops ?pool ?isolation ?wavefront ?state () =
   {
     tag = Snapshot.Addrcheck;
     create =
       (fun ~threads ->
-        AC.Resumable.create ?pool ?isolation ?wavefront ~threads ());
+        AC.Resumable.create ?pool ?isolation ?wavefront ?state ~threads ());
     feed = AC.Resumable.feed_epoch;
     fed = AC.Resumable.epochs_fed;
     finish = AC.Resumable.finish;
     enc = AC.Resumable.encode;
-    dec = AC.Resumable.decode ?pool ?wavefront;
+    dec = AC.Resumable.decode ?pool ?wavefront ?state;
     fp = AC.fingerprint;
   }
 
-let init_ops ?pool ?wavefront () =
+let init_ops ?pool ?wavefront ?state () =
   {
     tag = Snapshot.Initcheck;
-    create = (fun ~threads -> IC.Resumable.create ?pool ?wavefront ~threads ());
+    create =
+      (fun ~threads -> IC.Resumable.create ?pool ?wavefront ?state ~threads ());
     feed = IC.Resumable.feed_epoch;
     fed = IC.Resumable.epochs_fed;
     finish = IC.Resumable.finish;
     enc = IC.Resumable.encode;
-    dec = IC.Resumable.decode ?pool ?wavefront;
+    dec = IC.Resumable.decode ?pool ?wavefront ?state;
     fp = IC.fingerprint;
   }
 
-let taint_ops ?pool ?sequential ?two_phase ?wavefront () =
+let taint_ops ?pool ?sequential ?two_phase ?wavefront ?state () =
   {
     tag = Snapshot.Taintcheck;
     create =
       (fun ~threads ->
-        TC.Resumable.create ?pool ?sequential ?two_phase ?wavefront ~threads ());
+        TC.Resumable.create ?pool ?sequential ?two_phase ?wavefront ?state
+          ~threads ());
     feed = TC.Resumable.feed_epoch;
     fed = TC.Resumable.epochs_fed;
     finish = TC.Resumable.finish;
     enc = TC.Resumable.encode;
-    dec = TC.Resumable.decode ?pool ?wavefront;
+    dec = TC.Resumable.decode ?pool ?wavefront ?state;
     fp = TC.fingerprint;
   }
 
-let ops_of ?pool ?isolation ?sequential ?two_phase ?wavefront = function
-  | Snapshot.Addrcheck -> Packed (addr_ops ?pool ?isolation ?wavefront ())
-  | Snapshot.Initcheck -> Packed (init_ops ?pool ?wavefront ())
+let ops_of ?pool ?isolation ?sequential ?two_phase ?wavefront ?state = function
+  | Snapshot.Addrcheck ->
+    Packed (addr_ops ?pool ?isolation ?wavefront ?state ())
+  | Snapshot.Initcheck -> Packed (init_ops ?pool ?wavefront ?state ())
   | Snapshot.Taintcheck ->
-    Packed (taint_ops ?pool ?sequential ?two_phase ?wavefront ())
+    Packed (taint_ops ?pool ?sequential ?two_phase ?wavefront ?state ())
 
 let rows_of epochs =
   let threads = Epochs.threads epochs in
@@ -137,20 +140,23 @@ let resume ops ?checkpoint ~path epochs =
               (drive ops ?checkpoint ~threads (rows_of epochs)
                  ~from:meta.Snapshot.next_epoch st))
 
-let run_addrcheck ?pool ?isolation ?wavefront ?checkpoint epochs =
-  run (addr_ops ?pool ?isolation ?wavefront ()) ?checkpoint epochs
+let run_addrcheck ?pool ?isolation ?wavefront ?state ?checkpoint epochs =
+  run (addr_ops ?pool ?isolation ?wavefront ?state ()) ?checkpoint epochs
 
-let resume_addrcheck ?pool ?wavefront ?checkpoint ~path epochs =
-  resume (addr_ops ?pool ?wavefront ()) ?checkpoint ~path epochs
+let resume_addrcheck ?pool ?wavefront ?state ?checkpoint ~path epochs =
+  resume (addr_ops ?pool ?wavefront ?state ()) ?checkpoint ~path epochs
 
-let run_initcheck ?pool ?wavefront ?checkpoint epochs =
-  run (init_ops ?pool ?wavefront ()) ?checkpoint epochs
+let run_initcheck ?pool ?wavefront ?state ?checkpoint epochs =
+  run (init_ops ?pool ?wavefront ?state ()) ?checkpoint epochs
 
-let resume_initcheck ?pool ?wavefront ?checkpoint ~path epochs =
-  resume (init_ops ?pool ?wavefront ()) ?checkpoint ~path epochs
+let resume_initcheck ?pool ?wavefront ?state ?checkpoint ~path epochs =
+  resume (init_ops ?pool ?wavefront ?state ()) ?checkpoint ~path epochs
 
-let run_taintcheck ?pool ?sequential ?two_phase ?wavefront ?checkpoint epochs =
-  run (taint_ops ?pool ?sequential ?two_phase ?wavefront ()) ?checkpoint epochs
+let run_taintcheck ?pool ?sequential ?two_phase ?wavefront ?state ?checkpoint
+    epochs =
+  run
+    (taint_ops ?pool ?sequential ?two_phase ?wavefront ?state ())
+    ?checkpoint epochs
 
-let resume_taintcheck ?pool ?wavefront ?checkpoint ~path epochs =
-  resume (taint_ops ?pool ?wavefront ()) ?checkpoint ~path epochs
+let resume_taintcheck ?pool ?wavefront ?state ?checkpoint ~path epochs =
+  resume (taint_ops ?pool ?wavefront ?state ()) ?checkpoint ~path epochs

@@ -38,14 +38,18 @@ val ops_of :
   ?sequential:bool ->
   ?two_phase:bool ->
   ?wavefront:bool ->
+  ?state:[ `Functional | `Flat ] ->
   Snapshot.lifeguard ->
   packed
 (** [isolation] applies to AddrCheck, [sequential]/[two_phase] to
     TaintCheck; the others ignore them.  [wavefront] (with [pool]) runs
     every lifeguard's engine in pipelined mode; checkpoints are always
     cut at sealed-epoch frontiers, so snapshots are driver-independent.
-    On resume the analysis flags are restored from the snapshot payload,
-    not from here; [pool]/[wavefront] are transient and re-supplied. *)
+    [state] (default [`Functional]) selects the fact-table backend;
+    snapshots serialize fact sets canonically, so they are
+    backend-portable in both directions.  On resume the analysis flags
+    are restored from the snapshot payload, not from here;
+    [pool]/[wavefront]/[state] are transient and re-supplied. *)
 
 val rows_of : Butterfly.Epochs.t -> Tracing.Instr.t array array array
 (** The grid as epoch rows, [rows.(epoch).(tid)]. *)
@@ -77,6 +81,7 @@ val run_addrcheck :
   ?pool:Butterfly.Domain_pool.t ->
   ?isolation:bool ->
   ?wavefront:bool ->
+  ?state:[ `Functional | `Flat ] ->
   ?checkpoint:checkpointing ->
   Butterfly.Epochs.t ->
   Lifeguards.Addrcheck.report
@@ -84,6 +89,7 @@ val run_addrcheck :
 val resume_addrcheck :
   ?pool:Butterfly.Domain_pool.t ->
   ?wavefront:bool ->
+  ?state:[ `Functional | `Flat ] ->
   ?checkpoint:checkpointing ->
   path:string ->
   Butterfly.Epochs.t ->
@@ -92,6 +98,7 @@ val resume_addrcheck :
 val run_initcheck :
   ?pool:Butterfly.Domain_pool.t ->
   ?wavefront:bool ->
+  ?state:[ `Functional | `Flat ] ->
   ?checkpoint:checkpointing ->
   Butterfly.Epochs.t ->
   Lifeguards.Initcheck.report
@@ -99,6 +106,7 @@ val run_initcheck :
 val resume_initcheck :
   ?pool:Butterfly.Domain_pool.t ->
   ?wavefront:bool ->
+  ?state:[ `Functional | `Flat ] ->
   ?checkpoint:checkpointing ->
   path:string ->
   Butterfly.Epochs.t ->
@@ -109,6 +117,7 @@ val run_taintcheck :
   ?sequential:bool ->
   ?two_phase:bool ->
   ?wavefront:bool ->
+  ?state:[ `Functional | `Flat ] ->
   ?checkpoint:checkpointing ->
   Butterfly.Epochs.t ->
   Lifeguards.Taintcheck.report
@@ -116,6 +125,7 @@ val run_taintcheck :
 val resume_taintcheck :
   ?pool:Butterfly.Domain_pool.t ->
   ?wavefront:bool ->
+  ?state:[ `Functional | `Flat ] ->
   ?checkpoint:checkpointing ->
   path:string ->
   Butterfly.Epochs.t ->

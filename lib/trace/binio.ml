@@ -9,13 +9,18 @@ let crc_table =
          done;
          !c))
 
-let crc32 s =
+let crc32_sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Binio.crc32_sub";
   let table = Lazy.force crc_table in
   let c = ref 0xffffffff in
-  String.iter
-    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
-    s;
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+         lxor (!c lsr 8)
+  done;
   !c lxor 0xffffffff
+
+let crc32 s = crc32_sub s ~pos:0 ~len:(String.length s)
 
 module W = struct
   type t = Buffer.t
@@ -69,15 +74,25 @@ module W = struct
 end
 
 module R = struct
-  type t = { s : string; mutable pos : int }
+  type t = { s : string; mutable pos : int; limit : int }
 
   exception Corrupt of string
 
   let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
-  let of_string s = { s; pos = 0 }
+  let of_string s = { s; pos = 0; limit = String.length s }
+
+  (* In-place reader over a window of [s]: no copy, so cursor-style
+     decoders can walk a region of a large buffer directly. *)
+  let of_substring s ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > String.length s then
+      invalid_arg "Binio.R.of_substring";
+    { s; pos; limit = pos + len }
+
+  let pos r = r.pos
+  let remaining r = r.limit - r.pos
 
   let u8 r =
-    if r.pos >= String.length r.s then corrupt "truncated input";
+    if r.pos >= r.limit then corrupt "truncated input";
     let b = Char.code r.s.[r.pos] in
     r.pos <- r.pos + 1;
     b
@@ -103,7 +118,7 @@ module R = struct
 
   let string r =
     let n = varint r in
-    if n > String.length r.s - r.pos then corrupt "truncated string";
+    if n > r.limit - r.pos then corrupt "truncated string";
     let s = String.sub r.s r.pos n in
     r.pos <- r.pos + n;
     s
@@ -122,8 +137,7 @@ module R = struct
     | 1 -> Some (f r)
     | b -> corrupt "bad option tag %d" b
 
-  let expect_end r =
-    if r.pos <> String.length r.s then corrupt "trailing bytes"
+  let expect_end r = if r.pos <> r.limit then corrupt "trailing bytes"
 end
 
 (* The CRC covers magic + version + payload, so a flipped bit anywhere in

@@ -18,6 +18,10 @@ val crc32 : string -> int
 (** CRC-32 (IEEE, reflected, init/xorout [0xffffffff]) of the whole
     string, as a non-negative int in [0, 2^32). *)
 
+val crc32_sub : string -> pos:int -> len:int -> int
+(** {!crc32} over [s.[pos .. pos+len-1]] without copying the slice.
+    Raises [Invalid_argument] on an out-of-range window. *)
+
 (** Append-only payload writer over a {!Buffer.t}. *)
 module W : sig
   type t
@@ -56,6 +60,19 @@ module R : sig
       return [Error]. *)
 
   val of_string : string -> t
+
+  val of_substring : string -> pos:int -> len:int -> t
+  (** A reader over the window [s.[pos .. pos+len-1]], sharing [s]
+      (no copy).  Reads past the window raise {!Corrupt} exactly as
+      reads past the end of a whole-string reader do.  Raises
+      [Invalid_argument] on an out-of-range window. *)
+
+  val pos : t -> int
+  (** Current absolute offset into the underlying string. *)
+
+  val remaining : t -> int
+  (** Bytes left before the window's end. *)
+
   val u8 : t -> int
   val varint : t -> int
   val sint : t -> int

@@ -284,3 +284,158 @@ let binary_roundtrip_exn p =
   match decode_binary (encode_binary p) with
   | Ok p2 -> p2
   | Error m -> failwith ("Trace_codec.binary_roundtrip_exn: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Zero-copy cursor over a binary trace buffer.
+
+   [decode_binary] materializes per-thread event lists and a [Program.t]
+   before any analysis can start — for a multi-hundred-MB trace that is
+   a second full-size copy of the input plus a list cell per event.  The
+   cursor instead validates the envelope in place ({!Binio.crc32_sub},
+   no [String.sub] of the payload), records each thread's event-region
+   offsets in a single validating scan, and then replays instruction
+   rows one epoch at a time through in-place {!Binio.R.of_substring}
+   readers — the only per-event allocation is the [Instr.t] values of
+   the row currently in flight.
+
+   Acceptance is exactly [decode_binary]'s: same envelope checks, same
+   payload limits, same error messages (the fuzz suites quantify over
+   both decoders).  Row semantics are exactly the batch pipeline's:
+   [iter_rows ?every] yields the rows of
+   [Epochs.of_program (with_heartbeats ~every ...)] — see the .mli. *)
+
+module Cursor = struct
+  type t = {
+    buf : string;
+    regions : (int * int) array; (* per-thread (pos, len) into [buf] *)
+    counts : int array; (* events per thread *)
+    instr_counts : int array; (* instructions per thread *)
+    hb_counts : int array; (* heartbeats per thread *)
+  }
+
+  let threads c = Array.length c.regions
+  let instr_count c = Array.fold_left ( + ) 0 c.instr_counts
+
+  (* One validating pass over the payload: every event is decoded (so a
+     bad opcode or truncated operand is rejected here, like
+     [read_payload]), but only the region bounds and counts are kept. *)
+  let scan_payload buf ~pos ~len =
+    let r = Binio.R.of_substring buf ~pos ~len in
+    let threads = Binio.R.varint r in
+    if threads <= 0 || threads > 4096 then
+      raise (Binio.R.Corrupt "bad thread count");
+    let regions = Array.make threads (0, 0) in
+    let counts = Array.make threads 0 in
+    let instr_counts = Array.make threads 0 in
+    let hb_counts = Array.make threads 0 in
+    for t = 0 to threads - 1 do
+      let n = Binio.R.varint r in
+      if n > 100_000_000 then raise (Binio.R.Corrupt "bad event count");
+      let start = Binio.R.pos r in
+      for _ = 1 to n do
+        match read_event r with
+        | Event.Heartbeat -> hb_counts.(t) <- hb_counts.(t) + 1
+        | Event.Instr _ -> instr_counts.(t) <- instr_counts.(t) + 1
+      done;
+      regions.(t) <- (start, Binio.R.pos r - start);
+      counts.(t) <- n
+    done;
+    Binio.R.expect_end r;
+    { buf; regions; counts; instr_counts; hb_counts }
+
+  let of_string s =
+    let llen = String.length legacy_magic in
+    if String.length s >= llen && String.sub s 0 llen = legacy_magic then
+      (* Legacy unchecksummed traces: payload starts right after "BFLY1". *)
+      match scan_payload s ~pos:llen ~len:(String.length s - llen) with
+      | c -> Ok c
+      | exception Binio.R.Corrupt m -> Error m
+    else
+      (* Envelope validation in place — the same checks, in the same
+         order, with the same messages as [Binio.unframe], minus its two
+         [String.sub] copies. *)
+      let mlen = String.length binary_magic in
+      let len = String.length s in
+      if len < mlen || String.sub s 0 mlen <> binary_magic then
+        Error "bad magic"
+      else if len < mlen + 5 then Error "truncated envelope"
+      else
+        let got_version = Char.code s.[mlen] in
+        if got_version <> binary_version then
+          Error
+            (Printf.sprintf "unsupported format version %d (expected %d)"
+               got_version binary_version)
+        else begin
+          let stored = ref 0 in
+          for i = 3 downto 0 do
+            stored := (!stored lsl 8) lor Char.code s.[len - 4 + i]
+          done;
+          let computed = Binio.crc32_sub s ~pos:0 ~len:(len - 4) in
+          if !stored <> computed then
+            Error
+              (Printf.sprintf "CRC mismatch: stored %08x, computed %08x"
+                 !stored computed)
+          else
+            match scan_payload s ~pos:(mlen + 1) ~len:(len - mlen - 5) with
+            | c -> Ok c
+            | exception Binio.R.Corrupt m -> Error m
+        end
+
+  (* Blocks per thread under each chunking mode, mirroring the batch
+     pipeline exactly: embedded heartbeats give [Trace.blocks]'s k+1
+     blocks for k separators; [~every:h] gives [with_heartbeats]'s
+     floor(n/h)+1 (trailing empty block when h divides n, one empty
+     block for an empty thread). *)
+  let blocks_per_thread ?every c =
+    match every with
+    | None -> Array.map (fun k -> k + 1) c.hb_counts
+    | Some h ->
+      if h <= 0 then invalid_arg "Trace_codec.Cursor: every must be > 0";
+      Array.map (fun n -> (n / h) + 1) c.instr_counts
+
+  let num_rows ?every c = Array.fold_left max 1 (blocks_per_thread ?every c)
+
+  let iter_rows ?every c f =
+    let threads = threads c in
+    let blocks_t = blocks_per_thread ?every c in
+    let num_l = Array.fold_left max 1 blocks_t in
+    let readers =
+      Array.init threads (fun t ->
+          let pos, len = c.regions.(t) in
+          Binio.R.of_substring c.buf ~pos ~len)
+    in
+    let left = Array.copy c.counts in
+    let next_block t =
+      let r = readers.(t) in
+      let acc = ref [] in
+      (match every with
+      | None ->
+        let stop = ref false in
+        while (not !stop) && left.(t) > 0 do
+          left.(t) <- left.(t) - 1;
+          match read_event r with
+          | Event.Heartbeat -> stop := true
+          | Event.Instr i -> acc := i :: !acc
+        done
+      | Some h ->
+        (* Embedded heartbeats are stripped and the instruction stream
+           re-chunked, mirroring [Trace.with_heartbeats]. *)
+        let k = ref 0 in
+        while !k < h && left.(t) > 0 do
+          left.(t) <- left.(t) - 1;
+          match read_event r with
+          | Event.Heartbeat -> ()
+          | Event.Instr i ->
+            incr k;
+            acc := i :: !acc
+        done);
+      Array.of_list (List.rev !acc)
+    in
+    (* Shorter threads are padded with empty blocks, mirroring
+       [Epochs.of_blocks]. *)
+    for l = 0 to num_l - 1 do
+      f
+        (Array.init threads (fun t ->
+             if l < blocks_t.(t) then next_block t else [||]))
+    done
+end

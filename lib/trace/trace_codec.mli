@@ -63,3 +63,47 @@ val read_instr : Binio.R.t -> Instr.t
 
 val put_event : Binio.W.t -> Event.t -> unit
 val read_event : Binio.R.t -> Event.t
+
+(** {1 Zero-copy cursor}
+
+    In-place walk over a binary trace buffer: the envelope is validated
+    without copying the payload ({!Binio.crc32_sub} over the original
+    string), thread event regions are located in one validating scan,
+    and instruction rows are then decoded epoch-by-epoch straight out of
+    the buffer — no [Program.t], no per-thread event lists, no second
+    copy of the trace.  This is the ingestion path behind
+    [--ingest cursor]: rows feed the lifeguards' [Resumable] engines
+    directly, so peak memory is one epoch row instead of the whole
+    decoded program.
+
+    The cursor accepts exactly the inputs {!decode_binary} accepts
+    (including legacy ["BFLY1"] traces) and rejects exactly the inputs
+    it rejects, with the same error messages — fuzz-tested in
+    [test/test_tracing.ml]. *)
+module Cursor : sig
+  type t
+
+  val of_string : string -> (t, string) result
+  (** Validate the envelope and scan the payload.  O(size) time, O(1)
+      extra space beyond the cursor record; the buffer is retained by
+      reference. *)
+
+  val threads : t -> int
+  val instr_count : t -> int
+
+  val num_rows : ?every:int -> t -> int
+  (** Number of epoch rows {!iter_rows} will yield (always ≥ 1). *)
+
+  val iter_rows : ?every:int -> t -> (Instr.t array array -> unit) -> unit
+  (** [iter_rows ?every c f] calls [f] once per epoch row (a per-tid
+      array of instruction arrays), in order.  Without [every], embedded
+      heartbeats delimit epochs exactly like [Trace.blocks] (k
+      separators yield k+1 blocks); with [~every:h], embedded heartbeats
+      are discarded and the instruction stream re-chunked every [h]
+      instructions exactly like [Trace.with_heartbeats] (floor(n/h)+1
+      blocks, the last one empty when [h] divides [n]).  Shorter threads
+      are padded with empty blocks like [Epochs.of_blocks].  The rows
+      are therefore identical to
+      [Epochs.of_program (decode_binary ...)] under the same chunking —
+      property-tested in [test/test_tracing.ml]. *)
+end

@@ -1,0 +1,273 @@
+(* The flat fact-table backend proven against the functional reference.
+
+   Three layers, coarsest to finest:
+
+   1. Differential battery: 500 seeded ragged grids, each run through
+      all three lifeguards — which between them exercise both dataflow
+      flavours and all three fact representations (Interval_set,
+      Def_set-style initialization facts, Set.Make(Int) taint facts) —
+      under the sequential, pooled-2, pooled-8 and wavefront drivers on
+      the flat backend.  Every fingerprint must equal the functional
+      sequential baseline byte for byte.
+
+   2. QCheck properties pinning Bitset (and the FACTS wrappers) to the
+      Set.Make(Int) / Interval_set reference semantics: every operation
+      the lifeguard bodies perform, plus the flat-only bulk constructors
+      (of_list, union_all) against their fold-of-unions definitions, and
+      canonicity (structural equality is semantic equality, whatever the
+      construction order).
+
+   3. Arena edge cases the grid generator cannot reliably hit:
+      zero-length ranges, far-apart and maximal addresses (geometric
+      growth), Dense reuse-after-clear, and the in-place set algebra. *)
+
+module B = Butterfly.Fact_arena.Bitset
+module Dense = Butterfly.Fact_arena.Dense
+module IS = Butterfly.Interval_set
+module S = Set.Make (Int)
+module Grid = Qa.Grid
+module Gen = Qa.Grid_gen
+module Diff = Qa.Differential
+module AC = Lifeguards.Addrcheck
+module IC = Lifeguards.Initcheck
+module TC = Lifeguards.Taintcheck
+
+(* ------------------------------------------------------------------ *)
+(* 1. The differential battery. *)
+
+let fp lg ?pool ?wavefront ~state epochs =
+  match lg with
+  | Diff.Addrcheck -> AC.fingerprint (AC.run ~state ?wavefront ?pool epochs)
+  | Diff.Initcheck -> IC.fingerprint (IC.run ~state ?wavefront ?pool epochs)
+  | Diff.Taintcheck -> TC.fingerprint (TC.run ~state ?wavefront ?pool epochs)
+
+(* Slightly wider than Grid_gen.default_shape: the battery has no
+   valid-ordering oracle to keep feasible, so it can afford denser
+   grids — more epochs and a bigger address universe mean wider, more
+   fragmented fact sets, which is what the arena paths have to get
+   right. *)
+let battery_shape =
+  { Gen.default_shape with max_epochs = 4; max_block = 4; n_addrs = 8 }
+
+let battery_grids = 500
+
+let battery () =
+  let pool2 = Butterfly.Domain_pool.create ~name:"fa-pool2" ~domains:2 () in
+  let pool8 = Butterfly.Domain_pool.create ~name:"fa-pool8" ~domains:8 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Butterfly.Domain_pool.shutdown pool2;
+      Butterfly.Domain_pool.shutdown pool8)
+  @@ fun () ->
+  for seed = 0 to battery_grids - 1 do
+    List.iter
+      (fun lg ->
+        let rs = Random.State.make [| 0xFAC7; seed |] in
+        let g = Gen.grid ~shape:battery_shape (Diff.profile_of lg) rs in
+        let epochs = Grid.epochs g in
+        let baseline = fp lg ~state:`Functional epochs in
+        List.iter
+          (fun (driver, flat) ->
+            if not (String.equal baseline flat) then
+              Alcotest.failf
+                "flat %s diverges from functional sequential on grid \
+                 seed=%d lifeguard=%s:\n\
+                 functional: %s\n\
+                 flat:       %s"
+                driver seed
+                (Diff.lifeguard_to_string lg)
+                baseline flat)
+          [
+            ("sequential", fp lg ~state:`Flat epochs);
+            ("pooled-2", fp lg ~state:`Flat ~pool:pool2 epochs);
+            ("pooled-8", fp lg ~state:`Flat ~pool:pool8 epochs);
+            ( "wavefront",
+              fp lg ~state:`Flat ~pool:pool2 ~wavefront:true epochs );
+          ])
+      Diff.all_lifeguards
+  done
+
+(* ------------------------------------------------------------------ *)
+(* 2. Bitset vs Set.Make(Int): every operation, via [elements]. *)
+
+let addr = QCheck.Gen.int_bound 300
+let addrs = QCheck.Gen.(list_size (int_bound 40) addr)
+
+let arb_addrs = QCheck.make ~print:QCheck.Print.(list int) addrs
+
+let arb_addrs2 =
+  QCheck.make
+    ~print:QCheck.Print.(pair (list int) (list int))
+    QCheck.Gen.(pair addrs addrs)
+
+let sets_of l = (B.of_list l, S.of_list l)
+let agree b s = B.elements b = S.elements s
+
+let qtest ?count name arb prop = Testutil.qtest ?count name arb prop
+
+let bitset_props =
+  [
+    qtest "of_list agrees with Set.of_list" arb_addrs (fun l ->
+        let b, s = sets_of l in
+        agree b s && B.cardinal b = S.cardinal s);
+    qtest "of_list = fold singleton union" arb_addrs (fun l ->
+        B.equal (B.of_list l)
+          (List.fold_left (fun acc x -> B.union acc (B.singleton x)) B.empty l));
+    qtest "construction order is invisible (canonicity)" arb_addrs (fun l ->
+        B.equal (B.of_list l) (B.of_list (List.rev l)));
+    qtest "mem agrees on the whole universe" arb_addrs (fun l ->
+        let b, s = sets_of l in
+        List.for_all (fun x -> B.mem x b = S.mem x s) (List.init 310 Fun.id));
+    qtest "add agrees" arb_addrs (fun l ->
+        match l with
+        | [] -> true
+        | x :: rest ->
+          let b, s = sets_of rest in
+          agree (B.add x b) (S.add x s));
+    qtest "union agrees" arb_addrs2 (fun (l1, l2) ->
+        let b1, s1 = sets_of l1 and b2, s2 = sets_of l2 in
+        agree (B.union b1 b2) (S.union s1 s2));
+    qtest "inter agrees" arb_addrs2 (fun (l1, l2) ->
+        let b1, s1 = sets_of l1 and b2, s2 = sets_of l2 in
+        agree (B.inter b1 b2) (S.inter s1 s2));
+    qtest "diff agrees" arb_addrs2 (fun (l1, l2) ->
+        let b1, s1 = sets_of l1 and b2, s2 = sets_of l2 in
+        agree (B.diff b1 b2) (S.diff s1 s2));
+    qtest "subset and disjoint agree" arb_addrs2 (fun (l1, l2) ->
+        let b1, s1 = sets_of l1 and b2, s2 = sets_of l2 in
+        B.subset b1 b2 = S.subset s1 s2
+        && B.disjoint b1 b2 = S.disjoint s1 s2);
+    qtest "equal is semantic equality" arb_addrs2 (fun (l1, l2) ->
+        let b1, s1 = sets_of l1 and b2, s2 = sets_of l2 in
+        B.equal b1 b2 = S.equal s1 s2);
+    qtest "union_all = fold union"
+      (QCheck.make
+         ~print:QCheck.Print.(list (list int))
+         QCheck.Gen.(list_size (int_bound 6) addrs))
+      (fun ls ->
+        let bs = List.map B.of_list ls in
+        B.equal (B.union_all bs) (List.fold_left B.union B.empty bs));
+    qtest "range agrees with an explicit enumeration"
+      (QCheck.make
+         ~print:QCheck.Print.(pair int int)
+         QCheck.Gen.(pair (int_bound 300) (int_bound 80)))
+      (fun (lo, len) ->
+        let b = B.range lo (lo + len) in
+        B.elements b = List.init len (fun i -> lo + i));
+    qtest "intervals round-trip" arb_addrs (fun l ->
+        let b = B.of_list l in
+        B.equal (B.of_intervals (B.to_intervals b)) b
+        && IS.elements (B.to_intervals b) = B.elements b);
+    qtest "choose / fold / iter agree" arb_addrs (fun l ->
+        let b, s = sets_of l in
+        B.choose b = S.min_elt_opt s
+        && B.fold (fun x acc -> x :: acc) b [] = List.rev (S.elements s)
+        &&
+        let seen = ref [] in
+        B.iter (fun x -> seen := x :: !seen) b;
+        List.rev !seen = S.elements s);
+    (* The two FACTS implementations agree through the representation-
+       independent interval view — the conversion the lifeguard reports
+       go through. *)
+    qtest "Interval_facts and Bitset_facts agree" arb_addrs2 (fun (l1, l2) ->
+        let module IF = Butterfly.Fact_arena.Interval_facts in
+        let module BF = Butterfly.Fact_arena.Bitset_facts in
+        let i1 = IF.of_list l1 and i2 = IF.of_list l2 in
+        let b1 = BF.of_list l1 and b2 = BF.of_list l2 in
+        IS.equal (BF.to_intervals (BF.union b1 b2)) (IF.union i1 i2)
+        && IS.equal (BF.to_intervals (BF.inter b1 b2)) (IF.inter i1 i2)
+        && IS.equal (BF.to_intervals (BF.diff b1 b2)) (IF.diff i1 i2)
+        && IS.equal
+             (BF.to_intervals (BF.union_all [ b1; b2; b1 ]))
+             (IF.union_all [ i1; i2; i1 ]));
+    (* A random op-script against the same script on Set.Make(Int):
+       Dense is the mutable construction path every flat transfer
+       function goes through. *)
+    qtest "Dense op-script agrees with Set.Make(Int)"
+      (QCheck.make
+         ~print:QCheck.Print.(list (pair bool int))
+         QCheck.Gen.(list_size (int_bound 60) (pair bool addr)))
+      (fun script ->
+        let d = Dense.create ~capacity_bits:64 () in
+        let s =
+          List.fold_left
+            (fun s (set, x) ->
+              if set then (Dense.set d x; S.add x s)
+              else (Dense.unset d x; S.remove x s))
+            S.empty script
+        in
+        B.elements (Dense.freeze d) = S.elements s);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* 3. Arena edge cases. *)
+
+let zero_length_blocks () =
+  Alcotest.(check bool) "range x x empty" true (B.is_empty (B.range 7 7));
+  Alcotest.(check bool) "range hi<lo empty" true (B.is_empty (B.range 9 3));
+  Alcotest.(check bool) "range 0 0 empty" true (B.is_empty (B.range 0 0));
+  Alcotest.(check bool)
+    "empty union empty" true
+    (B.is_empty (B.union B.empty B.empty));
+  Alcotest.(check bool)
+    "union_all [] empty" true
+    (B.is_empty (B.union_all []));
+  Alcotest.(check bool) "of_list [] empty" true (B.is_empty (B.of_list []))
+
+let max_address_touch () =
+  let far = 1_000_003 in
+  let b = B.union (B.singleton 0) (B.singleton far) in
+  Alcotest.(check int) "cardinal" 2 (B.cardinal b);
+  Alcotest.(check bool) "mem far" true (B.mem far b);
+  Alcotest.(check bool) "mem mid" false (B.mem (far / 2) b);
+  Alcotest.(check (list int)) "elements" [ 0; far ] (B.elements b);
+  (* The arena grows geometrically to reach it and the frozen set still
+     trims back to canonical form. *)
+  let d = Dense.create ~capacity_bits:64 () in
+  Dense.set d far;
+  Alcotest.(check bool) "dense get far" true (Dense.get d far);
+  Alcotest.(check bool) "dense capacity grew" true (Dense.capacity_bits d > far);
+  Alcotest.(check bool)
+    "dense freeze = singleton" true
+    (B.equal (Dense.freeze d) (B.singleton far));
+  (match B.singleton (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative address accepted");
+  match Dense.set (Dense.create ()) (-1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative Dense.set accepted"
+
+let reuse_after_clear () =
+  let d = Dense.create ~capacity_bits:64 () in
+  List.iter (Dense.set d) [ 1; 64; 700 ];
+  let cap = Dense.capacity_bits d in
+  Dense.clear d;
+  Alcotest.(check int) "clear keeps capacity" cap (Dense.capacity_bits d);
+  Alcotest.(check bool) "clear empties" true (B.is_empty (Dense.freeze d));
+  (* Reused arena must not leak bits from the previous generation. *)
+  Dense.set d 3;
+  Dense.union_into d (B.range 100 110);
+  Dense.inter_into d (B.of_list [ 3; 101; 105; 700 ]);
+  Dense.diff_into d (B.singleton 105);
+  Alcotest.(check (list int))
+    "reused arena contents" [ 3; 101 ]
+    (B.elements (Dense.freeze d))
+
+let () =
+  Alcotest.run "fact_arena"
+    [
+      ( "differential-battery",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "%d ragged grids x 4 drivers x 3 lifeguards"
+               battery_grids)
+            `Slow battery;
+        ] );
+      ("bitset-vs-reference", bitset_props);
+      ( "arena-edges",
+        [
+          Alcotest.test_case "zero-length blocks" `Quick zero_length_blocks;
+          Alcotest.test_case "max-address touch" `Quick max_address_touch;
+          Alcotest.test_case "reuse after clear" `Quick reuse_after_clear;
+        ] );
+    ]

@@ -238,6 +238,114 @@ let taint_codec_tests =
         | Ok _ -> false);
   ]
 
+(* The zero-copy cursor against the materializing decoder: same rows,
+   same accept/reject verdict, on well-formed traces, every strict
+   prefix, every single-bit corruption, and the legacy BFLY1 framing.
+   The cursor feeds the streaming lifeguard engines directly (`--ingest
+   cursor`), so "identical to decode_binary + Epochs.of_program" is the
+   contract that keeps that path honest. *)
+module Cursor = Tracing.Trace_codec.Cursor
+
+let rows_of_cursor ?every c =
+  let acc = ref [] in
+  Cursor.iter_rows ?every c (fun row -> acc := Array.map Array.copy row :: !acc);
+  List.rev !acc
+
+let rows_match_epochs rows e =
+  let threads = Butterfly.Epochs.threads e in
+  List.length rows = Butterfly.Epochs.num_epochs e
+  && List.for_all2
+       (fun row l ->
+         Array.length row = threads
+         && List.for_all
+              (fun t ->
+                row.(t)
+                = (Butterfly.Epochs.block e ~epoch:l ~tid:t)
+                    .Butterfly.Block.instrs)
+              (List.init threads Fun.id))
+       rows
+       (List.init (List.length rows) Fun.id)
+
+let cursor_of_program p =
+  match Cursor.of_string (Tracing.Trace_codec.encode_binary p) with
+  | Ok c -> c
+  | Error m -> failwith ("cursor: " ^ m)
+
+let accepts = function Ok _ -> true | Error _ -> false
+
+let cursor_tests =
+  [
+    Testutil.qtest ~count:200 "rows = Epochs.of_program (embedded heartbeats)"
+      arb_program (fun p ->
+        let c = cursor_of_program p in
+        let rows = rows_of_cursor c in
+        Cursor.num_rows c = List.length rows
+        && Cursor.threads c = Tracing.Program.threads p
+        && rows_match_epochs rows (Butterfly.Epochs.of_program p));
+    Testutil.qtest ~count:200 "rows = Epochs.of_program (re-chunked)"
+      (QCheck.make
+         ~print:(fun (p, h) ->
+           Printf.sprintf "every=%d\n%s" h (Tracing.Trace_codec.encode p))
+         QCheck.Gen.(pair gen_program (int_range 1 5)))
+      (fun (p, h) ->
+        let c = cursor_of_program p in
+        let rows = rows_of_cursor ~every:h c in
+        Cursor.num_rows ~every:h c = List.length rows
+        && rows_match_epochs rows
+             (Butterfly.Epochs.of_program
+                (Tracing.Program.with_heartbeats ~every:h p)));
+    Testutil.qtest ~count:300 "cursor and decoder agree on garbage"
+      QCheck.(string_gen_of_size Gen.(int_bound 200) Gen.char)
+      (fun s ->
+        accepts (Cursor.of_string s)
+        = accepts (Tracing.Trace_codec.decode_binary s));
+    Alcotest.test_case "every strict prefix rejected, like the decoder"
+      `Quick (fun () ->
+        let b = Tracing.Trace_codec.encode_binary taint_exemplar in
+        for cut = 0 to String.length b - 1 do
+          let prefix = String.sub b 0 cut in
+          (match Cursor.of_string prefix with
+          | Error m -> Testutil.checkb "non-empty message" true (m <> "")
+          | Ok _ -> Alcotest.failf "cursor accepted a %d-byte prefix" cut);
+          Testutil.checkb "decoder agrees" false
+            (accepts (Tracing.Trace_codec.decode_binary prefix))
+        done);
+    Alcotest.test_case "every single-bit flip rejected, like the decoder"
+      `Quick (fun () ->
+        (* The envelope CRC covers every byte, so any one-bit corruption
+           must be a clean rejection from both decoders. *)
+        let b = Tracing.Trace_codec.encode_binary taint_exemplar in
+        let flipped = Bytes.of_string b in
+        for pos = 0 to String.length b - 1 do
+          for bit = 0 to 7 do
+            Bytes.set flipped pos
+              (Char.chr (Char.code b.[pos] lxor (1 lsl bit)));
+            let s = Bytes.to_string flipped in
+            Testutil.checkb "cursor rejects" false (accepts (Cursor.of_string s));
+            Testutil.checkb "decoder rejects" false
+              (accepts (Tracing.Trace_codec.decode_binary s));
+            Bytes.set flipped pos b.[pos]
+          done
+        done);
+    Alcotest.test_case "legacy BFLY1 traces walk identically" `Quick
+      (fun () ->
+        (* Same payload behind the unchecksummed legacy magic: the cursor
+           must accept it and yield the same rows as the v2 framing. *)
+        let b = Tracing.Trace_codec.encode_binary taint_exemplar in
+        let legacy = "BFLY1" ^ String.sub b 5 (String.length b - 9) in
+        match Cursor.of_string legacy with
+        | Error m -> Alcotest.failf "legacy cursor: %s" m
+        | Ok c ->
+          Testutil.checkb "rows match" true
+            (rows_match_epochs (rows_of_cursor c)
+               (Butterfly.Epochs.of_program taint_exemplar));
+          Testutil.checkb "re-chunked rows match" true
+            (rows_match_epochs
+               (rows_of_cursor ~every:3 c)
+               (Butterfly.Epochs.of_program
+                  (Tracing.Program.with_heartbeats ~every:3 taint_exemplar))));
+  ]
+
 let () =
   Alcotest.run "tracing"
     [
@@ -246,4 +354,5 @@ let () =
       ("codec", codec_tests);
       ("codec_binary", fuzz_tests);
       ("codec_taint", taint_codec_tests);
+      ("cursor", cursor_tests);
     ]
