@@ -222,6 +222,37 @@ let taint_tests pools =
              (Staged.stage (fun () -> taint_run ~pool ())))
          pools)
 
+(* RaceCheck drivers: happens-before/lockset pairing over the
+   lock-discipline workload.  Discipline 0.7 leaves most accesses
+   guarded and seeds genuine races, so both suppression paths (vector
+   clock and lockset) and the cross-thread pairing loop all do real
+   work; the wavefront entries ride the same pools as the other
+   driver-comparison groups. *)
+let race_epochs =
+  Workloads.Synthetic.generate_racy ~counters:8 ~discipline:0.7 ~threads:4
+    ~scale:1000 ~seed:7 ()
+  |> Workloads.Workload.Bundle.program
+  |> Tracing.Program.with_heartbeats ~every:64
+  |> Butterfly.Epochs.of_program
+
+let race_run ?pool ?wavefront () =
+  ignore (Lifeguards.Racecheck.run ?pool ?wavefront race_epochs)
+
+let race_tests pools =
+  Test.make_grouped ~name:"race"
+    (Test.make ~name:"sequential" (Staged.stage (fun () -> race_run ()))
+    :: List.concat_map
+         (fun (d, pool) ->
+           [
+             Test.make
+               ~name:(Printf.sprintf "pooled-%d" d)
+               (Staged.stage (fun () -> race_run ~pool ()));
+             Test.make
+               ~name:(Printf.sprintf "wavefront-%d" d)
+               (Staged.stage (fun () -> race_run ~pool ~wavefront:true ()));
+           ])
+         pools)
+
 (* Epochwise vs wavefront: the same pool, the same trace, barrier vs
    pipelined dispatch — the pairing BENCH_*.json's regression gate holds
    to "wavefront no slower than epochwise".  Two workload shapes: the
@@ -483,6 +514,7 @@ let () =
   let streaming_only = Array.exists (( = ) "--streaming-only") Sys.argv in
   let taint_only = Array.exists (( = ) "--taint-only") Sys.argv in
   let wavefront_only = Array.exists (( = ) "--wavefront-only") Sys.argv in
+  let race_only = Array.exists (( = ) "--race-only") Sys.argv in
   let flat_only = Array.exists (( = ) "--flat-only") Sys.argv in
   let pools =
     List.map
@@ -508,6 +540,7 @@ let () =
         if streaming_only then [ (0.2, streaming_tests pools) ]
         else if taint_only then [ (0.2, taint_tests pools) ]
         else if wavefront_only then [ (0.2, wavefront_tests pools) ]
+        else if race_only then [ (0.2, race_tests pools) ]
         else if flat_only then [ (2.0, flat_tests) ]
         else
           [
@@ -515,7 +548,7 @@ let () =
             (0.2, figure11_tests); (0.2, figure12_tests);
             (0.2, figure13_tests); (0.2, streaming_tests pools);
             (0.2, taint_tests pools); (0.2, wavefront_tests pools);
-            (2.0, flat_tests);
+            (0.2, race_tests pools); (2.0, flat_tests);
           ]
       in
       if json then print_json (measure_benchmarks groups)
@@ -523,7 +556,9 @@ let () =
         print_endline
           "=== Bechamel micro-benchmarks (one group per artifact) ===";
         print_text (measure_benchmarks groups);
-        if not (streaming_only || taint_only || wavefront_only || flat_only)
+        if not
+             (streaming_only || taint_only || wavefront_only || race_only
+            || flat_only)
         then begin
           print_endline "";
           print_endline "=== Regenerated paper artifacts ===";

@@ -164,6 +164,14 @@ let json_of_taintcheck_error (e : Lifeguards.Taintcheck.error) =
     [ ("kind", J.String "tainted_sink"); ("sink", J.Int e.sink);
       ("at", json_of_instr_id e.id) ]
 
+let json_of_race (r : Lifeguards.Racecheck.race) =
+  let kind = function Lifeguards.Racecheck.R -> "read" | W -> "write" in
+  J.Obj
+    [ ("kind", J.String "may_race");
+      ("addr", J.Int r.addr);
+      ("a", json_of_instr_id r.a); ("a_kind", J.String (kind r.a_kind));
+      ("b", json_of_instr_id r.b); ("b_kind", J.String (kind r.b_kind)) ]
+
 let json_arg =
   Arg.(value & flag
        & info [ "json" ]
@@ -585,6 +593,72 @@ let taintcheck_cmd =
           $ domains_arg $ driver_arg $ ckpt_every_arg $ ckpt_out_arg
           $ resume_arg $ json_arg $ stats_arg $ obs_jsonl_arg)
 
+let racecheck_cmd =
+  let run path h state ingest domains driver every out resume json stats
+      obs_jsonl =
+    with_stats ?obs_jsonl stats (fun () ->
+        let wavefront = wavefront_of_driver driver domains in
+        let r =
+          match ingest with
+          | `Cursor ->
+            cursor_incompat ~every ~out ~resume;
+            run_cursor
+              ~create:(fun pool ~threads ->
+                Lifeguards.Racecheck.Resumable.create ?pool ~wavefront ~state
+                  ~threads ())
+              ~feed:Lifeguards.Racecheck.Resumable.feed_epoch
+              ~finish:Lifeguards.Racecheck.Resumable.finish ~h ~domains
+              (load_cursor path)
+          | `List ->
+            let p = load_program path h in
+            let r =
+              run_with_recovery
+                ~batch:(fun ~domains epochs ->
+                  Lifeguards.Racecheck.run ~state ~wavefront ?domains epochs)
+                ~fresh:(fun ?pool ?checkpoint epochs ->
+                  Recovery.Runner.run_racecheck ?pool ~wavefront ~state
+                    ?checkpoint epochs)
+                ~resumed:(fun ?pool ?checkpoint ~path epochs ->
+                  Recovery.Runner.resume_racecheck ?pool ~wavefront ~state
+                    ?checkpoint ~path epochs)
+                ~domains ~checkpoint:(checkpointing_of every out) ~resume
+                (Butterfly.Epochs.of_program p)
+            in
+            if stats <> None then replay_window_metrics p;
+            r
+        in
+        let checked =
+          Array.fold_left
+            (fun acc row ->
+              Array.fold_left
+                (fun acc (s : Lifeguards.Racecheck.block_stats) ->
+                  acc + s.pairs_checked)
+                acc row)
+            0 r.block_stats
+        in
+        if json then
+          print_endline
+            (J.to_string
+               (lifeguard_json ~lifeguard:"racecheck" ~checked
+                  ~flagged:(List.length r.races)
+                  ~errors:(List.map json_of_race r.races)))
+        else begin
+          Format.printf "checked %d conflicting pairs; flagged %d may-races@."
+            checked (List.length r.races);
+          List.iter
+            (fun e -> Format.printf "  %a@." Lifeguards.Racecheck.pp_race e)
+            r.races;
+          if r.races = [] then Format.printf "  no races@."
+        end)
+  in
+  Cmd.v
+    (Cmd.info "racecheck"
+       ~doc:"Run butterfly RaceCheck (happens-before/lockset may-races) on \
+             a trace file")
+    Term.(const run $ trace_arg $ h_arg $ state_arg $ ingest_arg $ domains_arg
+          $ driver_arg $ ckpt_every_arg $ ckpt_out_arg $ resume_arg $ json_arg
+          $ stats_arg $ obs_jsonl_arg)
+
 let stats_cmd =
   let run path h domains lifeguard json prometheus obs_jsonl =
     let sink = Obs.Sink.memory () in
@@ -605,7 +679,8 @@ let stats_cmd =
             (match lifeguard with
             | `Addrcheck -> ignore (Lifeguards.Addrcheck.run ?domains epochs)
             | `Initcheck -> ignore (Lifeguards.Initcheck.run ?domains epochs)
-            | `Taintcheck -> ignore (Lifeguards.Taintcheck.run ?domains epochs));
+            | `Taintcheck -> ignore (Lifeguards.Taintcheck.run ?domains epochs)
+            | `Racecheck -> ignore (Lifeguards.Racecheck.run ?domains epochs));
             replay_window_metrics p));
     print_snapshot
       (if prometheus then `Prometheus else if json then `Json else `Text)
@@ -622,11 +697,11 @@ let stats_cmd =
     let lg =
       Arg.enum
         [ ("addrcheck", `Addrcheck); ("initcheck", `Initcheck);
-          ("taintcheck", `Taintcheck) ]
+          ("taintcheck", `Taintcheck); ("racecheck", `Racecheck) ]
     in
     Arg.(value & opt lg `Addrcheck & info [ "lifeguard" ] ~docv:"LIFEGUARD"
          ~doc:"Which lifeguard to run: $(b,addrcheck) (default), \
-               $(b,initcheck) or $(b,taintcheck).")
+               $(b,initcheck), $(b,taintcheck) or $(b,racecheck).")
   in
   Cmd.v
     (Cmd.info "stats"
@@ -738,12 +813,13 @@ let fuzz_cmd =
           ("addrcheck", `One Qa.Differential.Addrcheck);
           ("initcheck", `One Qa.Differential.Initcheck);
           ("taintcheck", `One Qa.Differential.Taintcheck);
+          ("racecheck", `One Qa.Differential.Racecheck);
           ("all", `All);
         ]
     in
     Arg.(value & opt lg `All & info [ "lifeguard" ] ~docv:"LIFEGUARD"
          ~doc:"Which lifeguard to fuzz: $(b,addrcheck), $(b,initcheck), \
-               $(b,taintcheck) or $(b,all) (default).")
+               $(b,taintcheck), $(b,racecheck) or $(b,all) (default).")
   in
   let fuzz_driver_arg =
     let d =
@@ -985,5 +1061,5 @@ let () =
           [
             table1_cmd; figure11_cmd; figure12_cmd; figure13_cmd;
             sensitivity_cmd; addrcheck_cmd; taintcheck_cmd; initcheck_cmd;
-            stats_cmd; viz_cmd; generate_cmd; fuzz_cmd;
+            racecheck_cmd; stats_cmd; viz_cmd; generate_cmd; fuzz_cmd;
           ]))

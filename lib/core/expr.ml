@@ -8,7 +8,8 @@ let of_instr = function
   | Tracing.Instr.Assign_binop (x, a, b) ->
     if x = a || x = b then None else Some (binop a b)
   | Tracing.Instr.Assign_const _ | Read _ | Malloc _ | Free _ | Taint_source _
-  | Untaint _ | Jump_via _ | Syscall_arg _ | Nop ->
+  | Untaint _ | Jump_via _ | Syscall_arg _ | Nop | Lock _ | Unlock _ | Fork _
+  | Join _ ->
     None
 
 let operands = function Unop a -> [ a ] | Binop (a, b) -> [ a; b ]

@@ -42,6 +42,23 @@ val initcheck_zero_false_negatives :
 (** Same for InitCheck: every byte sequential InitCheck flags as read
     uninitialized under any valid ordering must be flagged. *)
 
+val racecheck_zero_false_negatives :
+  ?model:Memmodel.Consistency.t ->
+  ?cap:int ->
+  ?samples:int ->
+  ?seed:int ->
+  ?wavefront:bool ->
+  ?domains:int ->
+  Tracing.Program.t ->
+  verdict
+(** Same for RaceCheck.  Per valid ordering, ground-truth races are the
+    conflicting cross-thread pairs left unordered by the explicit
+    happens-before graph (program order, the epoch assumption, fork/join
+    edges, and that ordering's observed unlock-to-lock edges) whose
+    locksets are disjoint; each must appear in butterfly RaceCheck's
+    {!Racecheck.flagged_pairs}.  Only meaningful under the default
+    [Sequential] model: the graph assumes program order is respected. *)
+
 val taintcheck_zero_false_negatives :
   ?model:Memmodel.Consistency.t ->
   ?cap:int ->

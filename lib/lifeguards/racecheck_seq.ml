@@ -1,0 +1,143 @@
+(* Sequential reference for RaceCheck: a direct brute force over the
+   grid that shares no machinery with the parallel lifeguard — no pass-1
+   summaries, no vector clocks, no SOS lock rows.  Locksets are obtained
+   by replaying each thread's whole trace prefix; happens-before is
+   decided by literally scanning the wing for a [Fork] and the body for
+   a [Join].  The differential battery pins [check]'s report
+   byte-identical to every parallel driver's. *)
+
+module LS = Racecheck.Lockset
+
+let valid_target ~threads ~tid u = u >= 0 && u < threads && u <> tid
+
+(* Locks thread [tid] holds just before instruction [index] of its
+   epoch-[epoch] block, by replaying the thread from the beginning. *)
+let locks_before epochs ~tid ~epoch ~index =
+  let held = ref LS.empty in
+  for l = 0 to epoch do
+    let b = Butterfly.Epochs.block epochs ~epoch:l ~tid in
+    let stop = if l = epoch then index else Array.length b.instrs in
+    for i = 0 to stop - 1 do
+      match Tracing.Instr.sync_effect b.instrs.(i) with
+      | `Lock m -> held := LS.add m !held
+      | `Unlock m -> held := LS.remove m !held
+      | `Fork _ | `Join _ | `None -> ()
+    done
+  done;
+  !held
+
+(* The accesses of a block, in the order the lifeguard pairs them:
+   instruction order, the write before the reads of one instruction. *)
+let accesses_of (b : Butterfly.Block.t) =
+  let acc = ref [] in
+  Array.iteri
+    (fun i instr ->
+      (match Tracing.Instr.writes instr with
+      | Some x -> acc := (i, x, Racecheck.W) :: !acc
+      | None -> ());
+      List.iter
+        (fun x -> acc := (i, x, Racecheck.R) :: !acc)
+        (Tracing.Instr.reads instr))
+    b.instrs;
+  List.rev !acc
+
+(* Is the wing access (wl, wu, wi) ordered before the body access
+   (l, t, i) by a happens-before path?  Inside the window (wl = l-1 or
+   wl = l, wu <> t) the only paths are a fork of [t] in the wing block at
+   index >= wi, or a join of [wu] in the body block at index < i. *)
+let hb_before epochs ~threads ~wl ~wu ~wi ~l ~t ~i =
+  if wl > l - 1 then false
+  else if wl < l - 1 then true (* strongly ordered: the epoch assumption *)
+  else
+    let wing = Butterfly.Epochs.block epochs ~epoch:wl ~tid:wu in
+    let forked = ref false in
+    Array.iteri
+      (fun k instr ->
+        if k >= wi then
+          match Tracing.Instr.sync_effect instr with
+          | `Fork u when u = t && valid_target ~threads ~tid:wu u ->
+            forked := true
+          | _ -> ())
+      wing.instrs;
+    !forked
+    ||
+    let body = Butterfly.Epochs.block epochs ~epoch:l ~tid:t in
+    let joined = ref false in
+    Array.iteri
+      (fun k instr ->
+        if k < i then
+          match Tracing.Instr.sync_effect instr with
+          | `Join u when u = wu && valid_target ~threads ~tid:t u ->
+            joined := true
+          | _ -> ())
+      body.instrs;
+    !joined
+
+let check epochs : Racecheck.report =
+  let num_l = Butterfly.Epochs.num_epochs epochs in
+  let threads = Butterfly.Epochs.threads epochs in
+  let races = ref [] in
+  let stats =
+    Array.init threads (fun _ ->
+        Array.make num_l
+          ({ instrs = 0; accesses = 0; pairs_checked = 0; races = 0 }
+            : Racecheck.block_stats))
+  in
+  for l = 0 to num_l - 1 do
+    for t = 0 to threads - 1 do
+      let body = Butterfly.Epochs.block epochs ~epoch:l ~tid:t in
+      let body_accs = accesses_of body in
+      let n_pairs = ref 0 and n_races = ref 0 in
+      let check_wing (i, x, k) ~wl ~wu =
+        if wl >= 0 && wl < num_l then
+          List.iter
+            (fun (wi, wx, wk) ->
+              if wx = x && (k = Racecheck.W || wk = Racecheck.W) then begin
+                incr n_pairs;
+                if not (hb_before epochs ~threads ~wl ~wu ~wi ~l ~t ~i) then begin
+                  let ls_a = locks_before epochs ~tid:t ~epoch:l ~index:i in
+                  let ls_b =
+                    locks_before epochs ~tid:wu ~epoch:wl ~index:wi
+                  in
+                  if LS.is_empty (LS.inter ls_a ls_b) then begin
+                    incr n_races;
+                    races :=
+                      {
+                        Racecheck.a = Racecheck.Id.make ~epoch:l ~tid:t ~index:i;
+                        a_kind = k;
+                        b = Racecheck.Id.make ~epoch:wl ~tid:wu ~index:wi;
+                        b_kind = wk;
+                        addr = x;
+                      }
+                      :: !races
+                  end
+                end
+              end)
+            (accesses_of (Butterfly.Epochs.block epochs ~epoch:wl ~tid:wu))
+      in
+      List.iter
+        (fun a ->
+          for u = 0 to threads - 1 do
+            if u <> t then check_wing a ~wl:(l - 1) ~wu:u
+          done;
+          for u = 0 to t - 1 do
+            check_wing a ~wl:l ~wu:u
+          done)
+        body_accs;
+      stats.(t).(l) <-
+        {
+          instrs = Array.length body.instrs;
+          accesses = List.length body_accs;
+          pairs_checked = !n_pairs;
+          races = !n_races;
+        }
+    done
+  done;
+  {
+    races = List.rev !races;
+    entry_locks =
+      Array.init (num_l + 1) (fun l ->
+          Array.init threads (fun t ->
+              LS.elements (locks_before epochs ~tid:t ~epoch:l ~index:0)));
+    block_stats = stats;
+  }

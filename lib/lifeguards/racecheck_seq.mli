@@ -1,0 +1,21 @@
+(** Sequential reference implementation of RaceCheck.
+
+    A deliberately naive brute force over the grid — locksets by full
+    trace replay, happens-before by scanning for the fork/join
+    instructions directly — sharing no code with the windowed parallel
+    lifeguard.  Every parallel driver must reproduce its report byte for
+    byte ({!Racecheck.fingerprint}); the battery in
+    [test/test_racecheck.ml] pins this on hundreds of generated grids. *)
+
+val check : Butterfly.Epochs.t -> Racecheck.report
+
+val locks_before :
+  Butterfly.Epochs.t -> tid:int -> epoch:int -> index:int -> Racecheck.Lockset.t
+(** Locks [tid] holds just before instruction [index] of its
+    epoch-[epoch] block, by replay from the start of the trace.  Also
+    used by the interleaving oracle's lockset filter. *)
+
+val accesses_of :
+  Butterfly.Block.t -> (int * Tracing.Addr.t * Racecheck.kind) list
+(** [(index, addr, kind)] triples in pairing order: instruction order,
+    each instruction's write before its reads. *)

@@ -33,7 +33,9 @@ let tf_of_instr id (i : Tracing.Instr.t) =
       if !Testing.break_binop_meet || a = b then [ a ] else [ a; b ]
     in
     Some { tf_id = id; dst = x; rhs = Inherit srcs }
-  | Read _ | Malloc _ | Free _ | Jump_via _ | Syscall_arg _ | Nop -> None
+  | Read _ | Malloc _ | Free _ | Jump_via _ | Syscall_arg _ | Nop | Lock _
+  | Unlock _ | Fork _ | Join _ ->
+    None
 
 (* Per-block pass-1 summary: transfer functions indexed by destination. *)
 type block_tfs = { by_dst : (int, tf list) Hashtbl.t }

@@ -18,7 +18,9 @@ let check instrs =
         if AS.mem a !tainted || AS.mem b !tainted then taint x else untaint x
       | Jump_via x | Syscall_arg x ->
         if AS.mem x !tainted then errors := { index; sink = x } :: !errors
-      | Read _ | Malloc _ | Free _ | Nop -> ())
+      | Read _ | Malloc _ | Free _ | Nop | Lock _ | Unlock _ | Fork _ | Join _
+        ->
+        ())
     instrs;
   { errors = List.rev !errors; final_tainted = AS.elements !tainted }
 

@@ -1,0 +1,33 @@
+type pos = int * int
+
+let pos_leq (l, i) (l', i') = l < l' || (l = l' && i <= i')
+let pos_lt (l, i) (l', i') = l < l' || (l = l' && i < i')
+let pos_max a b = if pos_leq a b then b else a
+let pos_min a b = if pos_leq a b then a else b
+
+type t = pos array
+
+let make ~threads p = Array.make threads p
+let get (c : t) u = c.(u)
+
+let with_component (c : t) u p =
+  let c' = Array.copy c in
+  c'.(u) <- p;
+  c'
+
+let leq a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> pos_leq x y) a b
+
+let equal (a : t) b = a = b
+let join a b = Array.map2 pos_max a b
+let meet a b = Array.map2 pos_min a b
+
+let pp ppf c =
+  Format.fprintf ppf "[";
+  Array.iteri
+    (fun u (l, i) ->
+      if u > 0 then Format.fprintf ppf "; ";
+      Format.fprintf ppf "T%d:(%d,%d)" u l i)
+    c;
+  Format.fprintf ppf "]"

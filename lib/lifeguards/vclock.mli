@@ -1,0 +1,45 @@
+(** Window-local vector clocks for RaceCheck.
+
+    A clock component is a {e position} [(epoch, index)] in one thread's
+    trace, ordered lexicographically; a clock holds one position per
+    thread.  Component [u] of a clock owned by some program point means:
+    every event of thread [u] at a position strictly below the component
+    happens before that point.  Positions form a total order and clocks
+    the usual componentwise lattice — the qcheck battery in
+    [test/test_racecheck.ml] pins the lattice laws ([join] is an upper
+    bound and monotone, [meet] a lower bound, both commutative,
+    associative and absorbing). *)
+
+type pos = int * int
+(** [(epoch, index)], compared lexicographically. *)
+
+val pos_leq : pos -> pos -> bool
+val pos_lt : pos -> pos -> bool
+val pos_max : pos -> pos -> pos
+val pos_min : pos -> pos -> pos
+
+type t = pos array
+(** One component per thread, indexed by [Tracing.Tid.t]. *)
+
+val make : threads:int -> pos -> t
+(** Constant clock: every component at the given position. *)
+
+val get : t -> int -> pos
+
+val with_component : t -> int -> pos -> t
+(** Functional update; the argument clock is not mutated. *)
+
+val leq : t -> t -> bool
+(** Componentwise: [leq a b] iff every component of [a] is [pos_leq] the
+    corresponding component of [b].  A partial order (clocks of unequal
+    width are never related). *)
+
+val equal : t -> t -> bool
+
+val join : t -> t -> t
+(** Componentwise max: least upper bound. *)
+
+val meet : t -> t -> t
+(** Componentwise min: greatest lower bound. *)
+
+val pp : Format.formatter -> t -> unit

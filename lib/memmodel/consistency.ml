@@ -34,6 +34,12 @@ let footprint (i : Tracing.Instr.t) : footprint =
     { reads = []; writes = [ pt x ]; fence = true }
   | Jump_via x | Syscall_arg x ->
     { reads = [ pt x ]; writes = []; fence = true }
+  (* Synchronization operations order against everything in their own
+     thread under every model (acquire/release and fork/join barriers) —
+     without this, lock-based happens-before would be meaningless under
+     TSO/relaxed executions. *)
+  | Lock _ | Unlock _ | Fork _ | Join _ ->
+    { reads = []; writes = []; fence = true }
   | Nop -> { reads = []; writes = []; fence = false }
 
 let ranges_overlap (b1, l1) (b2, l2) =

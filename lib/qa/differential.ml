@@ -1,21 +1,24 @@
 module AC = Lifeguards.Addrcheck
 module IC = Lifeguards.Initcheck
 module TC = Lifeguards.Taintcheck
+module RC = Lifeguards.Racecheck
 module IS = Butterfly.Interval_set
 
-type lifeguard = Addrcheck | Initcheck | Taintcheck
+type lifeguard = Addrcheck | Initcheck | Taintcheck | Racecheck
 
 let lifeguard_to_string = function
   | Addrcheck -> "addrcheck"
   | Initcheck -> "initcheck"
   | Taintcheck -> "taintcheck"
+  | Racecheck -> "racecheck"
 
-let all_lifeguards = [ Addrcheck; Initcheck; Taintcheck ]
+let all_lifeguards = [ Addrcheck; Initcheck; Taintcheck; Racecheck ]
 
 let profile_of = function
   | Addrcheck -> Grid_gen.Alloc
   | Initcheck -> Grid_gen.Init
   | Taintcheck -> Grid_gen.Taint
+  | Racecheck -> Grid_gen.Racy
 
 type driver = Pooled | Wavefront
 
@@ -172,6 +175,18 @@ let check_drivers ?(drivers = all_drivers) ?(states = all_backends) lifeguard
     driver_divergences lifeguard ~baseline
       (runs (fun ~state ~wavefront pool ->
            fp_initcheck (IC.run ~state ~wavefront ?pool epochs)))
+  | Racecheck ->
+    (* The baseline here is the butterfly batch driver, and the
+       independent brute-force reference [Racecheck_seq.check] joins the
+       matrix as an extra entry — so a divergence between the windowed
+       analysis and the reference semantics is caught alongside driver
+       bugs. *)
+    let baseline = RC.fingerprint (RC.run epochs) in
+    driver_divergences lifeguard ~baseline
+      (( "reference",
+         RC.fingerprint (Lifeguards.Racecheck_seq.check epochs) )
+      :: runs (fun ~state ~wavefront pool ->
+             RC.fingerprint (RC.run ~state ~wavefront ?pool epochs)))
   | Taintcheck ->
     (* Per analysis variant: every parallel driver must agree with the
        sequential loop under every (chase, phase) setting. *)
@@ -225,6 +240,23 @@ let check_oracle config lifeguard g =
           Lifeguards.Oracle.taintcheck_zero_false_negatives ~model ~sequential
             ~cap:config.oracle_cap ~samples:config.oracle_samples
             ~seed:config.oracle_seed p
+        | Racecheck
+          when not
+                 (Memmodel.Consistency.equal model
+                    Memmodel.Consistency.Sequential) ->
+          (* The race oracle's happens-before graph assumes program order
+             is respected, so relaxed replays are not a sound ground
+             truth; skip them (see {!Oracle.racecheck_zero_false_negatives}). *)
+          {
+            Lifeguards.Oracle.sound = true;
+            orderings_checked = 0;
+            exhaustive = true;
+            missed = [];
+          }
+        | Racecheck ->
+          Lifeguards.Oracle.racecheck_zero_false_negatives ~model
+            ~cap:config.oracle_cap ~samples:config.oracle_samples
+            ~seed:config.oracle_seed p
       in
       if verdict.sound then None
       else
@@ -250,6 +282,7 @@ let snapshot_tag = function
   | Addrcheck -> Recovery.Snapshot.Addrcheck
   | Initcheck -> Recovery.Snapshot.Initcheck
   | Taintcheck -> Recovery.Snapshot.Taintcheck
+  | Racecheck -> Recovery.Snapshot.Racecheck
 
 let check_recovery ?pool ?wavefront ?state ?(every = 1) ?crash_at ?(seed = 0)
     lifeguard g =

@@ -23,7 +23,7 @@
     an unsound analysis change): the fuzz engine shrinks the grid and
     serializes it as a replayable trace. *)
 
-type lifeguard = Addrcheck | Initcheck | Taintcheck
+type lifeguard = Addrcheck | Initcheck | Taintcheck | Racecheck
 
 val lifeguard_to_string : lifeguard -> string
 val all_lifeguards : lifeguard list

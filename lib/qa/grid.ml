@@ -20,6 +20,8 @@ let instr_weight (i : Tracing.Instr.t) =
   | Read a -> 1 + a
   | Malloc { base; size } | Free { base; size } -> 2 + base + size
   | Taint_source x | Untaint x | Jump_via x | Syscall_arg x -> 1 + x
+  | Lock m | Unlock m -> 1 + m
+  | Fork u | Join u -> 1 + u
   | Nop -> 0
 
 let weight g =

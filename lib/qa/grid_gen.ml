@@ -1,9 +1,10 @@
-type profile = Alloc | Init | Taint | Mixed
+type profile = Alloc | Init | Taint | Racy | Mixed
 
 let profile_to_string = function
   | Alloc -> "alloc"
   | Init -> "init"
   | Taint -> "taint"
+  | Racy -> "racy"
   | Mixed -> "mixed"
 
 type shape = {
@@ -82,17 +83,40 @@ let taint_instr ~n_addrs rng : Tracing.Instr.t =
       (1, fun () -> Tracing.Instr.Nop);
     ]
 
+(* Lock-heavy traffic: shared reads and writes racing over a tiny address
+   universe, guarded (or deliberately not) by at most two locks, with
+   occasional fork/join edges.  Fork/join targets sometimes exceed the
+   actual thread count — RaceCheck must treat those as inert, and the
+   fuzzer makes sure it does. *)
+let racy_instr ~n_addrs rng : Tracing.Instr.t =
+  let a () = addr ~n_addrs rng in
+  let lock () = Random.State.int rng 2 in
+  let tid () = Random.State.int rng 3 in
+  frequency rng
+    [
+      (3, fun () -> Tracing.Instr.Assign_const (a ()));
+      (2, fun () -> Tracing.Instr.Assign_unop (a (), a ()));
+      (3, fun () -> Tracing.Instr.Read (a ()));
+      (3, fun () -> Tracing.Instr.Lock (lock ()));
+      (3, fun () -> Tracing.Instr.Unlock (lock ()));
+      (1, fun () -> Tracing.Instr.Fork (tid ()));
+      (1, fun () -> Tracing.Instr.Join (tid ()));
+      (1, fun () -> Tracing.Instr.Nop);
+    ]
+
 let instr profile ~n_addrs rng =
   match profile with
   | Alloc -> alloc_instr ~n_addrs rng
   | Init -> init_instr ~n_addrs rng
   | Taint -> taint_instr ~n_addrs rng
+  | Racy -> racy_instr ~n_addrs rng
   | Mixed ->
     frequency rng
       [
         (1, fun () -> alloc_instr ~n_addrs rng);
         (1, fun () -> init_instr ~n_addrs rng);
         (1, fun () -> taint_instr ~n_addrs rng);
+        (1, fun () -> racy_instr ~n_addrs rng);
       ]
 
 let grid ?(shape = default_shape) profile rng : Grid.t =

@@ -11,6 +11,7 @@ type profile =
   | Alloc  (** malloc/free/access traffic — AddrCheck's vocabulary *)
   | Init  (** write-before-read traffic — InitCheck's vocabulary *)
   | Taint  (** sources, sanitizers, inheritance, sinks — TaintCheck's *)
+  | Racy  (** lock/unlock/fork/join around shared accesses — RaceCheck's *)
   | Mixed  (** everything at once *)
 
 val profile_to_string : profile -> string

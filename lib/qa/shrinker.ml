@@ -58,6 +58,10 @@ let simplify_instr (i : Tracing.Instr.t) : Tracing.Instr.t list =
   | Untaint x -> if x > 0 then [ Untaint 0 ] else []
   | Jump_via x -> if x > 0 then [ Jump_via 0 ] else []
   | Syscall_arg x -> if x > 0 then [ Syscall_arg 0 ] else []
+  | Lock m -> if m > 0 then [ Lock 0 ] else []
+  | Unlock m -> if m > 0 then [ Unlock 0 ] else []
+  | Fork u -> if u > 0 then [ Fork 0 ] else []
+  | Join u -> if u > 0 then [ Join 0 ] else []
   | Nop -> []
 
 (* All one-step reductions of [g], coarsest first, lazily (a Seq so the

@@ -1,6 +1,7 @@
 module AC = Lifeguards.Addrcheck
 module IC = Lifeguards.Initcheck
 module TC = Lifeguards.Taintcheck
+module RC = Lifeguards.Racecheck
 module Epochs = Butterfly.Epochs
 
 type checkpointing = { every : int; path : string }
@@ -60,12 +61,26 @@ let taint_ops ?pool ?sequential ?two_phase ?wavefront ?state () =
     fp = TC.fingerprint;
   }
 
+let race_ops ?pool ?wavefront ?state () =
+  {
+    tag = Snapshot.Racecheck;
+    create =
+      (fun ~threads -> RC.Resumable.create ?pool ?wavefront ?state ~threads ());
+    feed = RC.Resumable.feed_epoch;
+    fed = RC.Resumable.epochs_fed;
+    finish = RC.Resumable.finish;
+    enc = RC.Resumable.encode;
+    dec = RC.Resumable.decode ?pool ?wavefront ?state;
+    fp = RC.fingerprint;
+  }
+
 let ops_of ?pool ?isolation ?sequential ?two_phase ?wavefront ?state = function
   | Snapshot.Addrcheck ->
     Packed (addr_ops ?pool ?isolation ?wavefront ?state ())
   | Snapshot.Initcheck -> Packed (init_ops ?pool ?wavefront ?state ())
   | Snapshot.Taintcheck ->
     Packed (taint_ops ?pool ?sequential ?two_phase ?wavefront ?state ())
+  | Snapshot.Racecheck -> Packed (race_ops ?pool ?wavefront ?state ())
 
 let rows_of epochs =
   let threads = Epochs.threads epochs in
@@ -160,3 +175,9 @@ let run_taintcheck ?pool ?sequential ?two_phase ?wavefront ?state ?checkpoint
 
 let resume_taintcheck ?pool ?wavefront ?state ?checkpoint ~path epochs =
   resume (taint_ops ?pool ?wavefront ?state ()) ?checkpoint ~path epochs
+
+let run_racecheck ?pool ?wavefront ?state ?checkpoint epochs =
+  run (race_ops ?pool ?wavefront ?state ()) ?checkpoint epochs
+
+let resume_racecheck ?pool ?wavefront ?state ?checkpoint ~path epochs =
+  resume (race_ops ?pool ?wavefront ?state ()) ?checkpoint ~path epochs

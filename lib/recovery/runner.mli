@@ -130,3 +130,20 @@ val resume_taintcheck :
   path:string ->
   Butterfly.Epochs.t ->
   (Lifeguards.Taintcheck.report, string) result
+
+val run_racecheck :
+  ?pool:Butterfly.Domain_pool.t ->
+  ?wavefront:bool ->
+  ?state:[ `Functional | `Flat ] ->
+  ?checkpoint:checkpointing ->
+  Butterfly.Epochs.t ->
+  Lifeguards.Racecheck.report
+
+val resume_racecheck :
+  ?pool:Butterfly.Domain_pool.t ->
+  ?wavefront:bool ->
+  ?state:[ `Functional | `Flat ] ->
+  ?checkpoint:checkpointing ->
+  path:string ->
+  Butterfly.Epochs.t ->
+  (Lifeguards.Racecheck.report, string) result

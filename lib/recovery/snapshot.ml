@@ -1,12 +1,13 @@
 module W = Tracing.Binio.W
 module R = Tracing.Binio.R
 
-type lifeguard = Addrcheck | Initcheck | Taintcheck
+type lifeguard = Addrcheck | Initcheck | Taintcheck | Racecheck
 
 let lifeguard_to_string = function
   | Addrcheck -> "addrcheck"
   | Initcheck -> "initcheck"
   | Taintcheck -> "taintcheck"
+  | Racecheck -> "racecheck"
 
 type meta = { lifeguard : lifeguard; next_epoch : int; threads : int }
 
@@ -19,7 +20,8 @@ let encode meta payload =
     (match meta.lifeguard with
     | Addrcheck -> 0
     | Initcheck -> 1
-    | Taintcheck -> 2);
+    | Taintcheck -> 2
+    | Racecheck -> 3);
   W.varint w meta.next_epoch;
   W.varint w meta.threads;
   W.string w payload;
@@ -36,6 +38,7 @@ let decode s =
         | 0 -> Addrcheck
         | 1 -> Initcheck
         | 2 -> Taintcheck
+        | 3 -> Racecheck
         | t -> raise (R.Corrupt (Printf.sprintf "bad lifeguard tag %d" t))
       in
       let next_epoch = R.varint r in

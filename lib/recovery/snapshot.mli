@@ -11,7 +11,7 @@
     Writes are atomic (temp file + rename): a crash mid-checkpoint leaves
     the previous snapshot intact, never a torn file. *)
 
-type lifeguard = Addrcheck | Initcheck | Taintcheck
+type lifeguard = Addrcheck | Initcheck | Taintcheck | Racecheck
 
 val lifeguard_to_string : lifeguard -> string
 

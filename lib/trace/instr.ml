@@ -9,6 +9,10 @@ type t =
   | Untaint of Addr.t
   | Jump_via of Addr.t
   | Syscall_arg of Addr.t
+  | Lock of Addr.t
+  | Unlock of Addr.t
+  | Fork of Tid.t
+  | Join of Tid.t
   | Nop
 
 let equal a b = Stdlib.( = ) a b
@@ -26,12 +30,18 @@ let pp ppf = function
   | Untaint x -> Format.fprintf ppf "untaint %a" Addr.pp x
   | Jump_via x -> Format.fprintf ppf "jump_via %a" Addr.pp x
   | Syscall_arg x -> Format.fprintf ppf "syscall_arg %a" Addr.pp x
+  | Lock m -> Format.fprintf ppf "lock %a" Addr.pp m
+  | Unlock m -> Format.fprintf ppf "unlock %a" Addr.pp m
+  | Fork u -> Format.fprintf ppf "fork %a" Tid.pp u
+  | Join u -> Format.fprintf ppf "join %a" Tid.pp u
   | Nop -> Format.fprintf ppf "nop"
 
 let to_string i = Format.asprintf "%a" pp i
 
 let reads = function
-  | Assign_const _ | Malloc _ | Free _ | Taint_source _ | Untaint _ | Nop -> []
+  | Assign_const _ | Malloc _ | Free _ | Taint_source _ | Untaint _ | Nop
+  | Lock _ | Unlock _ | Fork _ | Join _ ->
+    []
   | Assign_unop (_, a) -> [ a ]
   | Assign_binop (_, a, b) -> if Addr.equal a b then [ a ] else [ a; b ]
   | Read a -> [ a ]
@@ -41,7 +51,9 @@ let reads = function
 let writes = function
   | Assign_const x | Assign_unop (x, _) | Assign_binop (x, _, _) -> Some x
   | Taint_source x | Untaint x -> Some x
-  | Read _ | Malloc _ | Free _ | Jump_via _ | Syscall_arg _ | Nop -> None
+  | Read _ | Malloc _ | Free _ | Jump_via _ | Syscall_arg _ | Nop | Lock _
+  | Unlock _ | Fork _ | Join _ ->
+    None
 
 let accesses i =
   match writes i with
@@ -52,18 +64,30 @@ let alloc_effect = function
   | Malloc { base; size } -> `Alloc (base, size)
   | Free { base; size } -> `Free (base, size)
   | Assign_const _ | Assign_unop _ | Assign_binop _ | Read _ | Taint_source _
-  | Untaint _ | Jump_via _ | Syscall_arg _ | Nop ->
+  | Untaint _ | Jump_via _ | Syscall_arg _ | Nop | Lock _ | Unlock _ | Fork _
+  | Join _ ->
     `None
 
 let is_memory_event i =
   match i with
   | Malloc _ | Free _ -> true
   | Assign_const _ | Assign_unop _ | Assign_binop _ | Read _ | Taint_source _
-  | Untaint _ | Jump_via _ | Syscall_arg _ | Nop ->
+  | Untaint _ | Jump_via _ | Syscall_arg _ | Nop | Lock _ | Unlock _ | Fork _
+  | Join _ ->
     accesses i <> []
 
 let taint_sink = function
   | Jump_via x | Syscall_arg x -> Some x
   | Assign_const _ | Assign_unop _ | Assign_binop _ | Read _ | Malloc _
-  | Free _ | Taint_source _ | Untaint _ | Nop ->
+  | Free _ | Taint_source _ | Untaint _ | Nop | Lock _ | Unlock _ | Fork _
+  | Join _ ->
     None
+
+let sync_effect = function
+  | Lock m -> `Lock m
+  | Unlock m -> `Unlock m
+  | Fork u -> `Fork u
+  | Join u -> `Join u
+  | Assign_const _ | Assign_unop _ | Assign_binop _ | Read _ | Malloc _
+  | Free _ | Taint_source _ | Untaint _ | Jump_via _ | Syscall_arg _ | Nop ->
+    `None

@@ -38,6 +38,19 @@ type t =
   | Syscall_arg of Addr.t
       (** The location is passed to a critical system call (e.g. a format
           string): a TAINTCHECK sink. *)
+  | Lock of Addr.t
+      (** Acquire the mutex identified by the location.  A synchronization
+          event for RACECHECK; no data access (lock words live outside the
+          monitored data space), so a no-op for the other lifeguards. *)
+  | Unlock of Addr.t  (** Release the mutex identified by the location. *)
+  | Fork of Tid.t
+      (** Spawn (or release) thread [u]: everything [u] executes in later
+          epochs happens after this point.  Self- and out-of-range targets
+          are recorded but carry no ordering. *)
+  | Join of Tid.t
+      (** Wait for thread [u]: everything [u] executed in earlier epochs
+          happens before this point.  Self- and out-of-range targets are
+          recorded but carry no ordering. *)
   | Nop  (** Computation that touches no monitored memory. *)
 
 val equal : t -> t -> bool
@@ -69,3 +82,12 @@ val is_memory_event : t -> bool
 val taint_sink : t -> Addr.t option
 (** The location whose taint status must be checked at this instruction
     ([Jump_via], [Syscall_arg]). *)
+
+val sync_effect :
+  t ->
+  [ `Lock of Addr.t | `Unlock of Addr.t | `Fork of Tid.t | `Join of Tid.t
+  | `None ]
+(** Thread-synchronization effect, if any — the events RACECHECK builds its
+    happens-before order from.  Synchronization instructions read and write
+    no monitored data ({!reads}, {!writes} and {!accesses} are empty), so
+    the data-centric lifeguards are unaffected by their presence. *)

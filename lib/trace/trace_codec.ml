@@ -16,6 +16,10 @@ let encode_event buf tid e =
     | Instr.Untaint x -> addf "%d untaint %s" tid (a x)
     | Instr.Jump_via x -> addf "%d jump %s" tid (a x)
     | Instr.Syscall_arg x -> addf "%d sysarg %s" tid (a x)
+    | Instr.Lock m -> addf "%d lock %s" tid (a m)
+    | Instr.Unlock m -> addf "%d unlock %s" tid (a m)
+    | Instr.Fork u -> addf "%d fork %d" tid u
+    | Instr.Join u -> addf "%d join %d" tid u
     | Instr.Nop -> addf "%d nop" tid));
   Buffer.add_char buf '\n'
 
@@ -97,6 +101,18 @@ let parse_line lineno line =
       | [ "sysarg"; x ] ->
         let* x = addr x in
         instr (Instr.Syscall_arg x)
+      | [ "lock"; m ] ->
+        let* m = addr m in
+        instr (Instr.Lock m)
+      | [ "unlock"; m ] ->
+        let* m = addr m in
+        instr (Instr.Unlock m)
+      | [ "fork"; u ] ->
+        let* u = int u in
+        if u < 0 then fail "negative fork target" else instr (Instr.Fork u)
+      | [ "join"; u ] ->
+        let* u = int u in
+        if u < 0 then fail "negative join target" else instr (Instr.Join u)
       | mnemonic :: _ -> fail "unknown mnemonic %S" mnemonic
       | [] -> fail "missing mnemonic"))
 
@@ -179,13 +195,20 @@ let instr_opcode = function
   | Instr.Untaint _ -> 9
   | Instr.Jump_via _ -> 10
   | Instr.Syscall_arg _ -> 11
+  (* Opcodes 12-15 are new in format version 2; legacy BFLY1 traces never
+     contain them, so the legacy decode path is unaffected. *)
+  | Instr.Lock _ -> 12
+  | Instr.Unlock _ -> 13
+  | Instr.Fork _ -> 14
+  | Instr.Join _ -> 15
 
 let put_instr w i =
   Binio.W.u8 w (instr_opcode i);
   match i with
   | Instr.Nop -> ()
   | Instr.Assign_const x | Instr.Read x | Instr.Taint_source x
-  | Instr.Untaint x | Instr.Jump_via x | Instr.Syscall_arg x ->
+  | Instr.Untaint x | Instr.Jump_via x | Instr.Syscall_arg x | Instr.Lock x
+  | Instr.Unlock x | Instr.Fork x | Instr.Join x ->
     Binio.W.varint w x
   | Instr.Assign_unop (x, a) ->
     Binio.W.varint w x;
@@ -225,6 +248,10 @@ let instr_of_opcode r op =
   | 9 -> Instr.Untaint (varint ())
   | 10 -> Instr.Jump_via (varint ())
   | 11 -> Instr.Syscall_arg (varint ())
+  | 12 -> Instr.Lock (varint ())
+  | 13 -> Instr.Unlock (varint ())
+  | 14 -> Instr.Fork (varint ())
+  | 15 -> Instr.Join (varint ())
   | op -> raise (Binio.R.Corrupt (Printf.sprintf "unknown opcode %d" op))
 
 let read_instr r =

@@ -1,6 +1,6 @@
 module I = Tracing.Instr
 
-type bug_kind = Use_after_free | Double_free | Unallocated_access
+type bug_kind = Use_after_free | Double_free | Unallocated_access | Data_race
 
 type injected = {
   kind : bug_kind;
@@ -14,6 +14,7 @@ let pp_bug ppf b =
     | Use_after_free -> "use-after-free"
     | Double_free -> "double-free"
     | Unallocated_access -> "unallocated-access"
+    | Data_race -> "data-race"
   in
   Format.fprintf ppf "%s of %a in %a" kind Tracing.Addr.pp b.addr
     Tracing.Tid.pp b.tid
@@ -55,6 +56,29 @@ let inject_ua bundle tid =
   Workload.Emitter.emit em (I.Read b);
   [ { kind = Unallocated_access; tid; addr = b } ]
 
+(* Two threads write one scratch word with no lock and no fork/join edge.
+   The emitters are aligned first so both writes land at the same trace
+   offset — whatever heartbeat interval the caller slices with, the
+   conflicting accesses share an epoch and sit squarely inside the
+   butterfly window.  [locked] guards both writes with one mutex,
+   producing the race-free twin of the same access pattern. *)
+let race_mutex = 0x7f
+
+let inject_race ?(locked = false) bundle t_a t_b =
+  let b = scratch_base + 0x3000 in
+  Workload.Emitter.emit (Workload.Bundle.em bundle t_a)
+    (I.Malloc { base = b; size = 16 });
+  Workload.Bundle.align bundle;
+  List.iter
+    (fun tid ->
+      let em = Workload.Bundle.em bundle tid in
+      if locked then Workload.Emitter.emit em (I.Lock race_mutex);
+      Workload.Emitter.emit em (I.Assign_const b);
+      if locked then Workload.Emitter.emit em (I.Unlock race_mutex))
+    [ t_a; t_b ];
+  if locked || t_a = t_b then []
+  else [ { kind = Data_race; tid = t_b; addr = b } ]
+
 let finish bundle bugs = (Workload.Bundle.program bundle, bugs)
 
 let use_after_free ~threads ~scale ~seed =
@@ -68,6 +92,10 @@ let double_free ~threads ~scale ~seed =
 let unallocated_access ~threads ~scale ~seed =
   let bundle = base_workload ~threads ~scale ~seed in
   finish bundle (inject_ua bundle (threads / 2))
+
+let data_race ?locked ~threads ~scale ~seed () =
+  let bundle = base_workload ~threads ~scale ~seed in
+  finish bundle (inject_race ?locked bundle 0 (threads - 1))
 
 let all_kinds ~threads ~scale ~seed =
   let bundle = base_workload ~threads ~scale ~seed in

@@ -5,7 +5,7 @@
     {e every} possible ordering — so callers can verify the
     zero-false-negative guarantee and measure false positives exactly. *)
 
-type bug_kind = Use_after_free | Double_free | Unallocated_access
+type bug_kind = Use_after_free | Double_free | Unallocated_access | Data_race
 
 type injected = {
   kind : bug_kind;
@@ -26,6 +26,20 @@ val double_free :
 val unallocated_access :
   threads:int -> scale:int -> seed:int -> Tracing.Program.t * injected list
 (** A stray pointer dereference into memory that was never allocated. *)
+
+val data_race :
+  ?locked:bool ->
+  threads:int ->
+  scale:int ->
+  seed:int ->
+  unit ->
+  Tracing.Program.t * injected list
+(** Two threads (the first and the last) write one scratch word at the
+    same aligned trace offset, so the conflict lands inside the butterfly
+    window under any heartbeat interval.  With [locked] both writes are
+    guarded by one mutex and the injected-bug list is empty — the
+    race-free twin.  A single-thread run also injects nothing (program
+    order serializes the writes). *)
 
 val all_kinds :
   threads:int -> scale:int -> seed:int -> Tracing.Program.t * injected list

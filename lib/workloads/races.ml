@@ -1,0 +1,61 @@
+module I = Tracing.Instr
+
+type scenario = {
+  name : string;
+  program : Tracing.Program.t;
+  racy_addrs : Tracing.Addr.t list;
+  guarded_addrs : Tracing.Addr.t list;
+}
+
+(* Locations: a shared counter, two handoff cells and a scratch word. *)
+let counter = 0x200
+let cell_a = 0x208
+let cell_b = 0x210
+let scratch = 0x218
+let mutex = 0
+
+let pad n = List.init n (fun _ -> I.Nop)
+
+(* The canonical twin pair: two threads bump one shared counter from
+   adjacent epochs.  With [locked] each bump sits in a lock/unlock pair
+   around the same mutex, so every conflicting cross-thread pair shares
+   the lock and RaceCheck stays silent; without it the very same access
+   pattern is a textbook write-write / read-write race. *)
+let counter_bump ~locked =
+  let bump =
+    if locked then [ I.Lock mutex; I.Assign_unop (counter, counter); I.Unlock mutex ]
+    else [ I.Nop; I.Assign_unop (counter, counter); I.Nop ]
+  in
+  let t0 = bump @ pad 1 in
+  let t1 = pad 4 @ bump @ pad 1 in
+  {
+    name = (if locked then "locked-counter" else "unlocked-counter");
+    program =
+      Tracing.Program.of_instrs [ t0; t1 ]
+      |> Tracing.Program.with_heartbeats ~every:4;
+    racy_addrs = (if locked then [] else [ counter ]);
+    guarded_addrs = (if locked then [ counter ] else []);
+  }
+
+let unlocked_counter () = counter_bump ~locked:false
+let locked_counter () = counter_bump ~locked:true
+
+(* Fork and join edges as the ordering mechanism: the parent hands
+   [cell_a] to the thread it forks and [cell_b] travels back through a
+   join, while a third thread races on [scratch] with nothing ordering
+   it.  RaceCheck must clear both handoffs and flag only the scratch
+   word. *)
+let fork_join () =
+  let t0 = [ I.Assign_const cell_a; I.Fork 1; I.Assign_const scratch; I.Nop ] in
+  let t1 = pad 4 @ [ I.Read cell_a; I.Join 2; I.Read cell_b; I.Nop ] in
+  let t2 = [ I.Assign_const cell_b; I.Nop; I.Read scratch; I.Nop ] in
+  {
+    name = "fork-join";
+    program =
+      Tracing.Program.of_instrs [ t0; t1; t2 ]
+      |> Tracing.Program.with_heartbeats ~every:4;
+    racy_addrs = [ scratch ];
+    guarded_addrs = [ cell_a; cell_b ];
+  }
+
+let all () = [ unlocked_counter (); locked_counter (); fork_join () ]

@@ -1,0 +1,32 @@
+(** Data-race scenarios for RaceCheck (DESIGN §16).
+
+    Small hand-built parallel traces with known synchronization
+    structure: each scenario records the addresses RaceCheck {e must}
+    flag ([racy_addrs] — conflicting cross-thread accesses no
+    happens-before edge or common lock orders) and the addresses it must
+    leave clean ([guarded_addrs] — the same access shapes, ordered by a
+    lock, fork or join).  The pair [unlocked_counter]/[locked_counter]
+    is the twin required by the acceptance battery: identical access
+    pattern, one flagged, one silent. *)
+
+type scenario = {
+  name : string;
+  program : Tracing.Program.t;
+  racy_addrs : Tracing.Addr.t list;
+      (** addresses with at least one genuine race *)
+  guarded_addrs : Tracing.Addr.t list;
+      (** shared addresses whose accesses are all synchronized *)
+}
+
+val unlocked_counter : unit -> scenario
+(** Two threads bump a shared counter from adjacent epochs, no locks. *)
+
+val locked_counter : unit -> scenario
+(** The properly-locked twin of {!unlocked_counter}: same accesses, each
+    inside a lock/unlock pair on one mutex — race-free. *)
+
+val fork_join : unit -> scenario
+(** Fork and join edges order two handoff cells; a third thread races on
+    a scratch word that nothing orders. *)
+
+val all : unit -> scenario list

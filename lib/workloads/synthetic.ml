@@ -62,6 +62,54 @@ let generate ?(knobs = default) ~threads ~scale ~seed () =
   Array.iteri (fun t b -> Workload.Heap.free heap ems.(t) b) shared;
   bundle
 
+(* Lock-discipline workload for RaceCheck: every thread hammers a small
+   set of shared counters, taking the counter's mutex around an access
+   with probability [discipline].  Discipline 1.0 is race-free by
+   construction (every conflicting pair shares the counter's lock);
+   anything lower seeds genuine data races at a controllable rate. *)
+let generate_racy ?(counters = 4) ?(discipline = 1.0) ~threads ~scale ~seed () =
+  if threads <= 0 then
+    invalid_arg "Synthetic.generate_racy: threads must be > 0";
+  let heap = Workload.Heap.create () in
+  let bundle = Workload.Bundle.create ~threads in
+  let ems = Workload.Bundle.emitters bundle in
+  let rngs =
+    Array.init threads (fun t -> Random.State.make [| seed; t; 0xace5 |])
+  in
+  let shared = Workload.Heap.alloc heap ems.(0) (8 * counters) in
+  let round = 50 in
+  let remaining = Array.make threads (max 1 scale) in
+  while Array.exists (fun r -> r > 0) remaining do
+    Array.iteri
+      (fun t em ->
+        let rng = rngs.(t) in
+        let quota = min round remaining.(t) in
+        remaining.(t) <- remaining.(t) - quota;
+        for _ = 1 to quota do
+          let c = Random.State.int rng counters in
+          let a = Workload.elem shared c in
+          let guarded = Random.State.float rng 1.0 < discipline in
+          if guarded then Workload.Emitter.emit em (I.Lock c);
+          if Random.State.bool rng then
+            Workload.Emitter.emit em (I.Assign_unop (a, a))
+          else Workload.Emitter.emit em (I.Read a);
+          if guarded then Workload.Emitter.emit em (I.Unlock c)
+        done)
+      ems
+  done;
+  Workload.Heap.free heap ems.(0) shared;
+  bundle
+
+let racy_profile name ~discipline =
+  {
+    Workload.name;
+    suite = "synthetic";
+    input_desc = Printf.sprintf "counters=4 discipline=%.2f" discipline;
+    generate =
+      (fun ~threads ~scale ~seed ->
+        generate_racy ~discipline ~threads ~scale ~seed ());
+  }
+
 let profile_of name knobs =
   {
     Workload.name;

@@ -22,4 +22,21 @@ val generate :
   ?knobs:knobs -> threads:int -> scale:int -> seed:int -> unit ->
   Workload.Bundle.t
 
+val generate_racy :
+  ?counters:int ->
+  ?discipline:float ->
+  threads:int ->
+  scale:int ->
+  seed:int ->
+  unit ->
+  Workload.Bundle.t
+(** Lock-discipline workload for RaceCheck: threads hammer [counters]
+    shared words, each access guarded by that counter's mutex with
+    probability [discipline].  [discipline = 1.0] (the default) is
+    race-free by construction; lower values seed genuine races at a
+    controllable rate. *)
+
 val profile_of : string -> knobs -> Workload.profile
+
+val racy_profile : string -> discipline:float -> Workload.profile
+(** A {!generate_racy} instance as a named workload profile. *)

@@ -29,6 +29,22 @@ recorded in the snapshot, not on the resume command line).
   $ ../bin/butterfly_cli.exe taintcheck t.trace -e 8 --resume tc.snap > tcr.out
   $ cmp tc.out tcr.out
 
+RaceCheck checkpoints and resumes the same way; its snapshot carries
+the sliding window rows plus the accumulated races.
+
+  $ ../bin/butterfly_cli.exe racecheck t.trace -e 8 \
+  >   --checkpoint-every 2 --checkpoint-out rc.snap > rc.out
+  $ ../bin/butterfly_cli.exe racecheck t.trace -e 8 --resume rc.snap > rcr.out
+  $ cmp rc.out rcr.out
+  $ ../bin/butterfly_cli.exe racecheck t.trace -e 8 --domains 2 --resume rc.snap > rcp.out
+  $ cmp rc.out rcp.out
+
+A RaceCheck snapshot resumed into the wrong lifeguard is refused.
+
+  $ ../bin/butterfly_cli.exe addrcheck t.trace -e 8 --resume rc.snap
+  error: checkpoint is for racecheck, not addrcheck
+  [2]
+
 A zero (or negative) checkpoint interval is a usage error, caught at
 parse time.
 

@@ -31,6 +31,7 @@ module Diff = Qa.Differential
 module AC = Lifeguards.Addrcheck
 module IC = Lifeguards.Initcheck
 module TC = Lifeguards.Taintcheck
+module RC = Lifeguards.Racecheck
 
 (* ------------------------------------------------------------------ *)
 (* 1. The differential battery. *)
@@ -40,6 +41,8 @@ let fp lg ?pool ?wavefront ~state epochs =
   | Diff.Addrcheck -> AC.fingerprint (AC.run ~state ?wavefront ?pool epochs)
   | Diff.Initcheck -> IC.fingerprint (IC.run ~state ?wavefront ?pool epochs)
   | Diff.Taintcheck -> TC.fingerprint (TC.run ~state ?wavefront ?pool epochs)
+  | Diff.Racecheck ->
+    RC.fingerprint (RC.run ~state ?wavefront ?pool epochs)
 
 (* Slightly wider than Grid_gen.default_shape: the battery has no
    valid-ordering oracle to keep feasible, so it can afford denser

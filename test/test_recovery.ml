@@ -239,10 +239,26 @@ let taintcheck_engine ~sequential ~two_phase vlabel =
           ~finish:TC.Resumable.finish ~fp:TC.fingerprint ~cut ~threads rows);
   }
 
+let racecheck_engine =
+  let module RC = Lifeguards.Racecheck in
+  {
+    label = "racecheck";
+    profile = Qa.Grid_gen.Racy;
+    batch_fp = (fun ?pool epochs -> RC.fingerprint (RC.run ?pool epochs));
+    resumed_fp =
+      (fun ?pool ~cut ~threads rows ->
+        resumed_via
+          ~create:(fun ~threads () -> RC.Resumable.create ?pool ~threads ())
+          ~feed:RC.Resumable.feed_epoch ~encode:RC.Resumable.encode
+          ~decode:(RC.Resumable.decode ?pool)
+          ~finish:RC.Resumable.finish ~fp:RC.fingerprint ~cut ~threads rows);
+  }
+
 let engines =
   [
     addrcheck_engine;
     initcheck_engine;
+    racecheck_engine;
     taintcheck_engine ~sequential:true ~two_phase:true "sc,two-phase";
     taintcheck_engine ~sequential:false ~two_phase:true "relaxed,two-phase";
     taintcheck_engine ~sequential:true ~two_phase:false "sc,one-phase";
@@ -554,6 +570,7 @@ let all_tags =
     (Snapshot.Addrcheck, Qa.Grid_gen.Alloc);
     (Snapshot.Initcheck, Qa.Grid_gen.Init);
     (Snapshot.Taintcheck, Qa.Grid_gen.Taint);
+    (Snapshot.Racecheck, Qa.Grid_gen.Racy);
   ]
 
 let with_snap_file f =
@@ -665,6 +682,10 @@ let runner_rejections () =
       ignore (Runner.write_checkpoint aops ~path ~threads st);
       expect_error "wrong lifeguard" "checkpoint is for addrcheck, not initcheck"
         (Runner.resume iops ~path epochs);
+      let (Runner.Packed rops) = Runner.ops_of Snapshot.Racecheck in
+      expect_error "wrong lifeguard (racecheck)"
+        "checkpoint is for addrcheck, not racecheck"
+        (Runner.resume rops ~path epochs);
       let payload = aops.Runner.enc st in
       ignore
         (Snapshot.write_file ~path

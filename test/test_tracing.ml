@@ -238,6 +238,103 @@ let taint_codec_tests =
         | Ok _ -> false);
   ]
 
+(* Synchronization events through the codec: Lock/Unlock/Fork/Join are
+   new in binary format version 2 (opcodes 12-15) and in the text
+   mnemonic set, and they feed RaceCheck's happens-before relation — a
+   silently dropped or misparsed sync op turns into missed races, so
+   the four kinds get the same corpus treatment as the taint variants:
+   round-trips, truncation, bit flips, the legacy-decode pin and the
+   cursor-ingest equivalence below. *)
+let gen_sync_program =
+  let open QCheck.Gen in
+  let sync_instr =
+    let addr = int_bound 0xff in
+    frequency
+      [
+        (2, map (fun m -> I.Lock m) addr);
+        (2, map (fun m -> I.Unlock m) addr);
+        (2, map (fun u -> I.Fork u) (int_bound 4));
+        (2, map (fun u -> I.Join u) (int_bound 4));
+        (2, map (fun x -> I.Assign_const x) addr);
+        (1, map (fun a -> I.Read a) addr);
+        (1, return I.Nop);
+      ]
+  in
+  let* threads = int_range 1 4 in
+  let* heartbeat = int_range 1 5 in
+  let thread = list_size (int_bound 20) sync_instr in
+  let+ iss = list_repeat threads thread in
+  Tracing.Program.of_instrs iss
+  |> Tracing.Program.with_heartbeats ~every:heartbeat
+
+let arb_sync_program =
+  QCheck.make ~print:(fun p -> Tracing.Trace_codec.encode p) gen_sync_program
+
+(* One fixed program exercising all four sync kinds. *)
+let sync_exemplar =
+  Tracing.Program.of_instrs
+    [
+      [ I.Lock 1; I.Assign_const 2; I.Unlock 1; I.Fork 1 ];
+      [ I.Lock 1; I.Read 2; I.Unlock 1; I.Join 0 ];
+    ]
+  |> Tracing.Program.with_heartbeats ~every:2
+
+let sync_codec_tests =
+  [
+    Testutil.qtest ~count:200 "text round-trip (sync events)" arb_sync_program
+      (fun p -> programs_equal p (Tracing.Trace_codec.roundtrip_exn p));
+    Testutil.qtest ~count:200 "binary round-trip (sync events)"
+      arb_sync_program (fun p ->
+        programs_equal p (Tracing.Trace_codec.binary_roundtrip_exn p));
+    Alcotest.test_case "text mnemonics are pinned" `Quick (fun () ->
+        let enc = Tracing.Trace_codec.encode sync_exemplar in
+        List.iter
+          (fun needle ->
+            Testutil.checkb needle true (Astring.String.is_infix ~affix:needle enc))
+          [ "0 lock 0x1"; "0 unlock 0x1"; "0 fork 1"; "1 join 0" ]);
+    Alcotest.test_case "negative fork/join targets are parse errors" `Quick
+      (fun () ->
+        List.iter
+          (fun line ->
+            match Tracing.Trace_codec.decode line with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "%S accepted" line)
+          [ "0 fork -1"; "0 join -2" ]);
+    Alcotest.test_case "every strict binary prefix is a clean error" `Quick
+      (fun () ->
+        let b = Tracing.Trace_codec.encode_binary sync_exemplar in
+        for cut = 0 to String.length b - 1 do
+          match Tracing.Trace_codec.decode_binary (String.sub b 0 cut) with
+          | Error m -> Testutil.checkb "non-empty message" true (m <> "")
+          | Ok _ -> Alcotest.failf "prefix of %d bytes decoded Ok" cut
+        done);
+    Alcotest.test_case "every single-bit flip is rejected" `Quick (fun () ->
+        let b = Tracing.Trace_codec.encode_binary sync_exemplar in
+        for pos = 0 to String.length b - 1 do
+          for bit = 0 to 7 do
+            if pos <> 4 then (
+              let flipped = Bytes.of_string b in
+              Bytes.set flipped pos
+                (Char.chr (Char.code b.[pos] lxor (1 lsl bit)));
+              match
+                Tracing.Trace_codec.decode_binary (Bytes.to_string flipped)
+              with
+              | Ok _ -> Alcotest.failf "bit flip %d.%d accepted" pos bit
+              | Error _ -> ())
+          done
+        done);
+    Alcotest.test_case "legacy BFLY1 payloads with sync opcodes decode" `Quick
+      (fun () ->
+        (* The version-2 opcodes are not gated out of the legacy reader:
+           an old consumer never wrote them, but a BFLY1 payload that
+           contains them is decoded rather than rejected. *)
+        let b = Tracing.Trace_codec.encode_binary sync_exemplar in
+        let legacy = "BFLY1" ^ String.sub b 5 (String.length b - 9) in
+        match Tracing.Trace_codec.decode_binary legacy with
+        | Error m -> Alcotest.failf "legacy decode: %s" m
+        | Ok p -> Testutil.checkb "round-trip" true (programs_equal sync_exemplar p));
+  ]
+
 (* The zero-copy cursor against the materializing decoder: same rows,
    same accept/reject verdict, on well-formed traces, every strict
    prefix, every single-bit corruption, and the legacy BFLY1 framing.
@@ -327,6 +424,20 @@ let cursor_tests =
             Bytes.set flipped pos b.[pos]
           done
         done);
+    Testutil.qtest ~count:150 "cursor-ingest equivalence on sync traffic"
+      (QCheck.make
+         ~print:(fun (p, h) ->
+           Printf.sprintf "every=%d\n%s" h (Tracing.Trace_codec.encode p))
+         QCheck.Gen.(pair gen_sync_program (int_range 1 5)))
+      (fun (p, h) ->
+        (* Lock/fork/join rows delivered by `--ingest cursor` must be the
+           rows the batch pipeline sees. *)
+        let c = cursor_of_program p in
+        rows_match_epochs (rows_of_cursor c) (Butterfly.Epochs.of_program p)
+        && rows_match_epochs
+             (rows_of_cursor ~every:h c)
+             (Butterfly.Epochs.of_program
+                (Tracing.Program.with_heartbeats ~every:h p)));
     Alcotest.test_case "legacy BFLY1 traces walk identically" `Quick
       (fun () ->
         (* Same payload behind the unchecksummed legacy magic: the cursor
@@ -354,5 +465,6 @@ let () =
       ("codec", codec_tests);
       ("codec_binary", fuzz_tests);
       ("codec_taint", taint_codec_tests);
+      ("codec_sync", sync_codec_tests);
       ("cursor", cursor_tests);
     ]
