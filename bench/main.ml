@@ -22,11 +22,17 @@ let ocean_small = fixture_program "ocean" ~threads:4 ~scale:1500 ~h:128
 let ocean_small_epochs = Butterfly.Epochs.of_program ocean_small
 let fft_small = fixture_program "fft" ~threads:4 ~scale:1500 ~h:128
 
-(* Largest synthetic workload: the sequential-vs-pooled streaming
-   comparison needs enough per-epoch work for fan-out to matter — 8
-   threads of OCEAN churn, whole-run wall clock in whole seconds. *)
-let ocean_large = fixture_program "ocean" ~threads:8 ~scale:1200 ~h:128
-let ocean_large_epochs = Butterfly.Epochs.of_program ocean_large
+(* Large streaming workload: the sequential-vs-pooled comparison needs
+   enough per-epoch work for fan-out to matter, but each entry also needs
+   several samples for the gate's ratio bounds to mean anything.  Two
+   threads of LU churn land a sequential pass around a quarter second
+   (the pooled and wavefront drivers roughly double that), so the timed
+   quota below collects at least a handful of runs per entry.  (The
+   previous fixture, OCEAN at scale 1200, cost ~14 s per pass: OCEAN's fixed-size
+   stencil iteration is all-or-nothing, so every streaming entry sat at
+   runs:1 and the wavefront gate was comparing single samples.) *)
+let lu_large = fixture_program "lu" ~threads:2 ~scale:1200 ~h:64
+let lu_large_epochs = Butterfly.Epochs.of_program lu_large
 
 let exploit_program = (Workloads.Exploit.cross_thread_chain ()).program
 let exploit_epochs = Butterfly.Epochs.of_program exploit_program
@@ -171,7 +177,7 @@ module SRD = Butterfly.Scheduler.Make (Butterfly.Reaching_definitions.Problem)
 let streaming_run ?pool ?wavefront () =
   ignore
     (SRD.run_epochs ?pool ?wavefront ~on_instr:(fun _ -> ())
-       ocean_large_epochs)
+       lu_large_epochs)
 
 let streaming_tests pools =
   Test.make_grouped ~name:"streaming"
@@ -360,6 +366,48 @@ let flat_tests =
       Test.make ~name:"ingest.cursor" (Staged.stage cursor_run);
     ]
 
+(* Serving throughput: full HELLO→DATA→FIN→REPORT conversations against
+   a live daemon on a Unix socket, 1 tenant vs 8 concurrent tenants.
+   Reports per second is 1e9/ns_per_run (×8 for the 8-tenant entry).
+   The daemon feeds every session from one domain, so 8 tenants carry
+   ~8× the analysis work of the solo entry; what the pair tracks is the
+   multiplexing tax on top of that — select churn, frame decoding and
+   the round-robin rotation across 8 live connections.  The daemon
+   outlives the measurement loop (booted once around this group's
+   measurement, see [measure_serve] in [main]), so the numbers compare
+   steady-state serving, not daemon start-up. *)
+let serve_rows, serve_threads =
+  let p = fixture_program "lu" ~threads:4 ~scale:400 ~h:64 in
+  (Recovery.Runner.rows_of (Butterfly.Epochs.of_program p), 4)
+
+let serve_one ~socket tenant =
+  let hello =
+    {
+      Serve.Wire.tenant;
+      lifeguard = Recovery.Snapshot.Addrcheck;
+      driver = `Sequential;
+      state = `Flat;
+      relaxed = false;
+      threads = serve_threads;
+    }
+  in
+  match Serve.Client.run_tenant ~socket ~hello serve_rows with
+  | Ok _ -> ()
+  | Error m -> failwith ("serve bench: " ^ m)
+
+let serve_tests socket =
+  Test.make_grouped ~name:"serve"
+    [
+      Test.make ~name:"tenants-1"
+        (Staged.stage (fun () -> serve_one ~socket "bench0"));
+      Test.make ~name:"tenants-8"
+        (Staged.stage (fun () ->
+             List.init 8 (fun i ->
+                 Domain.spawn (fun () ->
+                     serve_one ~socket (Printf.sprintf "bench%d" i)))
+             |> List.iter Domain.join));
+    ]
+
 (* Obs null path: the instrument calls the scheduler hot path makes,
    measured under the default null sink — the tax every run pays whether
    or not telemetry is being collected.  The allocation guard lives in
@@ -402,35 +450,42 @@ let figure13_tests =
              Butterfly.Reaching_expressions.run exploit_epochs));
     ]
 
-(* One measured benchmark: OLS ns-per-run estimate plus the number of raw
-   measurements it was fitted from. *)
+(* One measured benchmark: noise-floor ns-per-run estimate plus the
+   number of raw measurements it was taken over.
+
+   The estimator is the minimum time/runs across all samples, not an
+   OLS fit.  gate.exe holds hard ratio bounds on these numbers, and on
+   a shared single-core box the noise is strictly one-sided — GC major
+   slices, CPU steal and scheduler preemption only ever add time — so
+   the floor is the stable, comparable statistic while a fitted slope
+   swings by tens of percent depending on which samples caught an
+   outlier (observed: the same entry at 12 ms and 30 ms in back-to-back
+   suite runs under OLS). *)
 type measurement = { name : string; runs : int; ns_per_run : float }
 
 let measure_benchmarks groups =
-  let ols =
-    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
-  in
   let instance = Toolkit.Instance.monotonic_clock in
+  let label = Measure.label instance in
   List.map
-    (fun (quota, tests) ->
-      let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second quota) () in
+    (fun (quota, stabilize, tests) ->
+      let cfg =
+        Benchmark.cfg ~limit:50 ~stabilize ~quota:(Time.second quota) ()
+      in
       let raw = Benchmark.all cfg [ instance ] tests in
-      let results = Analyze.all ols instance raw in
-      let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+      let names = Hashtbl.fold (fun k _ acc -> k :: acc) raw [] in
       List.map
         (fun name ->
-          let r = Hashtbl.find results name in
-          let est =
-            match Analyze.OLS.estimates r with
-            | Some (e :: _) -> e
-            | Some [] | None -> nan
+          let (b : Benchmark.t) = Hashtbl.find raw name in
+          let floor =
+            Array.fold_left
+              (fun acc m ->
+                let runs = Measurement_raw.run m in
+                if runs <= 0.0 then acc
+                else Float.min acc (Measurement_raw.get ~label m /. runs))
+              infinity b.lr
           in
-          let runs =
-            match Hashtbl.find_opt raw name with
-            | Some (b : Benchmark.t) -> b.stats.samples
-            | None -> 0
-          in
-          { name; runs; ns_per_run = est })
+          let est = if Float.is_finite floor then floor else nan in
+          { name; runs = b.stats.samples; ns_per_run = est })
         (List.sort compare names))
     groups
   |> List.concat
@@ -516,6 +571,7 @@ let () =
   let wavefront_only = Array.exists (( = ) "--wavefront-only") Sys.argv in
   let race_only = Array.exists (( = ) "--race-only") Sys.argv in
   let flat_only = Array.exists (( = ) "--flat-only") Sys.argv in
+  let serve_only = Array.exists (( = ) "--serve-only") Sys.argv in
   let pools =
     List.map
       (fun d ->
@@ -525,41 +581,83 @@ let () =
             ~domains:d () ))
       [ 2; 4 ]
   in
+  (* The serve group gets its daemon scoped to its own measurement: an
+     extra live domain parked in the daemon's select loop for the whole
+     suite drags every microsecond-scale entry (each stop-the-world
+     minor collection synchronises one more domain), which showed up as
+     10-50x "regressions" on obs.null-sink when the daemon stayed
+     resident from [main].  Boot, measure, tear down. *)
+  let measure_serve quota =
+    let socket = Filename.temp_file "bench_serve" ".sock" in
+    Sys.remove socket;
+    let stop = Atomic.make `Run in
+    let daemon =
+      Domain.spawn (fun () ->
+          Serve.Daemon.run
+            ~stop:(fun () -> Atomic.get stop)
+            (Serve.Daemon.config ~socket ()))
+    in
+    (match Serve.Client.status ~socket () with
+    | Ok _ -> ()
+    | Error m -> failwith ("serve bench daemon never came up: " ^ m));
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set stop `Quit;
+        Domain.join daemon;
+        if Sys.file_exists socket then Sys.remove socket)
+      (fun () -> measure_benchmarks [ (quota, true, serve_tests socket) ])
+  in
   Fun.protect
     ~finally:(fun () ->
       List.iter (fun (_, p) -> Butterfly.Domain_pool.shutdown p) pools)
     (fun () ->
-      (* Most groups live on a 0.2s quota; the flat-vs-functional pairs
-         get 2s because gate.exe's rule 3 holds hard ratio bounds on them
-         and single-sample estimates would gate on noise.  The fixtures
-         deliberately stay full-size — the arena backend's advantage is
-         fact density, which a downscaled OCEAN run never develops (at
-         scale 500 the functional InitCheck trees are small enough to win)
-         — so the quota is what buys the sample count. *)
+      (* Most groups live on a 1s quota (bechamel stabilizes the GC
+         before every sample, so even microsecond entries only collect
+         a handful of samples per second — the ~limit:50 cap keeps the
+         cheap ones from eating the whole quota).  The groups whose
+         entries gate.exe holds hard ratio bounds on —
+         flat-vs-functional (rule 3) and the streaming pairs (rules 1
+         and 2) — get 4-6s quotas instead: their runs are hundreds of
+         ms, and a short quota would pin them at a single sample each,
+         gating on noise.
+         The flat fixtures deliberately stay full-size — the arena
+         backend's advantage is fact density, which a downscaled OCEAN
+         run never develops (at scale 500 the functional InitCheck
+         trees are small enough to win) — so the quota is what buys the
+         sample count. *)
       let groups =
-        if streaming_only then [ (0.2, streaming_tests pools) ]
-        else if taint_only then [ (0.2, taint_tests pools) ]
-        else if wavefront_only then [ (0.2, wavefront_tests pools) ]
-        else if race_only then [ (0.2, race_tests pools) ]
-        else if flat_only then [ (2.0, flat_tests) ]
+        if streaming_only then [ (6.0, false, streaming_tests pools) ]
+        else if taint_only then [ (1.0, true, taint_tests pools) ]
+        else if wavefront_only then [ (6.0, false, wavefront_tests pools) ]
+        else if race_only then [ (1.0, true, race_tests pools) ]
+        else if flat_only then [ (4.0, true, flat_tests) ]
+        else if serve_only then []
         else
           [
-            (0.2, core_tests); (0.2, obs_tests); (0.2, table1_tests);
-            (0.2, figure11_tests); (0.2, figure12_tests);
-            (0.2, figure13_tests); (0.2, streaming_tests pools);
-            (0.2, taint_tests pools); (0.2, wavefront_tests pools);
-            (0.2, race_tests pools); (2.0, flat_tests);
+            (1.0, true, core_tests); (1.0, true, obs_tests);
+            (1.0, true, table1_tests); (1.0, true, figure11_tests);
+            (1.0, true, figure12_tests); (1.0, true, figure13_tests);
+            (6.0, false, streaming_tests pools);
+            (1.0, true, taint_tests pools);
+            (6.0, false, wavefront_tests pools);
+            (1.0, true, race_tests pools); (4.0, true, flat_tests);
           ]
       in
-      if json then print_json (measure_benchmarks groups)
+      let full_suite =
+        not
+          (streaming_only || taint_only || wavefront_only || race_only
+         || flat_only || serve_only)
+      in
+      let measure_all () =
+        let base = measure_benchmarks groups in
+        if serve_only || full_suite then base @ measure_serve 2.0 else base
+      in
+      if json then print_json (measure_all ())
       else begin
         print_endline
           "=== Bechamel micro-benchmarks (one group per artifact) ===";
-        print_text (measure_benchmarks groups);
-        if not
-             (streaming_only || taint_only || wavefront_only || race_only
-            || flat_only)
-        then begin
+        print_text (measure_all ());
+        if full_suite then begin
           print_endline "";
           print_endline "=== Regenerated paper artifacts ===";
           print_endline "";

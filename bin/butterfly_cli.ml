@@ -113,64 +113,9 @@ let replay_window_metrics p =
   Window_sched.finish s
 
 (* ------------------------------------------------------------------ *)
-(* JSON report serialization, shared by [--json] and [--stats=json]. *)
-
-module J = Obs.Json
-
-let json_of_instr_id (id : Butterfly.Instr_id.t) =
-  J.Obj
-    [ ("epoch", J.Int id.epoch); ("tid", J.Int id.tid);
-      ("index", J.Int id.index) ]
-
-let json_of_intervals is =
-  J.List
-    (List.map
-       (fun (lo, hi) -> J.List [ J.Int lo; J.Int hi ])
-       (Butterfly.Interval_set.intervals is))
-
-let lifeguard_json ~lifeguard ~checked ~flagged ~errors =
-  J.Obj
-    [
-      ("lifeguard", J.String lifeguard);
-      ("checked", J.Int checked);
-      ("flagged", J.Int flagged);
-      ("errors", J.List errors);
-    ]
-
-let json_of_addrcheck_error (e : Lifeguards.Addrcheck.error) =
-  let kind =
-    match e.kind with
-    | Lifeguards.Addrcheck.Unallocated_access -> "unallocated_access"
-    | Unallocated_free -> "unallocated_free"
-    | Double_alloc -> "double_alloc"
-    | Metadata_race -> "metadata_race"
-  in
-  let where =
-    match e.where with
-    | `Instr id -> [ ("at", json_of_instr_id id) ]
-    | `Block (l, t) ->
-      [ ("block", J.Obj [ ("epoch", J.Int l); ("tid", J.Int t) ]) ]
-  in
-  J.Obj
-    ([ ("kind", J.String kind); ("addrs", json_of_intervals e.addrs) ] @ where)
-
-let json_of_initcheck_error (e : Lifeguards.Initcheck.error) =
-  J.Obj
-    [ ("kind", J.String "uninitialized_read");
-      ("addrs", json_of_intervals e.addrs); ("at", json_of_instr_id e.id) ]
-
-let json_of_taintcheck_error (e : Lifeguards.Taintcheck.error) =
-  J.Obj
-    [ ("kind", J.String "tainted_sink"); ("sink", J.Int e.sink);
-      ("at", json_of_instr_id e.id) ]
-
-let json_of_race (r : Lifeguards.Racecheck.race) =
-  let kind = function Lifeguards.Racecheck.R -> "read" | W -> "write" in
-  J.Obj
-    [ ("kind", J.String "may_race");
-      ("addr", J.Int r.addr);
-      ("a", json_of_instr_id r.a); ("a_kind", J.String (kind r.a_kind));
-      ("b", json_of_instr_id r.b); ("b_kind", J.String (kind r.b_kind)) ]
+(* JSON report serialization lives in [Serve.Report], so [--json] here
+   and a daemon's REPORT frames render the same bytes — the serve
+   differential battery compares the two outputs verbatim. *)
 
 let json_arg =
   Arg.(value & flag
@@ -449,12 +394,7 @@ let addrcheck_cmd =
             if stats <> None then replay_window_metrics p;
             r
         in
-        if json then
-          print_endline
-            (J.to_string
-               (lifeguard_json ~lifeguard:"addrcheck"
-                  ~checked:r.total_accesses ~flagged:r.flagged_accesses
-                  ~errors:(List.map json_of_addrcheck_error r.errors)))
+        if json then print_endline (Serve.Report.addrcheck r)
         else begin
           Format.printf "checked %d memory events; flagged %d@."
             r.total_accesses r.flagged_accesses;
@@ -503,12 +443,7 @@ let initcheck_cmd =
             if stats <> None then replay_window_metrics p;
             r
         in
-        if json then
-          print_endline
-            (J.to_string
-               (lifeguard_json ~lifeguard:"initcheck" ~checked:r.total_reads
-                  ~flagged:r.flagged_reads
-                  ~errors:(List.map json_of_initcheck_error r.errors)))
+        if json then print_endline (Serve.Report.initcheck r)
         else begin
           Format.printf "checked %d reads; flagged %d@." r.total_reads
             r.flagged_reads;
@@ -561,22 +496,7 @@ let taintcheck_cmd =
             if stats <> None then replay_window_metrics p;
             r
         in
-        if json then begin
-          let checked =
-            Array.fold_left
-              (fun acc row ->
-                Array.fold_left
-                  (fun acc (s : Lifeguards.Taintcheck.block_stats) ->
-                    acc + s.checks_resolved)
-                  acc row)
-              0 r.block_stats
-          in
-          print_endline
-            (J.to_string
-               (lifeguard_json ~lifeguard:"taintcheck" ~checked
-                  ~flagged:(List.length r.errors)
-                  ~errors:(List.map json_of_taintcheck_error r.errors)))
-        end
+        if json then print_endline (Serve.Report.taintcheck r)
         else begin
           List.iter
             (fun e -> Format.printf "  %a@." Lifeguards.Taintcheck.pp_error e)
@@ -636,12 +556,7 @@ let racecheck_cmd =
                 acc row)
             0 r.block_stats
         in
-        if json then
-          print_endline
-            (J.to_string
-               (lifeguard_json ~lifeguard:"racecheck" ~checked
-                  ~flagged:(List.length r.races)
-                  ~errors:(List.map json_of_race r.races)))
+        if json then print_endline (Serve.Report.racecheck r)
         else begin
           Format.printf "checked %d conflicting pairs; flagged %d may-races@."
             checked (List.length r.races);
@@ -717,8 +632,19 @@ let stats_cmd =
 
 let fuzz_cmd =
   let run lifeguard driver state iterations seed shrink crash_at out replay
-      stats obs_jsonl =
+      serve stats obs_jsonl =
     with_stats ?obs_jsonl stats (fun () ->
+        if serve then begin
+          (* Frame-protocol fuzzing: mutate valid serving conversations
+             and require clean per-session rejection from a live daemon. *)
+          let config =
+            { Qa.Serve_fuzz.default_config with iterations; seed }
+          in
+          let o = Qa.Serve_fuzz.run ~config () in
+          Format.printf "fuzz serve: %a@." Qa.Serve_fuzz.pp_outcome o;
+          if o.Qa.Serve_fuzz.failure <> None then exit 1
+        end
+        else
         let drivers =
           match driver with
           | `All -> Qa.Differential.all_drivers
@@ -876,6 +802,18 @@ let fuzz_cmd =
          ~doc:"Skip generation: run the differential battery on this trace \
                file (heartbeats in the file delimit the epochs).")
   in
+  let serve_arg =
+    Arg.(value & flag & info [ "serve" ]
+         ~doc:"Fuzz the serving frame protocol instead of the analyses: \
+               mutate valid daemon conversations (dropped, duplicated and \
+               reordered frames, truncation, bit flips, injected garbage) \
+               and play them at an in-process daemon over torn writes.  \
+               Each stream must end in a report, one stable error frame or \
+               a clean hang-up; the daemon must answer STATUS after every \
+               stream, and an unmutated control tenant must still match \
+               the batch report.  Uses $(b,--iterations) and $(b,--seed); \
+               the analysis-fuzzing options are ignored.")
+  in
   let crash_at_arg =
     let crash_conv =
       let parse s =
@@ -906,7 +844,7 @@ let fuzz_cmd =
              valid-ordering soundness oracle; exits non-zero on mismatch")
     Term.(const run $ lifeguard_arg $ fuzz_driver_arg $ fuzz_state_arg
           $ iterations_arg $ fuzz_seed_arg $ shrink_arg $ crash_at_arg
-          $ out_arg $ replay_arg $ stats_arg $ obs_jsonl_arg)
+          $ out_arg $ replay_arg $ serve_arg $ stats_arg $ obs_jsonl_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Introspection: dependence-graph / timeline rendering and the obs
@@ -1051,6 +989,169 @@ let generate_cmd =
     Term.(const run $ name_arg $ threads_arg $ scale2_arg $ seed_arg
           $ binary_arg $ stats_arg)
 
+(* ------------------------------------------------------------------ *)
+(* The multi-tenant streaming daemon (lib/serve) and its client. *)
+
+let socket_arg =
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+       ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let run socket domains state_dir every idle max_sessions max_queued stats
+      obs_jsonl =
+    with_stats ?obs_jsonl stats (fun () ->
+        let cfg =
+          try
+            Serve.Daemon.config ~socket ?domains ?state_dir
+              ?checkpoint_every:every ?evict_idle_after:idle
+              ~policy:(Serve.Policy.v ~max_sessions ~max_queued)
+              ()
+          with Invalid_argument m ->
+            prerr_endline ("error: " ^ m);
+            exit 2
+        in
+        let stopping = ref `Run in
+        let on_signal _ = stopping := `Quit in
+        List.iter
+          (fun s ->
+            try Sys.set_signal s (Sys.Signal_handle on_signal)
+            with Invalid_argument _ | Sys_error _ -> ())
+          [ Sys.sigint; Sys.sigterm ];
+        Serve.Daemon.run ~stop:(fun () -> !stopping) cfg)
+  in
+  let state_dir_arg =
+    Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR"
+         ~doc:"Directory for session-keyed snapshots — enables periodic \
+               checkpointing, idle/oversubscription eviction, and \
+               transparent resume on reconnect.")
+  in
+  let ckpt_arg =
+    Arg.(value & opt (some positive_int) None
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Snapshot every session each $(docv) fed epochs (crash \
+                   survivability); needs $(b,--state-dir).")
+  in
+  let idle_arg =
+    Arg.(value & opt (some positive_int) None
+         & info [ "evict-idle-after" ] ~docv:"TICKS"
+             ~doc:"Evict a disconnected session to its snapshot after \
+                   $(docv) scheduler ticks without activity; needs \
+                   $(b,--state-dir).")
+  in
+  let max_sessions_arg =
+    Arg.(value & opt positive_int 64 & info [ "max-sessions" ] ~docv:"N"
+         ~doc:"Live session cap; beyond it new tenants evict the \
+               longest-idle detached session, or are rejected.")
+  in
+  let max_queued_arg =
+    Arg.(value & opt positive_int 64 & info [ "max-queued" ] ~docv:"ROWS"
+         ~doc:"Per-session backpressure bound: stop reading a connection \
+               whose unfed-row queue reaches $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the multi-tenant streaming monitor daemon on a Unix-domain \
+             socket; one analysis session per tenant, multiplexed over a \
+             shared domain pool, until SIGINT/SIGTERM")
+    Term.(const run $ socket_arg $ domains_arg $ state_dir_arg $ ckpt_arg
+          $ idle_arg $ max_sessions_arg $ max_queued_arg $ stats_arg
+          $ obs_jsonl_arg)
+
+let client_cmd =
+  let run socket status_only tenant lifeguard trace h relaxed state driver
+      write_chunk stats obs_jsonl =
+    with_stats ?obs_jsonl stats (fun () ->
+        if status_only then (
+          match Serve.Client.status ~socket () with
+          | Ok s -> print_endline s
+          | Error m ->
+            prerr_endline ("error: " ^ m);
+            exit 1)
+        else
+          match (tenant, trace) with
+          | Some tenant, Some path -> (
+            let p = load_program path h in
+            let rows =
+              Recovery.Runner.rows_of (Butterfly.Epochs.of_program p)
+            in
+            let hello =
+              { Serve.Wire.tenant; lifeguard; driver; state; relaxed;
+                threads = Tracing.Program.threads p }
+            in
+            match
+              Serve.Client.run_tenant ~socket ?write_chunk ~hello rows
+            with
+            | Ok (resumed_from, report) ->
+              (* The frontier note goes to stderr: stdout is exactly the
+                 report line, so it diffs against the batch [--json]. *)
+              if resumed_from > 0 then
+                Format.eprintf "resumed from epoch %d@." resumed_from;
+              print_endline report
+            | Error m ->
+              prerr_endline ("error: " ^ m);
+              exit 1)
+          | _ ->
+            prerr_endline
+              "error: client needs --tenant and TRACE (or --status)";
+            exit 2)
+  in
+  let status_flag =
+    Arg.(value & flag & info [ "status" ]
+         ~doc:"Query the daemon's STATUS endpoint (session cards plus the \
+               Prometheus registry) instead of streaming a trace.")
+  in
+  let tenant_arg =
+    Arg.(value & opt (some string) None & info [ "tenant" ] ~docv:"ID"
+         ~doc:"Session key ([A-Za-z0-9_-]{1,64}); reconnecting with the \
+               same $(docv) resumes the session.")
+  in
+  let lifeguard_arg =
+    let lg =
+      Arg.enum
+        [ ("addrcheck", Recovery.Snapshot.Addrcheck);
+          ("initcheck", Recovery.Snapshot.Initcheck);
+          ("taintcheck", Recovery.Snapshot.Taintcheck);
+          ("racecheck", Recovery.Snapshot.Racecheck) ]
+    in
+    Arg.(value & opt lg Recovery.Snapshot.Addrcheck
+         & info [ "lifeguard" ] ~docv:"LIFEGUARD"
+             ~doc:"Analysis to request: $(b,addrcheck) (default), \
+                   $(b,initcheck), $(b,taintcheck) or $(b,racecheck).")
+  in
+  let trace_opt_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"TRACE"
+         ~doc:"Trace file (Trace_codec text or binary format).")
+  in
+  let client_driver_arg =
+    let d =
+      Arg.enum
+        [ ("sequential", `Sequential); ("pooled", `Pooled);
+          ("wavefront", `Wavefront) ]
+    in
+    Arg.(value & opt d `Sequential & info [ "driver" ] ~docv:"DRIVER"
+         ~doc:"Execution driver the daemon should run this session with; \
+               $(b,pooled)/$(b,wavefront) need a daemon started with \
+               $(b,--domains).  The report is identical for every driver.")
+  in
+  let relaxed_arg =
+    Arg.(value & flag & info [ "relaxed" ]
+         ~doc:"TaintCheck's relaxed-consistency termination condition.")
+  in
+  let chunk_arg =
+    Arg.(value & opt (some positive_int) None
+         & info [ "chunk-bytes" ] ~docv:"N"
+             ~doc:"Cap every socket write to $(docv) bytes, shredding \
+                   frames across reads (protocol-robustness testing).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Stream a trace to a running daemon as one tenant and print the \
+             report — byte-identical to the batch subcommand's $(b,--json) \
+             line — or query the daemon's status")
+    Term.(const run $ socket_arg $ status_flag $ tenant_arg $ lifeguard_arg
+          $ trace_opt_arg $ h_arg $ relaxed_arg $ state_arg
+          $ client_driver_arg $ chunk_arg $ stats_arg $ obs_jsonl_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -1062,4 +1163,5 @@ let () =
             table1_cmd; figure11_cmd; figure12_cmd; figure13_cmd;
             sensitivity_cmd; addrcheck_cmd; taintcheck_cmd; initcheck_cmd;
             racecheck_cmd; stats_cmd; viz_cmd; generate_cmd; fuzz_cmd;
+            serve_cmd; client_cmd;
           ]))

@@ -459,16 +459,21 @@ let now_ns = Monotonic_clock.now
 let live = ref false
 
 module Scope = struct
-  type t = { epoch : int option; tid : int option; phase : string option }
+  type t = {
+    epoch : int option;
+    tid : int option;
+    phase : string option;
+    tenant : string option;
+  }
 
-  let none = { epoch = None; tid = None; phase = None }
+  let none = { epoch = None; tid = None; phase = None; tenant = None }
 
   (* Domain-local: pool workers layer scopes over their own tasks without
      racing the master or each other. *)
   let key = Domain.DLS.new_key (fun () -> none)
   let current () = Domain.DLS.get key
 
-  let with_scope ?epoch ?tid ?phase f =
+  let with_scope ?epoch ?tid ?phase ?tenant f =
     if not !live then f ()
     else begin
       let prev = Domain.DLS.get key in
@@ -477,6 +482,7 @@ module Scope = struct
           epoch = (match epoch with Some _ -> epoch | None -> prev.epoch);
           tid = (match tid with Some _ -> tid | None -> prev.tid);
           phase = (match phase with Some _ -> phase | None -> prev.phase);
+          tenant = (match tenant with Some _ -> tenant | None -> prev.tenant);
         }
       in
       Domain.DLS.set key merged;
@@ -631,9 +637,12 @@ module Sink = struct
               @ (match s.Scope.tid with
                 | Some t -> [ ("tid", Json.Int t) ]
                 | None -> [])
+              @ (match s.Scope.phase with
+                | Some p -> [ ("phase", Json.String p) ]
+                | None -> [])
               @
-              match s.Scope.phase with
-              | Some p -> [ ("phase", Json.String p) ]
+              match s.Scope.tenant with
+              | Some tn -> [ ("tenant", Json.String tn) ]
               | None -> []) );
         ]
     in

@@ -103,7 +103,14 @@ end
     Only {!Sink.jsonl} records them; aggregating sinks ignore scopes, so
     the [--stats] snapshot surface is unchanged. *)
 module Scope : sig
-  type t = { epoch : int option; tid : int option; phase : string option }
+  type t = {
+    epoch : int option;
+    tid : int option;
+    phase : string option;
+    tenant : string option;
+        (** serving-layer provenance: which tenant session the event was
+            produced under (set by [lib/serve], [None] in batch runs) *)
+  }
 
   val none : t
 
@@ -111,7 +118,9 @@ module Scope : sig
   (** The scope active on the calling domain ({!none} outside any
       {!with_scope}). *)
 
-  val with_scope : ?epoch:int -> ?tid:int -> ?phase:string -> (unit -> 'a) -> 'a
+  val with_scope :
+    ?epoch:int -> ?tid:int -> ?phase:string -> ?tenant:string ->
+    (unit -> 'a) -> 'a
   (** Run the thunk with the given coordinates layered over the current
       scope (omitted fields are inherited), restoring the previous scope
       afterwards — also on exceptions.  Under the null sink this is just

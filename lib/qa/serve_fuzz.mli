@@ -1,0 +1,47 @@
+(** Frame-protocol fuzzing against a live {!Serve.Daemon}.
+
+    Where {!Engine} fuzzes the analyses, this fuzzes the wire: each
+    iteration builds a valid serving conversation (HELLO, one DATA per
+    epoch of a seeded {!Grid_gen} grid, FIN), mutilates it — dropped,
+    duplicated and reordered frames, truncation, bit flips, injected
+    garbage — and plays the wreckage at an in-process daemon over a real
+    socket with torn writes.
+
+    The properties are the daemon's containment guarantees, not the
+    analysis results (a mutated stream has no meaningful report):
+
+    {ul
+    {- every session ends in exactly one of: a [REPORT], one stable
+       [ERROR] frame, or a clean hang-up — never daemon-side garbage,
+       never frames after an [ERROR];}
+    {- the daemon survives: [STATUS] answers after every iteration;}
+    {- other tenants are unaffected: an unmutated control session run
+       after the campaign still produces the batch-identical report.}}
+
+    Any violation stops the campaign with a description and the
+    iteration's seed state is recoverable from [config.seed]. *)
+
+type config = {
+  iterations : int;
+  seed : int;  (** one seed reproduces the whole campaign *)
+  shape : Grid_gen.shape;  (** grids behind the valid base streams *)
+}
+
+val default_config : config
+(** 200 iterations, seed 1, {!Grid_gen.default_shape}. *)
+
+type outcome = {
+  iterations : int;  (** iterations completed *)
+  errors : int;  (** sessions rejected with a stable [ERROR] frame *)
+  reports : int;  (** mutations that left the stream valid end-to-end *)
+  hangups : int;  (** daemon hang-ups without a terminal frame *)
+  failure : string option;  (** first containment violation, if any *)
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run : ?config:config -> unit -> outcome
+(** Boot a daemon on a fresh temporary socket, run the campaign, verify
+    the control tenant, shut the daemon down.  Telemetry under the
+    installed {!Obs} sink: [qa.serve.streams], [qa.serve.errors],
+    [qa.serve.reports] counters. *)

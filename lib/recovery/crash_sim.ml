@@ -73,3 +73,10 @@ let run ?pool ?wavefront ?state ?crash_at ?(seed = 0) ~every ~path lifeguard
     epochs =
   let (Runner.Packed ops) = Runner.ops_of ?pool ?wavefront ?state lifeguard in
   simulate ops ?crash_at ~seed ~every ~path epochs
+
+let run_session ?pool ?wavefront ?state ?crash_at ?seed ~every ~dir ~tenant
+    lifeguard epochs =
+  Obs.Scope.with_scope ~tenant (fun () ->
+      run ?pool ?wavefront ?state ?crash_at ?seed ~every
+        ~path:(Snapshot.session_path ~dir ~tenant lifeguard)
+        lifeguard epochs)

@@ -34,3 +34,21 @@ val run :
     overwritten.  [Error _] propagates a failed resume — which the
     simulation itself never provokes, so it too signals a bug.  Raises
     [Invalid_argument] if [every <= 0]. *)
+
+val run_session :
+  ?pool:Butterfly.Domain_pool.t ->
+  ?wavefront:bool ->
+  ?state:[ `Functional | `Flat ] ->
+  ?crash_at:int ->
+  ?seed:int ->
+  every:int ->
+  dir:string ->
+  tenant:string ->
+  Snapshot.lifeguard ->
+  Butterfly.Epochs.t ->
+  (outcome, string) result
+(** {!run} with the snapshot at {!Snapshot.session_path} — the same
+    file a serving daemon would checkpoint this tenant's session to —
+    and the whole simulation under [Obs.Scope.with_scope ~tenant], so
+    streamed telemetry carries the tenant.  Raises [Invalid_argument]
+    on an invalid tenant id (see {!Snapshot.valid_tenant}). *)

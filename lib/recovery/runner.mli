@@ -51,6 +51,42 @@ val ops_of :
     are restored from the snapshot payload, not from here;
     [pool]/[wavefront]/[state] are transient and re-supplied. *)
 
+(** Typed builders behind {!ops_of}, for callers that need to keep the
+    report type visible — e.g. [lib/serve] packs an engine together with
+    a typed report renderer, which the existential {!packed} cannot
+    express. *)
+
+val addr_ops :
+  ?pool:Butterfly.Domain_pool.t ->
+  ?isolation:bool ->
+  ?wavefront:bool ->
+  ?state:[ `Functional | `Flat ] ->
+  unit ->
+  (Lifeguards.Addrcheck.Resumable.state, Lifeguards.Addrcheck.report) ops
+
+val init_ops :
+  ?pool:Butterfly.Domain_pool.t ->
+  ?wavefront:bool ->
+  ?state:[ `Functional | `Flat ] ->
+  unit ->
+  (Lifeguards.Initcheck.Resumable.state, Lifeguards.Initcheck.report) ops
+
+val taint_ops :
+  ?pool:Butterfly.Domain_pool.t ->
+  ?sequential:bool ->
+  ?two_phase:bool ->
+  ?wavefront:bool ->
+  ?state:[ `Functional | `Flat ] ->
+  unit ->
+  (Lifeguards.Taintcheck.Resumable.state, Lifeguards.Taintcheck.report) ops
+
+val race_ops :
+  ?pool:Butterfly.Domain_pool.t ->
+  ?wavefront:bool ->
+  ?state:[ `Functional | `Flat ] ->
+  unit ->
+  (Lifeguards.Racecheck.Resumable.state, Lifeguards.Racecheck.report) ops
+
 val rows_of : Butterfly.Epochs.t -> Tracing.Instr.t array array array
 (** The grid as epoch rows, [rows.(epoch).(tid)]. *)
 

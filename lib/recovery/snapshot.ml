@@ -61,3 +61,18 @@ let read_file ~path =
   match In_channel.with_open_bin path In_channel.input_all with
   | data -> decode data
   | exception Sys_error m -> Error (Printf.sprintf "cannot read checkpoint %s: %s" path m)
+
+let valid_tenant t =
+  let n = String.length t in
+  n >= 1 && n <= 64
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+         | _ -> false)
+       t
+
+let session_path ~dir ~tenant lifeguard =
+  if not (valid_tenant tenant) then
+    invalid_arg (Printf.sprintf "Snapshot.session_path: invalid tenant %S" tenant);
+  Filename.concat dir
+    (Printf.sprintf "%s.%s.snap" tenant (lifeguard_to_string lifeguard))

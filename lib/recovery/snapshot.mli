@@ -40,3 +40,21 @@ val write_file : path:string -> meta -> string -> int
 val read_file : path:string -> (meta * string, string) result
 (** [Error _] also covers an unreadable/missing file
     (["cannot read checkpoint _: _"]). *)
+
+(** {1 Session-keyed naming}
+
+    The serving layer ([lib/serve]) persists one snapshot per tenant
+    session in a state directory; the file name is derived from the
+    tenant id and the lifeguard, so a reconnecting tenant (or a daemon
+    restarted after a crash) finds its own snapshot and nobody else's.
+    Tenant ids are validated before they ever reach the filesystem —
+    {!session_path} refuses anything {!valid_tenant} refuses, which is
+    also the admission check the daemon applies to HELLO frames. *)
+
+val valid_tenant : string -> bool
+(** 1–64 characters drawn from [A-Za-z0-9_-] — no separators, no dots,
+    nothing a path could be traversed with. *)
+
+val session_path : dir:string -> tenant:string -> lifeguard -> string
+(** [dir/<tenant>.<lifeguard>.snap].  Raises [Invalid_argument] if
+    [valid_tenant tenant] is [false]. *)

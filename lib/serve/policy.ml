@@ -1,0 +1,31 @@
+type t = { max_sessions : int; max_queued : int }
+
+let v ~max_sessions ~max_queued =
+  if max_sessions < 1 then invalid_arg "Policy.v: max_sessions must be >= 1";
+  if max_queued < 1 then invalid_arg "Policy.v: max_queued must be >= 1";
+  { max_sessions; max_queued }
+
+let default = v ~max_sessions:64 ~max_queued:64
+let max_sessions t = t.max_sessions
+let max_queued t = t.max_queued
+let throttled t ~queued = queued >= t.max_queued
+
+type candidate = { key : string; detached : bool; idle : int }
+
+let evictee t ~live candidates =
+  if live < t.max_sessions then None
+  else
+    (* Only detached sessions are evictable — a connected client is
+       mid-stream and eviction would abort it.  Among those, the one
+       idle longest; ties break on key so the choice is deterministic. *)
+    List.fold_left
+      (fun best c ->
+        if not c.detached then best
+        else
+          match best with
+          | None -> Some c
+          | Some b ->
+            if c.idle > b.idle || (c.idle = b.idle && c.key < b.key) then Some c
+            else best)
+      None candidates
+    |> Option.map (fun c -> c.key)

@@ -1,0 +1,39 @@
+(** Admission, backpressure and eviction rules.
+
+    Pure decisions over session counts — the daemon supplies the state,
+    the policy says what to do, and the unit tests in [test_serve]
+    exercise the rules without a socket in sight.
+
+    {ul
+    {- {e Backpressure}: a session whose unfed-row queue reaches
+       [max_queued] is throttled — the daemon stops reading its
+       connection until the rotation drains the queue below the limit,
+       so one fast client cannot buffer unboundedly.}
+    {- {e Admission/eviction}: at most [max_sessions] live sessions.  A
+       HELLO beyond that evicts the longest-idle {e detached} session to
+       its snapshot (reviving transparently on reconnect); if every live
+       session has a connection, the HELLO is rejected.}} *)
+
+type t
+
+val v : max_sessions:int -> max_queued:int -> t
+(** Raises [Invalid_argument] unless both are >= 1. *)
+
+val default : t
+(** 64 sessions, 64 queued rows each. *)
+
+val max_sessions : t -> int
+val max_queued : t -> int
+
+val throttled : t -> queued:int -> bool
+(** Stop reading this session's connection? *)
+
+type candidate = { key : string; detached : bool; idle : int }
+(** [idle] in scheduler ticks since the session last fed a row or had a
+    connection. *)
+
+val evictee : t -> live:int -> candidate list -> string option
+(** With [live] sessions and one more asking to be admitted: the key to
+    evict, or [None] when admission needs no eviction (capacity left) or
+    no eviction is possible (every candidate connected).  Deterministic:
+    longest-idle detached candidate, ties on key. *)

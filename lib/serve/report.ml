@@ -1,0 +1,93 @@
+module J = Obs.Json
+
+let json_of_instr_id (id : Butterfly.Instr_id.t) =
+  J.Obj
+    [ ("epoch", J.Int id.epoch); ("tid", J.Int id.tid);
+      ("index", J.Int id.index) ]
+
+let json_of_intervals is =
+  J.List
+    (List.map
+       (fun (lo, hi) -> J.List [ J.Int lo; J.Int hi ])
+       (Butterfly.Interval_set.intervals is))
+
+let lifeguard_json ~lifeguard ~checked ~flagged ~errors =
+  J.Obj
+    [
+      ("lifeguard", J.String lifeguard);
+      ("checked", J.Int checked);
+      ("flagged", J.Int flagged);
+      ("errors", J.List errors);
+    ]
+
+let json_of_addrcheck_error (e : Lifeguards.Addrcheck.error) =
+  let kind =
+    match e.kind with
+    | Lifeguards.Addrcheck.Unallocated_access -> "unallocated_access"
+    | Unallocated_free -> "unallocated_free"
+    | Double_alloc -> "double_alloc"
+    | Metadata_race -> "metadata_race"
+  in
+  let where =
+    match e.where with
+    | `Instr id -> [ ("at", json_of_instr_id id) ]
+    | `Block (l, t) ->
+      [ ("block", J.Obj [ ("epoch", J.Int l); ("tid", J.Int t) ]) ]
+  in
+  J.Obj
+    ([ ("kind", J.String kind); ("addrs", json_of_intervals e.addrs) ] @ where)
+
+let json_of_initcheck_error (e : Lifeguards.Initcheck.error) =
+  J.Obj
+    [ ("kind", J.String "uninitialized_read");
+      ("addrs", json_of_intervals e.addrs); ("at", json_of_instr_id e.id) ]
+
+let json_of_taintcheck_error (e : Lifeguards.Taintcheck.error) =
+  J.Obj
+    [ ("kind", J.String "tainted_sink"); ("sink", J.Int e.sink);
+      ("at", json_of_instr_id e.id) ]
+
+let json_of_race (r : Lifeguards.Racecheck.race) =
+  let kind = function Lifeguards.Racecheck.R -> "read" | W -> "write" in
+  J.Obj
+    [ ("kind", J.String "may_race");
+      ("addr", J.Int r.addr);
+      ("a", json_of_instr_id r.a); ("a_kind", J.String (kind r.a_kind));
+      ("b", json_of_instr_id r.b); ("b_kind", J.String (kind r.b_kind)) ]
+
+let sum_block_stats stats f =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun acc s -> acc + f s) acc row)
+    0 stats
+
+let addrcheck (r : Lifeguards.Addrcheck.report) =
+  J.to_string
+    (lifeguard_json ~lifeguard:"addrcheck" ~checked:r.total_accesses
+       ~flagged:r.flagged_accesses
+       ~errors:(List.map json_of_addrcheck_error r.errors))
+
+let initcheck (r : Lifeguards.Initcheck.report) =
+  J.to_string
+    (lifeguard_json ~lifeguard:"initcheck" ~checked:r.total_reads
+       ~flagged:r.flagged_reads
+       ~errors:(List.map json_of_initcheck_error r.errors))
+
+let taintcheck (r : Lifeguards.Taintcheck.report) =
+  let checked =
+    sum_block_stats r.block_stats
+      (fun (s : Lifeguards.Taintcheck.block_stats) -> s.checks_resolved)
+  in
+  J.to_string
+    (lifeguard_json ~lifeguard:"taintcheck" ~checked
+       ~flagged:(List.length r.errors)
+       ~errors:(List.map json_of_taintcheck_error r.errors))
+
+let racecheck (r : Lifeguards.Racecheck.report) =
+  let checked =
+    sum_block_stats r.block_stats
+      (fun (s : Lifeguards.Racecheck.block_stats) -> s.pairs_checked)
+  in
+  J.to_string
+    (lifeguard_json ~lifeguard:"racecheck" ~checked
+       ~flagged:(List.length r.races)
+       ~errors:(List.map json_of_race r.races))

@@ -1,0 +1,48 @@
+type 'a t = {
+  by_key : (string, 'a) Hashtbl.t;
+  mutable order : string list;  (* insertion order, oldest first *)
+  mutable cursor : int;  (* rotation start for the next [tick] *)
+}
+
+let create () = { by_key = Hashtbl.create 16; order = []; cursor = 0 }
+let find t key = Hashtbl.find_opt t.by_key key
+let mem t key = Hashtbl.mem t.by_key key
+let live t = Hashtbl.length t.by_key
+
+let add t key v =
+  if Hashtbl.mem t.by_key key then invalid_arg "Table.add: duplicate key";
+  Hashtbl.replace t.by_key key v;
+  t.order <- t.order @ [ key ]
+
+let remove t key =
+  if Hashtbl.mem t.by_key key then begin
+    Hashtbl.remove t.by_key key;
+    t.order <- List.filter (fun k -> k <> key) t.order
+  end
+
+let iter t f = List.iter (fun k -> f k (Hashtbl.find t.by_key k)) t.order
+
+let fold t f acc =
+  List.fold_left (fun acc k -> f acc k (Hashtbl.find t.by_key k)) acc t.order
+
+let keys t = t.order
+
+let tick t f =
+  let n = List.length t.order in
+  if n = 0 then 0
+  else begin
+    let arr = Array.of_list t.order in
+    let start = t.cursor mod n in
+    (* Advance the start each tick so that when the per-tick work budget
+       is contended, no fixed session always goes first. *)
+    t.cursor <- (start + 1) mod n;
+    let worked = ref 0 in
+    for i = 0 to n - 1 do
+      let key = arr.((start + i) mod n) in
+      (* A callback may remove sessions (e.g. a finished one); guard. *)
+      match Hashtbl.find_opt t.by_key key with
+      | None -> ()
+      | Some v -> if f key v then incr worked
+    done;
+    !worked
+  end

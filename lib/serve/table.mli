@@ -1,0 +1,37 @@
+(** Keyed session table with a round-robin fairness rotation.
+
+    The daemon keeps one entry per tenant.  {!tick} is the fairness
+    primitive: it visits every entry once, starting one position later
+    each call, so each tenant gets the first slot equally often — with
+    the daemon feeding one epoch per session per tick, K tenants share
+    the feeding domain within one epoch of each other regardless of who
+    connected first or streams fastest (DESIGN §17 gives the argument). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> string -> 'a -> unit
+(** Raises [Invalid_argument] on a duplicate key. *)
+
+val remove : 'a t -> string -> unit
+(** No-op when absent. *)
+
+val find : 'a t -> string -> 'a option
+val mem : 'a t -> string -> bool
+val live : 'a t -> int
+
+val iter : 'a t -> (string -> 'a -> unit) -> unit
+(** Insertion order. *)
+
+val fold : 'a t -> ('b -> string -> 'a -> 'b) -> 'b -> 'b
+
+val keys : 'a t -> string list
+(** Insertion order. *)
+
+val tick : 'a t -> (string -> 'a -> bool) -> int
+(** One rotation: apply the callback to every entry, starting one
+    position past the previous tick's start; returns how many callbacks
+    reported work done.  The callback may remove entries (including the
+    one being visited); entries added during a tick are visited from the
+    next tick on. *)

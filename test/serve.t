@@ -1,0 +1,90 @@
+The serve/client pair must keep the repo's core promise across a
+socket: a report streamed through the daemon is byte-identical to the
+batch subcommand's --json line, and every way a session can be refused
+is a stable, parseable error.
+
+Generate a small deterministic trace and boot a daemon over it.
+
+  $ ../bin/butterfly_cli.exe generate ocean --threads 2 --scale 60 --seed 3 > t.trace
+  $ ../bin/butterfly_cli.exe serve --socket d.sock --state-dir state \
+  >   --checkpoint-every 2 > daemon.log 2>&1 & DPID=$!
+  $ for i in $(seq 1 100); do [ -S d.sock ] && break; sleep 0.1; done
+
+A streamed report equals the batch one, for a functional and a flat
+session alike (the backend is invisible in the output).
+
+  $ ../bin/butterfly_cli.exe addrcheck t.trace -e 8 --json > addr.batch
+  $ ../bin/butterfly_cli.exe client t.trace --socket d.sock \
+  >   --tenant alpha -e 8 > addr.serve
+  $ cmp addr.batch addr.serve
+  $ ../bin/butterfly_cli.exe client t.trace --socket d.sock \
+  >   --tenant beta --state flat -e 8 > addr.flat
+  $ cmp addr.batch addr.flat
+
+Shredding every socket write to 13 bytes changes nothing: framing is
+the wire protocol's job, not the transport's.
+
+  $ ../bin/butterfly_cli.exe client t.trace --socket d.sock \
+  >   --tenant gamma --chunk-bytes 13 -e 8 > addr.torn
+  $ cmp addr.batch addr.torn
+
+The other lifeguards ride the same session machinery.
+
+  $ ../bin/butterfly_cli.exe racecheck t.trace -e 8 --json > race.batch
+  $ ../bin/butterfly_cli.exe client t.trace --socket d.sock \
+  >   --tenant delta --lifeguard racecheck -e 8 > race.serve
+  $ cmp race.batch race.serve
+
+STATUS reports the daemon's view: live connections, one card per
+session, and the Prometheus registry.
+
+  $ ../bin/butterfly_cli.exe client --socket d.sock --status > status.json
+  $ grep -c '"live"' status.json
+  1
+  $ grep -q '"sessions"' status.json
+  $ grep -q '# TYPE' status.json
+
+Rejections are single stable error lines.  A malformed tenant id:
+
+  $ ../bin/butterfly_cli.exe client t.trace --socket d.sock \
+  >   --tenant 'no good' -e 8
+  error: bad hello: invalid tenant id "no good"
+  [1]
+
+A parallel driver against a daemon that was started without --domains:
+
+  $ ../bin/butterfly_cli.exe client t.trace --socket d.sock \
+  >   --tenant eps --driver pooled -e 8
+  error: bad hello: driver needs a daemon started with --domains
+  [1]
+
+Reconnecting a finished tenant under a different lifeguard collides
+with its session on disk:
+
+  $ ../bin/butterfly_cli.exe client t.trace --socket d.sock \
+  >   --tenant alpha --lifeguard taintcheck -e 8
+  error: tenant alpha has a addrcheck session on disk, not taintcheck
+  [1]
+
+No daemon, no session:
+
+  $ ../bin/butterfly_cli.exe client t.trace --socket absent.sock \
+  >   --tenant zeta -e 8 2>&1 | head -1
+  error: cannot connect to absent.sock: No such file or directory
+
+The daemon exits cleanly on SIGTERM, evicting live sessions to the
+state dir on the way out.
+
+  $ kill $DPID && wait $DPID
+  $ ls state | sort
+  alpha.addrcheck.snap
+  beta.addrcheck.snap
+  delta.racecheck.snap
+  gamma.addrcheck.snap
+
+--socket is mandatory in both subcommands.
+
+  $ ../bin/butterfly_cli.exe serve 2>&1 | head -1
+  butterfly_cli: required option --socket is missing
+  $ ../bin/butterfly_cli.exe client t.trace 2>&1 | head -1
+  butterfly_cli: required option --socket is missing
